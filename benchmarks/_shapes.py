@@ -1,0 +1,51 @@
+"""Shared shape assertions for the scaling-figure benchmarks.
+
+These encode the paper's qualitative findings; a benchmark passes when
+the simulated machine reproduces them, regardless of absolute times.
+"""
+
+from __future__ import annotations
+
+from repro.bench import SeriesData
+
+__all__ = [
+    "assert_near_ideal_scaling",
+    "assert_flattens",
+    "scaling_at",
+    "final_time",
+]
+
+
+def final_time(data: SeriesData, label: str) -> float:
+    return data.lines[label][-1]
+
+
+def scaling_at(data: SeriesData, label: str, threads: int) -> float:
+    """Speedup of a line at ``threads`` relative to its 1-thread point."""
+    i = data.x.index(threads)
+    ys = data.lines[label]
+    return ys[0] / ys[i]
+
+
+def assert_near_ideal_scaling(
+    data: SeriesData, label: str, threads: int, efficiency: float = 0.7
+) -> None:
+    """The line speeds up by at least ``efficiency * threads``."""
+    s = scaling_at(data, label, threads)
+    assert s >= efficiency * threads, (
+        f"{label}: speedup {s:.1f}x at {threads} threads "
+        f"(needed >= {efficiency * threads:.1f}x)"
+    )
+
+
+def assert_flattens(
+    data: SeriesData, label: str, after_threads: int, tolerance: float = 1.6
+) -> None:
+    """Beyond ``after_threads`` the line improves less than ``tolerance``x."""
+    i = data.x.index(after_threads)
+    ys = data.lines[label]
+    best_later = min(ys[i:])
+    assert ys[i] / best_later < tolerance, (
+        f"{label}: still improving {ys[i] / best_later:.2f}x past "
+        f"{after_threads} threads"
+    )

@@ -1,0 +1,51 @@
+"""Ablation: box size under a fixed schedule.
+
+The paper reports N=32 and N=64 "fall smoothly in between" N=16 and
+N=128 (§VI) and therefore only plots the extremes; this ablation checks
+that interpolation property for the baseline, and that the best OT
+schedule is essentially box-size-independent."""
+
+from repro.bench import SeriesData, format_series, time_variant
+from repro.machine import MAGNY_COURS
+from repro.schedules import Variant
+
+
+def box_size_sweep():
+    data = SeriesData(
+        title="Ablation: box size at 24 threads (magny_cours)",
+        xlabel="box size",
+        ylabel="time (s)",
+        x=[16, 32, 64, 128],
+    )
+    base = []
+    ot = []
+    for n in data.x:
+        base.append(
+            time_variant(Variant("series", "P>=Box", "CLO"), MAGNY_COURS, 24, n).time_s
+        )
+        # Box-level parallelism so small boxes stay occupied (an OT
+        # P<Box line at N=16 would starve: 8 tiles for 24 threads).
+        v = Variant("overlapped", "P>=Box", "CLO", tile_size=8, intra_tile="shift_fuse")
+        ot.append(time_variant(v, MAGNY_COURS, 24, n).time_s)
+    data.add_line("Baseline P>=Box", base)
+    data.add_line("Shift-Fuse OT-8 P>=Box", ot)
+    return data
+
+
+def test_ablation_box_size(benchmark, save_result):
+    data = benchmark(box_size_sweep)
+    save_result("ablation_box_size", format_series(data))
+
+    base = data.lines["Baseline P>=Box"]
+    ot = data.lines["Shift-Fuse OT-8 P>=Box"]
+    # Baseline degrades monotonically with box size, and the
+    # intermediate sizes interpolate smoothly (each point between its
+    # neighbours).
+    assert all(a <= b * 1.001 for a, b in zip(base, base[1:]))
+    for i in (1, 2):
+        assert base[i - 1] * 0.999 <= base[i] <= base[i + 1] * 1.001
+    # OT keeps every box size within ~2x of the best (paper: the same
+    # efficiency for 128^3 as for 16^3).
+    assert max(ot) < 2.0 * min(ot)
+    # At N=128 the gap between schedules is the headline factor.
+    assert base[-1] / ot[-1] > 3.0

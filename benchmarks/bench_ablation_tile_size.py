@@ -1,0 +1,54 @@
+"""Ablation: tile size (paper §VI: "in general tile sizes of 8 and 16
+were the most efficient", and tile-32 wavefronts lost their scaling).
+
+Sweeps every tile size for both tiled categories on each machine at
+N=128 and full threads."""
+
+from repro.bench import SeriesData, format_series, time_variant
+from repro.machine import IVY_BRIDGE, MAGNY_COURS, SANDY_BRIDGE
+from repro.schedules import TILE_SIZES, Variant
+
+
+def tile_sweep():
+    data = SeriesData(
+        title="Ablation: tile size at N=128, full cores",
+        xlabel="tile size",
+        ylabel="time (s)",
+        x=list(TILE_SIZES),
+    )
+    for machine in (MAGNY_COURS, IVY_BRIDGE, SANDY_BRIDGE):
+        for category, intra in (
+            ("overlapped", "shift_fuse"),
+            ("blocked_wavefront", None),
+        ):
+            ys = []
+            for t in TILE_SIZES:
+                kwargs = {"intra_tile": intra} if intra else {}
+                v = Variant(category, "P<Box", "CLO", tile_size=t, **kwargs)
+                ys.append(
+                    time_variant(v, machine, machine.cores, 128).time_s
+                )
+            data.add_line(f"{machine.name} {category}", ys)
+    return data
+
+
+def test_ablation_tile_size(benchmark, save_result):
+    data = benchmark(tile_sweep)
+    save_result("ablation_tile_size", format_series(data))
+
+    # Paper: "in general tile sizes of 8 and 16 were the most
+    # efficient" — on every line the better of {8, 16} sits within a
+    # few percent of the overall best tile.
+    for label, ys in data.lines.items():
+        by_tile = dict(zip(data.x, ys))
+        best = min(by_tile.values())
+        assert min(by_tile[8], by_tile[16]) <= 1.08 * best, (label, by_tile)
+    # Tile-32 wavefronts lose their scaling (the paper singles them
+    # out: "except for when tiles were size 32").
+    for m in ("magny_cours", "ivy_bridge", "sandy_bridge"):
+        wf = dict(zip(data.x, data.lines[f"{m} blocked_wavefront"]))
+        assert wf[32] > 1.3 * min(wf.values()), m
+        # Overlapped tile-4: the 2-ghost stencil ring on a 4-cell tile
+        # triples the phi0 reads — a visible penalty vs tile-8.
+        ot = dict(zip(data.x, data.lines[f"{m} overlapped"]))
+        assert ot[4] > ot[8], m

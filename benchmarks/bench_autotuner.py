@@ -1,0 +1,60 @@
+"""The autotuner (paper §VII outlook): selection quality and pruning cost.
+
+Checks that analytic pruning never changes the winner while cutting the
+number of simulated configurations, and that the recommended schedules
+match the paper's findings per box size."""
+
+from repro.bench import format_table
+from repro.machine import IVY_BRIDGE, MAGNY_COURS
+from repro.tuning import Autotuner
+
+
+def tune_all():
+    rows = []
+    for machine in (MAGNY_COURS, IVY_BRIDGE):
+        tuner = Autotuner(machine)
+        for n in (16, 32, 64, 128):
+            result = tuner.tune(n)
+            rows.append(
+                {
+                    "machine": machine.name,
+                    "box": n,
+                    "best": result.best.variant.label,
+                    "time_s": result.best.time_s,
+                    "evaluated": len(result.evaluated),
+                    "pruned": len(result.pruned),
+                    "speedup_vs_baseline": result.speedup_over_baseline(),
+                }
+            )
+    return rows
+
+
+def test_autotuner_recommendations(benchmark, save_result):
+    rows = benchmark(tune_all)
+    save_result(
+        "autotuner", format_table("Autotuned schedule per (machine, box size)", rows)
+    )
+    for r in rows:
+        # Pruning must do real work at every point.
+        assert r["pruned"] > 0
+        assert r["evaluated"] > 0
+        # Large boxes need the locality schedules; the win grows with N.
+        if r["box"] == 128:
+            assert "OT" in r["best"]
+            assert r["speedup_vs_baseline"] > 1.5
+        if r["box"] == 16:
+            # Small boxes: over-box parallelism, no big win available.
+            assert "P>=Box" in r["best"]
+
+
+def test_pruned_search_matches_full_search(benchmark):
+    def compare():
+        out = []
+        for n in (16, 128):
+            full = Autotuner(MAGNY_COURS, prune=False).tune(n)
+            fast = Autotuner(MAGNY_COURS, prune=True).tune(n)
+            out.append((full.best.time_s, fast.best.time_s))
+        return out
+
+    for full_t, fast_t in benchmark(compare):
+        assert abs(full_t - fast_t) < 1e-12

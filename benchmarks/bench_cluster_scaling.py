@@ -1,0 +1,77 @@
+"""Distributed step cost: the paper's motivating tradeoff, quantified.
+
+The paper's §I argument chain: MPI parallelization prefers larger boxes
+(less ghost exchange), but large boxes break on-node scaling under the
+baseline schedule — and the new schedules fix that.  This bench runs
+the cluster model (simulated nodes + interconnect + real copier-derived
+exchange volumes) across box sizes and node counts."""
+
+from repro.bench import SeriesData, format_series, format_table
+from repro.machine import GEMINI, MAGNY_COURS, ClusterSpec, step_cost
+from repro.schedules import Variant
+
+DOMAIN = (256, 256, 256)
+BASE = Variant("series", "P>=Box", "CLO")
+OT = Variant("overlapped", "P<Box", "CLO", tile_size=8, intra_tile="shift_fuse")
+
+
+def box_size_table(nodes=4):
+    cluster = ClusterSpec(MAGNY_COURS, GEMINI, nodes)
+    rows = []
+    for n in (16, 32, 64):
+        b = step_cost(cluster, BASE, n, DOMAIN)
+        o = step_cost(cluster, OT, n, DOMAIN)
+        rows.append(
+            {
+                "box": n,
+                "exchange_s": b.exchange_s,
+                "baseline_total_s": b.total_s,
+                "ot_total_s": o.total_s,
+                "exchange_frac_ot": o.exchange_fraction,
+            }
+        )
+    return rows
+
+
+def strong_scaling(box=32):
+    data = SeriesData(
+        title=f"Strong scaling across nodes (N={box}, {DOMAIN} cells, "
+        "magny_cours + gemini)",
+        xlabel="nodes",
+        ylabel="step time (s)",
+        x=[1, 2, 4, 8],
+    )
+    for label, v in (("Baseline", BASE), ("Shift-Fuse OT-8", OT)):
+        ys = []
+        for nodes in data.x:
+            cluster = ClusterSpec(MAGNY_COURS, GEMINI, nodes)
+            ys.append(step_cost(cluster, v, box, DOMAIN).total_s)
+        data.add_line(label, ys)
+    return data
+
+
+def test_cluster_box_size_tradeoff(benchmark, save_result):
+    rows = benchmark(box_size_table)
+    save_result(
+        "cluster_box_size",
+        format_table("Per-step cost vs box size (4 nodes)", rows),
+    )
+    # Exchange time falls monotonically with box size (Fig. 1's point).
+    ex = [r["exchange_s"] for r in rows]
+    assert ex[0] > ex[1] > ex[2]
+    # Under the baseline the large box is NOT the total-time winner...
+    base_total = {r["box"]: r["baseline_total_s"] for r in rows}
+    assert base_total[64] > base_total[16]
+    # ...under the OT schedule it is (or ties within 5%).
+    ot_total = {r["box"]: r["ot_total_s"] for r in rows}
+    assert ot_total[64] <= 1.05 * min(ot_total.values())
+
+
+def test_cluster_strong_scaling(benchmark, save_result):
+    data = benchmark(strong_scaling)
+    save_result("cluster_strong_scaling", format_series(data))
+    for label, ys in data.lines.items():
+        # More nodes never slower; OT scales well to 8 nodes.
+        assert all(b <= a * 1.02 for a, b in zip(ys, ys[1:])), label
+    ot = data.lines["Shift-Fuse OT-8"]
+    assert ot[0] / ot[-1] > 0.6 * 8

@@ -1,0 +1,49 @@
+"""Ghost-exchange volume and cost across box sizes (the paper's §I
+motivation: larger boxes cut the exchange volume roughly like Fig. 1).
+Runs real exchanges on a scaled-down level."""
+
+import pytest
+
+from repro.analysis import ghost_ratio
+from repro.bench import format_table
+from repro.box import Box, LevelData, ProblemDomain, decompose_domain
+
+
+@pytest.mark.parametrize("box", [4, 8, 16])
+def test_exchange_walltime(benchmark, box):
+    domain = ProblemDomain(Box.cube(32, 3))
+    layout = decompose_domain(domain, box)
+    ld = LevelData(layout, ncomp=5, ghost=2)
+    ld.fill_from_function(lambda x, y, z, c: x + y + z + c)
+    ld.exchange()  # builds and caches the copy plan
+    benchmark(ld.exchange)
+
+
+def test_exchange_volume_scales_like_fig1(benchmark, save_result):
+    def volumes():
+        rows = []
+        domain = ProblemDomain(Box.cube(32, 3))
+        for box in (4, 8, 16, 32):
+            layout = decompose_domain(domain, box)
+            ld = LevelData(layout, ncomp=5, ghost=2)
+            ld.exchange()
+            rows.append(
+                {
+                    "box_size": box,
+                    "ghost_points": ld.stats.points,
+                    "bytes": ld.stats.bytes,
+                    "ratio": 1 + ld.stats.points / layout.total_cells(),
+                    "fig1_ratio": ghost_ratio(box, 3, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark(volumes)
+    save_result(
+        "exchange_volume", format_table("Ghost exchange volume vs box size", rows)
+    )
+    # Volume drops monotonically with box size and matches Fig. 1.
+    vols = [r["ghost_points"] for r in rows]
+    assert all(a > b for a, b in zip(vols, vols[1:]))
+    for r in rows:
+        assert r["ratio"] == pytest.approx(r["fig1_ratio"], rel=1e-12)

@@ -1,0 +1,46 @@
+"""Fig. 1: ghost-cell ratio vs box size — analytic lines plus the
+measured ratio from real exchange plans."""
+
+import pytest
+
+from repro.analysis import ghost_ratio, measured_ghost_ratio, min_box_size_for_ratio
+from repro.bench import fig1_ghost_ratio, format_series
+from repro.box import Box, ProblemDomain, decompose_domain
+
+
+def test_fig1_ghost_ratio(benchmark, save_result):
+    data = benchmark(fig1_ghost_ratio)
+    save_result("fig01_ghost_ratio", format_series(data))
+
+    # Paper's reading of the figure: a ratio of 1.0 is all-physical; with
+    # five ghosts a box size of 64 is necessary to get below 2.0.
+    assert min_box_size_for_ratio(2.0, dim=3, nghost=5) <= 64 < 128
+    line_3d5 = data.lines["3D, 5 ghost"]
+    assert line_3d5[data.x.index(32)] > 2.0
+    assert line_3d5[data.x.index(64)] < 2.0
+    # Monotone decreasing in box size; increasing in dim and ghosts.
+    for label, ys in data.lines.items():
+        assert all(a > b for a, b in zip(ys, ys[1:])), label
+    for n in data.x:
+        i = data.x.index(n)
+        assert data.lines["4D, 2 ghost"][i] > data.lines["3D, 2 ghost"][i]
+        assert data.lines["3D, 5 ghost"][i] > data.lines["3D, 2 ghost"][i]
+
+
+def test_fig1_measured_matches_analytic(benchmark):
+    """The formula equals what real periodic exchange plans move."""
+
+    def measure():
+        out = {}
+        for n, box in ((16, 4), (32, 8)):
+            domain = ProblemDomain(Box.cube(n, 3))
+            layout = decompose_domain(domain, box)
+            out[box] = (
+                measured_ghost_ratio(layout, 2),
+                ghost_ratio(box, dim=3, nghost=2),
+            )
+        return out
+
+    results = benchmark(measure)
+    for box, (measured, analytic) in results.items():
+        assert measured == pytest.approx(analytic, rel=1e-12), box

@@ -1,0 +1,35 @@
+"""Fig. 2: on the 24-core AMD Magny-Cours (Cray XT6m), the baseline
+parallelization over boxes scales perfectly at N=16 but collapses at
+N=128; the shifted/fused/overlapped-tiled variant restores N=128 to
+N=16-level performance."""
+
+from _shapes import assert_flattens, assert_near_ideal_scaling, final_time
+
+from repro.bench import format_series, scaling_figure
+
+
+def test_fig2_magny_cours(benchmark, save_result):
+    data = benchmark(scaling_figure, "fig2")
+    save_result("fig02_magny_cours_scaling", format_series(data))
+
+    base16 = "Baseline: P>=Box, N=16"
+    base128 = "Baseline: P>=Box, N=128"
+    ot128 = "Shift-Fuse OT-16: P>=Box, N=128"
+
+    # N=16 baseline scales near-ideally to all 24 cores.
+    assert_near_ideal_scaling(data, base16, 24, efficiency=0.8)
+    # N=128 baseline stops scaling after a few threads (the paper's
+    # "terrible" scaling: bandwidth saturates around 4 threads).
+    assert_flattens(data, base128, after_threads=4, tolerance=1.3)
+    assert scaling_at_most(data, base128, 24, 6.0)
+    # The overlapped-tiling schedule at N=128 matches the N=16 baseline
+    # within ~25% at full thread count — the paper's primary result.
+    assert final_time(data, ot128) <= 1.25 * final_time(data, base16)
+    # And beats the N=128 baseline by a large factor.
+    assert final_time(data, base128) / final_time(data, ot128) > 3.0
+
+
+def scaling_at_most(data, label, threads, bound):
+    ys = data.lines[label]
+    i = data.x.index(threads)
+    return ys[0] / ys[i] <= bound

@@ -1,0 +1,31 @@
+"""Fig. 3: on the 20-core Ivy Bridge, the N=128 baseline ends up 2x
+slower than N=16; Shift-Fuse OT-8 (parallelized over tiles) fixes the
+scaling, and hyperthreading (40 threads) does not hurt it."""
+
+from _shapes import assert_flattens, assert_near_ideal_scaling, final_time
+
+from repro.bench import format_series, scaling_figure
+
+
+def test_fig3_ivy_bridge(benchmark, save_result):
+    data = benchmark(scaling_figure, "fig3")
+    save_result("fig03_ivy_bridge_scaling", format_series(data))
+
+    base16 = "Baseline: P>=Box, N=16"
+    base128 = "Baseline: P>=Box, N=128"
+    ot128 = "Shift-Fuse OT-8: P<Box, N=128"
+
+    assert_near_ideal_scaling(data, base16, 20, efficiency=0.8)
+    assert_flattens(data, base128, after_threads=8, tolerance=1.3)
+
+    # Paper: N=128 baseline is ~2x slower than N=16 at full cores.
+    i20 = data.x.index(20)
+    ratio = data.lines[base128][i20] / data.lines[base16][i20]
+    assert 1.7 < ratio < 4.5, f"N=128/N=16 ratio {ratio:.2f}"
+
+    # OT-8 restores N=128 to N=16-level time.
+    assert final_time(data, ot128) <= 1.25 * min(data.lines[base16])
+
+    # Hyperthreading (20 -> 40 threads) does not slow OT down.
+    i40 = data.x.index(40)
+    assert data.lines[ot128][i40] <= data.lines[ot128][i20] * 1.05

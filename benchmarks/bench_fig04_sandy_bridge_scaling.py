@@ -1,0 +1,23 @@
+"""Fig. 4: on the 16-core Sandy Bridge, Shift-Fuse OT-16 lets the
+N=128 box match the N=16 baseline's performance."""
+
+from _shapes import assert_flattens, assert_near_ideal_scaling, final_time
+
+from repro.bench import format_series, scaling_figure
+
+
+def test_fig4_sandy_bridge(benchmark, save_result):
+    data = benchmark(scaling_figure, "fig4")
+    save_result("fig04_sandy_bridge_scaling", format_series(data))
+
+    base16 = "Baseline: P>=Box, N=16"
+    base128 = "Baseline: P>=Box, N=128"
+    ot128 = "Shift-Fuse OT-16: P<Box, N=128"
+
+    assert_near_ideal_scaling(data, base16, 16, efficiency=0.8)
+    assert_flattens(data, base128, after_threads=8, tolerance=1.3)
+    # N=128 baseline clearly worse than N=16 at full cores.
+    i16 = data.x.index(16)
+    assert data.lines[base128][i16] > 1.5 * data.lines[base16][i16]
+    # OT-16 brings N=128 to N=16-level performance.
+    assert final_time(data, ot128) <= 1.3 * final_time(data, base16)

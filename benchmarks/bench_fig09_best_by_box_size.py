@@ -1,0 +1,23 @@
+"""Fig. 9: fastest configuration per box size, parallelization over
+boxes vs within boxes — P>=Box wins small boxes (too little work per
+box otherwise), the two converge at N=128."""
+
+from repro.bench import fig9_best_by_box_size, format_series
+
+
+def test_fig9_best_by_box_size(benchmark, save_result):
+    data = benchmark(fig9_best_by_box_size)
+    save_result("fig09_best_by_box_size", format_series(data))
+
+    for machine in ("magny_cours", "ivy_bridge"):
+        over = data.lines[f"{machine} P>=Box"]
+        within = data.lines[f"{machine} P<Box"]
+        i16 = data.x.index(16)
+        i128 = data.x.index(128)
+        # Small boxes: parallelization over boxes clearly better.
+        assert within[i16] > 1.15 * over[i16], machine
+        # Large boxes: the two approaches converge (within ~40%).
+        ratio = within[i128] / over[i128]
+        assert 0.5 < ratio < 1.4, (machine, ratio)
+        # The gap shrinks monotonically-ish with box size.
+        assert within[i128] / over[i128] < within[i16] / over[i16], machine

@@ -1,0 +1,41 @@
+"""Fig. 10: all seven labelled schedules at N=128 on Magny-Cours —
+overlapped tiling wins; wavefronts scale but sit offset above;
+shift-fuse alone stalls near 8 threads; the baseline is worst."""
+
+from _shapes import final_time
+
+from repro.bench import format_series, format_speedup_summary, schedule_figure
+
+
+def test_fig10_magny_cours_n128(benchmark, save_result):
+    data = benchmark(schedule_figure, "fig10")
+    save_result(
+        "fig10_magny_cours_n128",
+        format_series(data)
+        + format_speedup_summary(data, "Shift-Fuse OT-8: P<Box"),
+    )
+    _assert_schedule_ordering(
+        data,
+        baseline="Baseline: P>=Box",
+        shift_fuse="Shift-Fuse: P>=Box",
+        wavefront="Blocked WF-CLO-16: P<Box",
+        ot_lines=[
+            "Shift-Fuse OT-8: P<Box",
+            "Basic-Sched OT-8: P<Box",
+            "Shift-Fuse OT-16: P>=Box",
+            "Basic-Sched OT-16: P>=Box",
+        ],
+    )
+
+
+def _assert_schedule_ordering(data, baseline, shift_fuse, wavefront, ot_lines):
+    t_base = final_time(data, baseline)
+    t_sf = final_time(data, shift_fuse)
+    t_wf = final_time(data, wavefront)
+    t_ot = min(final_time(data, l) for l in ot_lines)
+    # Overall ordering at full threads: OT < WF < SF < baseline.
+    assert t_ot < t_wf < t_sf < t_base
+    # OT greatly outperforms the baseline (paper: ~5x on this machine).
+    assert t_base / t_ot > 3.0
+    # Wavefront scales (beats shift-fuse) but is offset above OT.
+    assert t_wf > 1.3 * t_ot

@@ -1,0 +1,27 @@
+"""Fig. 11: the seven schedules at N=128 on Ivy Bridge, including the
+hyperthreading points — OT-8 with shift-fuse inside clearly wins and
+does not slow down under HT."""
+
+from _shapes import final_time
+
+from repro.bench import format_series, schedule_figure
+
+
+def test_fig11_ivy_bridge_n128(benchmark, save_result):
+    data = benchmark(schedule_figure, "fig11")
+    save_result("fig11_ivy_bridge_n128", format_series(data))
+
+    base = data.lines["Baseline: P>=Box"]
+    sf = data.lines["Shift-Fuse: P>=Box"]
+    ot = data.lines["Shift-Fuse OT-8: P<Box"]
+    wf = data.lines["Blocked WF-CLI-4: P<Box"]
+
+    i20 = data.x.index(20)
+    i40 = data.x.index(40)
+    # OT beats everything at the full core count.
+    assert ot[i20] < wf[i20]
+    assert ot[i20] < sf[i20] < base[i20]
+    # No hyperthreading slowdown for the OT schedule.
+    assert ot[i40] <= ot[i20] * 1.05
+    # The baseline gains essentially nothing from HT (bandwidth-bound).
+    assert base[i40] >= base[i20] * 0.85

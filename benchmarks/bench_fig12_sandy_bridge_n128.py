@@ -1,0 +1,29 @@
+"""Fig. 12: the seven schedules at N=128 on Sandy Bridge — the
+overlapped tiled schedules exhibit excellent scalability and
+performance."""
+
+from _shapes import final_time, scaling_at
+
+from repro.bench import format_series, schedule_figure
+
+
+def test_fig12_sandy_bridge_n128(benchmark, save_result):
+    data = benchmark(schedule_figure, "fig12")
+    save_result("fig12_sandy_bridge_n128", format_series(data))
+
+    ot_lines = [
+        "Shift-Fuse OT-16: P<Box",
+        "Basic-Sched OT-16: P<Box",
+        "Shift-Fuse OT-8: P>=Box",
+        "Basic-Sched OT-16: P>=Box",
+    ]
+    t_base = final_time(data, "Baseline: P>=Box")
+    t_sf = final_time(data, "Shift-Fuse: P>=Box")
+    t_ot = min(final_time(data, l) for l in ot_lines)
+    # OT wins, baseline loses, shift-fuse in between.
+    assert t_ot < t_sf < t_base
+    # OT schedules scale well across all 16 cores.
+    best_ot = min(ot_lines, key=lambda l: final_time(data, l))
+    assert scaling_at(data, best_ot, 16) > 0.7 * 16
+    # Baseline scales poorly (< 8x on 16 cores).
+    assert scaling_at(data, "Baseline: P>=Box", 16) < 8.0

@@ -1,0 +1,67 @@
+"""Roofline placement of every schedule category (analysis artifact).
+
+Not a paper figure, but the paper's §VI reasoning is roofline reasoning:
+N=16 sits under the compute roof, the N=128 baseline slides under the
+bandwidth roof, and the locality schedules raise arithmetic intensity
+until the compute roof binds again.  This bench tabulates exactly that."""
+
+from repro.analysis import variant_box_flops, variant_traffic
+from repro.bench import format_table, time_variant
+from repro.machine import MAGNY_COURS, arithmetic_intensity, roofline_gflops
+from repro.schedules import Variant
+
+VARIANTS = {
+    "Baseline": Variant("series", "P>=Box", "CLO"),
+    "Shift-Fuse": Variant("shift_fuse", "P>=Box", "CLO"),
+    "Blocked WF-16": Variant("blocked_wavefront", "P<Box", "CLO", tile_size=16),
+    "Shift-Fuse OT-8": Variant(
+        "overlapped", "P<Box", "CLO", tile_size=8, intra_tile="shift_fuse"
+    ),
+}
+
+
+def roofline_table(n=128, threads=24):
+    machine = MAGNY_COURS
+    cache = machine.cache_per_thread_bytes(threads)
+    rows = []
+    for label, v in VARIANTS.items():
+        flops = variant_box_flops(v, n).total
+        dram = variant_traffic(v, n).dram_bytes(cache)
+        ai = arithmetic_intensity(flops, dram)
+        attainable = roofline_gflops(machine, ai, threads)
+        r = time_variant(v, machine, threads, n)
+        rows.append(
+            {
+                "schedule": label,
+                "AI_flops_per_byte": ai,
+                "attainable_gflops": attainable,
+                "achieved_gflops": r.gflops,
+                "bound": "compute"
+                if attainable
+                >= machine.thread_compute_rate(threads) * threads / 1e9 * 0.999
+                else "bandwidth",
+            }
+        )
+    return rows
+
+
+def test_roofline_placement(benchmark, save_result):
+    rows = benchmark(roofline_table)
+    save_result(
+        "roofline",
+        format_table("Roofline placement at N=128, magny_cours, 24T", rows),
+    )
+    by = {r["schedule"]: r for r in rows}
+    # Arithmetic intensity rises along the schedule ladder.
+    assert (
+        by["Baseline"]["AI_flops_per_byte"]
+        < by["Shift-Fuse"]["AI_flops_per_byte"]
+        < by["Blocked WF-16"]["AI_flops_per_byte"]
+        < by["Shift-Fuse OT-8"]["AI_flops_per_byte"]
+    )
+    # The baseline is bandwidth-bound; the best OT is compute-bound.
+    assert by["Baseline"]["bound"] == "bandwidth"
+    assert by["Shift-Fuse OT-8"]["bound"] == "compute"
+    # Achieved never exceeds attainable (the simulator respects physics).
+    for r in rows:
+        assert r["achieved_gflops"] <= r["attainable_gflops"] * 1.001

@@ -1,0 +1,78 @@
+"""Table I: temporary storage per schedule — formulas vs the executors'
+own accounting vs actual instrumented allocations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import table1_for_variant, table1_temporaries
+from repro.bench import format_table, table1
+from repro.exemplar import random_initial_data
+from repro.schedules import Variant, make_executor
+from repro.util import track_allocations
+
+
+def test_table1_formulas(benchmark, save_result):
+    rows = benchmark(table1, 128, 16, 1)
+    text = format_table("Table I (N=128, T=16, C=5, P=1)", rows)
+    save_result("table1_temporaries", text)
+
+    by_cat = {r["category"]: r for r in rows}
+    n, c, t = 128, 5, 16
+    # Exact formula checks against the printed table.
+    assert by_cat["series"]["flux"] == c * (n + 1) ** 3
+    assert by_cat["series"]["velocity"] == (n + 1) ** 3
+    assert by_cat["shift_fuse"]["flux"] == 2 + 2 * n + 2 * n * n
+    assert by_cat["shift_fuse"]["velocity"] == 3 * (n + 1) ** 3
+    assert by_cat["blocked_wavefront"]["flux"] == 2 * (3 * c * n * n)
+    assert by_cat["overlapped"]["flux"] == c * (2 + 2 * t + 2 * t * t)
+    assert by_cat["overlapped"]["velocity"] == c * 3 * (t + 1) ** 3
+    # The storage ordering that motivates the whole study:
+    assert (
+        by_cat["overlapped"]["flux"] + by_cat["overlapped"]["velocity"]
+        < by_cat["shift_fuse"]["flux"] + by_cat["shift_fuse"]["velocity"]
+        < by_cat["series"]["flux"] + by_cat["series"]["velocity"]
+    )
+
+
+@pytest.mark.parametrize(
+    "variant, n",
+    [
+        (Variant("series", "P>=Box", "CLI"), 16),
+        (Variant("shift_fuse", "P>=Box", "CLO"), 16),
+        (Variant("overlapped", "P>=Box", "CLO", tile_size=8, intra_tile="shift_fuse"), 16),
+    ],
+    ids=["series-cli", "shift-fuse-clo", "ot8-shift-fuse"],
+)
+def test_instrumented_allocations_bounded_by_table1(benchmark, variant, n):
+    """Actual scratch allocations stay within ~2x of Table I's totals
+    (the vectorized realization batches rows/planes; it must not grow
+    the asymptotic footprint)."""
+    phi_g = random_initial_data((n + 4,) * 3, seed=3)
+
+    def run():
+        ex = make_executor(variant, dim=3, ncomp=5)
+        with track_allocations() as tracker:
+            ex.run_fresh(phi_g)
+        return tracker
+
+    tracker = benchmark(run)
+    peaks = tracker.peak_elements_by_tag()
+    table = table1_for_variant(variant, n, c=5, threads=1)
+    measured_flux = peaks.get("flux", 0) + peaks.get("flux_cache", 0)
+    measured_vel = peaks.get("velocity", 0)
+    if table.flux:
+        assert measured_flux <= 2.0 * max(table.flux, 1)
+    assert measured_vel <= 2.0 * max(table.velocity, 1)
+
+
+def test_overlapped_p_factor(benchmark):
+    """The P multiplier: per-thread tile scratch scales with threads."""
+
+    def sizes():
+        return [
+            table1_temporaries("overlapped", 128, tile=16, threads=p).total
+            for p in (1, 8, 24)
+        ]
+
+    s1, s8, s24 = benchmark(sizes)
+    assert s8 == 8 * s1 and s24 == 24 * s1

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures, prints
+it, saves it under ``benchmarks/results/``, and asserts the paper's
+qualitative shape (who wins, where curves flatten) — absolute times are
+a simulated machine's, not the authors' testbed's.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_result(results_dir):
+    """Persist a rendered table/series under benchmarks/results/."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text)
+        print()
+        print(text)
+
+    return _save

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""A real time-dependent PDE solve on the framework: linear advection.
+
+Solves  du/dt + v . grad(u) = 0  on a periodic structured grid using the
+same machinery the exemplar benchmark exercises: a DisjointBoxLayout, a
+ghosted LevelData with per-step exchange(), the 4th-order face
+interpolation (paper Eq. 6) to build face fluxes, and the conservative
+flux-difference update (Fig. 6 lines 17-19).  Forward-Euler in time with
+a CFL-limited step.
+
+This is the paper's §II in miniature — "any time-dependent PDE
+simulation code has the same basic structure: initialize, advance in
+time, shut down" — and demonstrates the substrate beyond the benchmark
+kernel.
+
+Run:  python examples/advection_solver.py
+"""
+
+import numpy as np
+
+from repro.box import Box, LevelData, ProblemDomain, decompose_domain
+from repro.exemplar import accumulate_divergence, eval_flux1
+
+GHOST = 2  # the 4th-order face interpolation needs two ghost cells
+
+
+def advect_step(u: LevelData, velocity: tuple, dt: float, dx: float) -> None:
+    """One conservative forward-Euler advection step (in place)."""
+    u.exchange()
+    increments = []
+    for i in u.layout:
+        box = u.layout.box(i)
+        phi_g = u[i].window(box.grow(GHOST))
+        dim = box.dim
+        delta = np.zeros(box.size() + (u.ncomp,), order="F")
+        for d in range(dim):
+            sl = tuple(
+                slice(None) if ax == d else slice(GHOST, -GHOST)
+                for ax in range(dim)
+            ) + (slice(None),)
+            face_u = eval_flux1(phi_g[sl], axis=d)
+            flux = (-velocity[d] * dt / dx) * face_u
+            accumulate_divergence(delta, flux, axis=d)
+        increments.append(delta)
+    for i in u.layout:
+        box = u.layout.box(i)
+        u[i].window(box)[...] += increments[i]
+
+
+def gaussian_blob(x, y, z, comp, n):
+    cx = cy = cz = n / 2.0
+    r2 = (x - cx) ** 2 + (y - cy) ** 2 + (z - cz) ** 2
+    return np.exp(-r2 / (2.0 * (n / 8.0) ** 2))
+
+
+def main() -> None:
+    n = 32
+    box_size = 16
+    velocity = (1.0, 0.5, 0.25)
+    dx = 1.0
+    cfl = 0.4
+    dt = cfl * dx / max(abs(v) for v in velocity)
+
+    domain = ProblemDomain(Box.cube(n, 3))
+    layout = decompose_domain(domain, box_size)
+    u = LevelData(layout, ncomp=1, ghost=GHOST)
+    u.fill_from_function(lambda x, y, z, c: gaussian_blob(x, y, z, c, n))
+
+    total0 = u.to_global_array().sum()
+    peak0 = u.to_global_array().max()
+    print(f"advecting a Gaussian blob on a {n}^3 periodic grid")
+    print(f"velocity={velocity}, dt={dt:.3f}, boxes={len(layout)}")
+    print(f"initial total mass {total0:.6f}, peak {peak0:.4f}\n")
+
+    steps = 40
+    for step in range(1, steps + 1):
+        advect_step(u, velocity, dt, dx)
+        if step % 10 == 0:
+            g = u.to_global_array()
+            drift = abs(g.sum() - total0)
+            print(
+                f"step {step:3d}: mass drift {drift:10.2e}  "
+                f"peak {g.max():.4f}  min {g.min():+.4f}"
+            )
+
+    g = u.to_global_array()
+    drift = abs(g.sum() - total0)
+    print(f"\nafter {steps} steps: conservation drift {drift:.2e} "
+          f"(machine precision: the finite-volume update telescopes)")
+    print(f"ghost exchanges: {u.stats.exchanges}, "
+          f"{u.stats.bytes / 1e6:.1f} MB moved")
+    assert drift < 1e-8 * abs(total0) + 1e-8
+    # The blob's centre of mass should have moved by v * t (mod n).
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

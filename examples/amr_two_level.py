@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Two-level refinement demo: the AMR substrate beneath the paper.
+
+Chombo is a Berger-Oliger AMR framework (§II); the benchmark lives on a
+single level, but the substrate here carries the AMR primitives too.
+This example builds a coarse level and a refined sub-level, transfers
+data both ways with the conservative operators, and verifies the
+composite bookkeeping: refinement calculus round-trips, restriction
+conserves, prolongation refines smooth data accurately.
+
+Run:  python examples/amr_two_level.py
+"""
+
+import numpy as np
+
+from repro.box import Box, LevelData, ProblemDomain, decompose_domain
+from repro.stencil import prolong_linear, restrict_average
+
+RATIO = 2
+
+
+def main() -> None:
+    # Coarse level: 16^3 periodic domain in 8^3 boxes.
+    coarse_domain = ProblemDomain(Box.cube(16, 3))
+    coarse_layout = decompose_domain(coarse_domain, 8)
+    coarse = LevelData(coarse_layout, ncomp=1, ghost=2)
+    coarse.fill_from_function(
+        lambda x, y, z, c: np.sin(0.4 * x) * np.cos(0.3 * y) + 0.1 * z
+    )
+
+    # A refined region covering the middle of the domain.
+    refined_region = Box.cube(8, 3, lo=4)
+    assert refined_region.coarsenable(RATIO)
+    fine_box = refined_region.refine(RATIO)
+    print(f"coarse domain {coarse_domain.box}, refined region {refined_region}")
+    print(f"fine patch {fine_box} ({fine_box.num_points()} cells)\n")
+
+    # Prolong coarse data onto the fine patch.
+    coarse_view = coarse.to_global_array()[
+        refined_region.slices_within(coarse_domain.box) + (0,)
+    ]
+    fine = prolong_linear(coarse_view, RATIO, dim=3)
+    assert fine.shape == fine_box.size()
+
+    # Fine-level "solve": sharpen the field with a local update.
+    fine_updated = fine + 0.01 * np.sin(np.arange(fine.shape[0]))[:, None, None]
+
+    # Restrict back and measure the conservative correction.
+    restricted = restrict_average(fine_updated, RATIO, dim=3)
+    correction = restricted - coarse_view
+    print(f"prolong/restrict identity error (before update): "
+          f"{np.abs(restrict_average(fine, RATIO, dim=3) - coarse_view).max():.2e}")
+    print(f"coarse correction after fine update: max {np.abs(correction).max():.4f}")
+
+    # Conservation audit: total fine mass / ratio^3 == restricted mass.
+    assert np.isclose(
+        fine_updated.sum() / RATIO**3, restricted.sum(), rtol=1e-12
+    )
+    print("conservation across levels holds to machine precision.")
+
+    # Apply the correction to the coarse level in place.
+    for i in coarse_layout:
+        box = coarse_layout.box(i)
+        overlap = box.intersect(refined_region)
+        if overlap.is_empty:
+            continue
+        view = coarse[i].window(overlap, comp=0)
+        view[...] = restricted[
+            overlap.slices_within(refined_region)
+        ]
+    print("coarse level synchronized with the refined patch.")
+
+
+if __name__ == "__main__":
+    main()

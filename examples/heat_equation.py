@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Heat equation on the framework via the stencil algebra layer.
+
+Solves du/dt = alpha * laplacian(u) on a periodic grid with explicit
+Euler, using `repro.stencil.laplacian_stencil` applied through the box
+calculus (no hand-written index arithmetic) and per-step ghost
+exchange.  Verifies decay of a Fourier mode against the exact rate —
+the classic discretization sanity check, here exercising the substrate
+the same way a production PDE framework user would.
+
+Run:  python examples/heat_equation.py
+"""
+
+import numpy as np
+
+from repro.box import Box, LevelData, ProblemDomain, decompose_domain
+from repro.stencil import laplacian_stencil
+
+
+def main() -> None:
+    n, box_size = 32, 16
+    alpha, dx = 1.0, 1.0
+    dt = 0.1 * dx * dx / (2 * 3 * alpha)  # well inside stability
+    steps = 200
+    lap = laplacian_stencil(dim=3, dx=dx)
+
+    domain = ProblemDomain(Box.cube(n, 3))
+    layout = decompose_domain(domain, box_size)
+    u = LevelData(layout, ncomp=1, ghost=lap.ghost_width())
+
+    # Initialize with a single Fourier mode: u = sin(2*pi*x/n).
+    k = 2.0 * np.pi / n
+    u.fill_from_function(lambda x, y, z, c: np.sin(k * x) + 0 * y + 0 * z)
+
+    # The discrete Laplacian's eigenvalue for this mode.
+    lam = -alpha * (2.0 - 2.0 * np.cos(k)) / dx**2
+    growth = 1.0 + dt * lam
+
+    amp0 = u.norm(0)
+    print(f"heat equation on {n}^3, {len(layout)} boxes, dt={dt:.4f}")
+    print(f"mode amplitude decay factor per step (exact): {growth:.8f}\n")
+
+    for step in range(1, steps + 1):
+        u.exchange()
+        for i in layout:
+            box = layout.box(i)
+            fab = u[i]
+            delta = lap.apply(
+                fab.window(box.grow(lap.ghost_width()), comp=0),
+                box.grow(lap.ghost_width()),
+                box,
+            )
+            fab.window(box, comp=0)[...] += alpha * dt * delta
+        if step % 50 == 0:
+            amp = u.norm(0)
+            exact = amp0 * growth**step
+            err = abs(amp - exact) / exact
+            print(f"step {step:4d}: amplitude {amp:.6f} "
+                  f"(exact {exact:.6f}, rel err {err:.2e})")
+
+    final_err = abs(u.norm(0) - amp0 * growth**steps) / (amp0 * growth**steps)
+    assert final_err < 1e-10, "discrete decay rate must match exactly"
+    print("\nmode decays at exactly the discrete rate: substrate verified.")
+
+
+if __name__ == "__main__":
+    main()

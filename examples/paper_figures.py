@@ -1,0 +1,17 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Thin wrapper over the bench harness (`python -m repro.bench` does the
+same); kept as an example because it is the natural first thing a
+reader of EXPERIMENTS.md wants to execute.
+
+Run:  python examples/paper_figures.py            # all experiments
+      python examples/paper_figures.py fig10      # one experiment
+"""
+
+import sys
+
+from repro.bench.__main__ import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

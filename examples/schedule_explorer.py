@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Schedule auto-explorer: rank every practical variant for a machine.
+
+The paper concludes that "it would be beneficial to determine ways to
+automate the automatic implementation, selection, and tuning of such
+inter-loop program optimizations".  This example is that selector: given
+a machine and a box size, it evaluates all ~30 practical variants on
+the machine model and prints the ranking, with the analytic reasons
+(temporary footprint, traffic, available parallelism) alongside.
+
+Run:  python examples/schedule_explorer.py [machine] [box_size]
+      machine in {magny_cours, ivy_bridge, sandy_bridge, ivy_desktop}
+"""
+
+import sys
+
+from repro.analysis import (
+    parallel_efficiency_bound,
+    table1_for_variant,
+    variant_traffic,
+)
+from repro.bench import format_table, time_variant
+from repro.machine import machine_by_name
+from repro.schedules import practical_variants
+
+
+def explore(machine_name: str = "magny_cours", box_size: int = 128) -> None:
+    machine = machine_by_name(machine_name)
+    threads = machine.cores
+    print(f"machine: {machine}")
+    print(f"box size: {box_size}^3, threads: {threads}\n")
+
+    rows = []
+    cache = machine.cache_per_thread_bytes(threads)
+    num_boxes = 50_331_648 // box_size**3
+    for v in practical_variants():
+        if not v.applicable_to_box(box_size):
+            continue
+        result = time_variant(v, machine, threads, box_size)
+        temps = table1_for_variant(v, box_size, threads=1)
+        traffic = variant_traffic(v, box_size).dram_bytes(cache)
+        rows.append(
+            {
+                "variant": v.label,
+                "time_s": result.time_s,
+                "GB/s": result.bandwidth_gbs,
+                "temp_MB": temps.bytes() / 2**20,
+                "traffic_MB/box": traffic / 2**20,
+                "par_eff": parallel_efficiency_bound(
+                    v, box_size, num_boxes, threads
+                ),
+            }
+        )
+    rows.sort(key=lambda r: r["time_s"])
+    print(
+        format_table(
+            f"All practical schedules ranked on {machine.name} "
+            f"(N={box_size}, {threads} threads)",
+            rows,
+        )
+    )
+    best, worst = rows[0], rows[-1]
+    print(
+        f"best:  {best['variant']}  ({best['time_s']:.3f} s)\n"
+        f"worst: {worst['variant']}  ({worst['time_s']:.3f} s)\n"
+        f"spread: {worst['time_s'] / best['time_s']:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "magny_cours"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 128
+    explore(name, n)

@@ -1,0 +1,46 @@
+"""repro: reproduction of Olschanowsky et al., SC 2014.
+
+"A Study on Balancing Parallelism, Data Locality, and Recomputation in
+Existing PDE Solvers" studies on-node parallel scaling of a Chombo-style
+CFD flux kernel under ~30 inter-loop scheduling variants.  This package
+provides:
+
+* ``repro.box`` — a mini-Chombo structured-grid substrate,
+* ``repro.stencil`` — stencil algebra over box data,
+* ``repro.exemplar`` — the paper's finite-volume benchmark kernel (§III),
+* ``repro.schedules`` — the inter-loop scheduling variants (§IV),
+* ``repro.analysis`` — analytic models (Table I, Fig. 1, traffic, parallelism),
+* ``repro.machine`` — simulated multicore machines reproducing §VI,
+* ``repro.parallel`` — real thread-pool execution of schedules,
+* ``repro.bench`` — the experiment harness regenerating every figure/table.
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: E402,F401  (re-exported subpackages)
+    analysis,
+    bench,
+    box,
+    exemplar,
+    machine,
+    parallel,
+    schedules,
+    solver,
+    stencil,
+    tuning,
+    util,
+)
+
+__all__ = [
+    "analysis",
+    "bench",
+    "box",
+    "exemplar",
+    "machine",
+    "parallel",
+    "schedules",
+    "solver",
+    "stencil",
+    "tuning",
+    "util",
+]

@@ -1,0 +1,76 @@
+"""Analytic models of the schedules: storage, flops, traffic, parallelism.
+
+Reproduces Table I (temporary storage), Fig. 1 (ghost-cell ratio), and
+provides the per-variant cost vectors the machine model consumes.
+"""
+
+from .flops import (
+    FlopCount,
+    box_flops,
+    overlapped_box_flops,
+    region_flops,
+    variant_box_flops,
+)
+from .ghost import (
+    ghost_ratio,
+    ghost_ratio_series,
+    measured_ghost_ratio,
+    min_box_size_for_ratio,
+)
+from .locality import (
+    DOUBLE,
+    box_footprint_bytes,
+    cells_of,
+    faces_of,
+    fits_in_cache,
+    ghosted_cells_of,
+    scratch_bytes,
+    stencil_window_bytes,
+    total_faces_of,
+)
+from .parallelism import (
+    level_parallelism,
+    parallel_efficiency_bound,
+    tasks_per_box,
+    wavefront_efficiency,
+)
+from .temporary import (
+    TemporarySizes,
+    table1_for_variant,
+    table1_rows,
+    table1_temporaries,
+)
+from .traffic import ReuseStream, TrafficModel, miss_fraction, variant_traffic
+
+__all__ = [
+    "DOUBLE",
+    "FlopCount",
+    "ReuseStream",
+    "TemporarySizes",
+    "TrafficModel",
+    "box_flops",
+    "box_footprint_bytes",
+    "cells_of",
+    "faces_of",
+    "fits_in_cache",
+    "ghost_ratio",
+    "ghost_ratio_series",
+    "ghosted_cells_of",
+    "level_parallelism",
+    "measured_ghost_ratio",
+    "min_box_size_for_ratio",
+    "miss_fraction",
+    "overlapped_box_flops",
+    "parallel_efficiency_bound",
+    "region_flops",
+    "scratch_bytes",
+    "stencil_window_bytes",
+    "table1_for_variant",
+    "table1_rows",
+    "table1_temporaries",
+    "tasks_per_box",
+    "total_faces_of",
+    "variant_box_flops",
+    "variant_traffic",
+    "wavefront_efficiency",
+]

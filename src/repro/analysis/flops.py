@@ -1,0 +1,96 @@
+"""Exact floating-point operation counts for the exemplar kernel.
+
+All schedules perform the same arithmetic except overlapped tiles,
+which recompute the fluxes on interior tile boundaries.  Counts are
+exact given the geometry (boxes need not be cubes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..exemplar.flux import (
+    FLOPS_ACCUM_PER_CELL,
+    FLOPS_FLUX1_PER_FACE,
+    FLOPS_FLUX2_PER_FACE,
+)
+from ..schedules.base import Variant
+from ..schedules.tiling import TileGrid
+from ..box.box import Box
+
+__all__ = [
+    "FlopCount",
+    "box_flops",
+    "region_flops",
+    "overlapped_box_flops",
+    "variant_box_flops",
+]
+
+
+@dataclass(frozen=True)
+class FlopCount:
+    """Flop breakdown by kernel stage."""
+
+    flux1: int
+    flux2: int
+    accumulate: int
+
+    @property
+    def total(self) -> int:
+        return self.flux1 + self.flux2 + self.accumulate
+
+
+def region_flops(shape: Sequence[int], ncomp: int) -> FlopCount:
+    """Flops to apply the kernel to a region computing all its own faces.
+
+    ``shape`` is the cell extent per direction; each direction ``d``
+    evaluates ``(shape[d]+1) * prod(other dims)`` faces.
+    """
+    shape = tuple(int(s) for s in shape)
+    dim = len(shape)
+    cells = 1
+    for s in shape:
+        cells *= s
+    faces_total = 0
+    for d in range(dim):
+        transverse = cells // shape[d]
+        faces_total += (shape[d] + 1) * transverse
+    return FlopCount(
+        flux1=FLOPS_FLUX1_PER_FACE * faces_total * ncomp,
+        flux2=FLOPS_FLUX2_PER_FACE * faces_total * ncomp,
+        accumulate=FLOPS_ACCUM_PER_CELL * cells * ncomp * dim,
+    )
+
+
+def box_flops(n: int | Sequence[int], ncomp: int = 5, dim: int = 3) -> FlopCount:
+    """Flops for one box under any non-redundant schedule."""
+    shape = (n,) * dim if isinstance(n, int) else tuple(n)
+    return region_flops(shape, ncomp)
+
+
+def overlapped_box_flops(
+    n: int, tile: int, ncomp: int = 5, dim: int = 3
+) -> FlopCount:
+    """Flops for one box under overlapped tiling (with redundancy).
+
+    Every tile computes all the faces its cells need, so faces on
+    interior tile boundaries are evaluated twice.
+    """
+    grid = TileGrid(Box.cube(n, dim), tile)
+    flux1 = flux2 = accumulate = 0
+    for tb in grid:
+        f = region_flops(tb.size(), ncomp)
+        flux1 += f.flux1
+        flux2 += f.flux2
+        accumulate += f.accumulate
+    return FlopCount(flux1=flux1, flux2=flux2, accumulate=accumulate)
+
+
+def variant_box_flops(
+    variant: Variant, n: int, ncomp: int = 5, dim: int = 3
+) -> FlopCount:
+    """Flops for one N^dim box under ``variant``."""
+    if variant.category == "overlapped":
+        return overlapped_box_flops(n, variant.tile_size, ncomp=ncomp, dim=dim)
+    return box_flops(n, ncomp=ncomp, dim=dim)

@@ -1,0 +1,64 @@
+"""Ghost-cell overhead model (paper Fig. 1 and §I).
+
+The ratio of total (physical + ghost) cells to physical cells for a
+``D``-dimensional box of ``N`` cells per side with ``nghost`` ghost
+layers is ``(1 + 2*nghost/N)**D``.  A ratio of 2.0 means an exchange
+moves as much data as the physical solution itself — the paper's
+motivation for pushing the box size toward 128.
+"""
+
+from __future__ import annotations
+
+from ..box.box import Box
+from ..box.copier import ExchangeCopier
+from ..box.layout import DisjointBoxLayout
+
+__all__ = [
+    "ghost_ratio",
+    "ghost_ratio_series",
+    "min_box_size_for_ratio",
+    "measured_ghost_ratio",
+]
+
+
+def ghost_ratio(n: int, dim: int = 3, nghost: int = 2) -> float:
+    """Total cells / physical cells for one box (Fig. 1's formula)."""
+    if n <= 0:
+        raise ValueError(f"box size must be positive, got {n}")
+    if nghost < 0:
+        raise ValueError(f"ghost width must be >= 0, got {nghost}")
+    return (1.0 + 2.0 * nghost / n) ** dim
+
+
+def ghost_ratio_series(
+    box_sizes, dim: int = 3, nghost: int = 2
+) -> list[tuple[int, float]]:
+    """The (box size, ratio) series of one Fig. 1 line."""
+    return [(int(n), ghost_ratio(int(n), dim, nghost)) for n in box_sizes]
+
+
+def min_box_size_for_ratio(
+    target: float, dim: int = 3, nghost: int = 2, max_n: int = 4096
+) -> int:
+    """Smallest box size whose ratio is below ``target``.
+
+    Fig. 1 discussion: with five ghosts in 3D, a box size of 64 is
+    needed to get the ratio below 2.0.
+    """
+    if target <= 1.0:
+        raise ValueError("ratio is always > 1 for nghost > 0")
+    for n in range(1, max_n + 1):
+        if ghost_ratio(n, dim, nghost) < target:
+            return n
+    raise ValueError(f"no box size up to {max_n} achieves ratio < {target}")
+
+
+def measured_ghost_ratio(layout: DisjointBoxLayout, nghost: int) -> float:
+    """Ghost ratio measured from an actual exchange plan.
+
+    Equals the analytic :func:`ghost_ratio` for uniform cube layouts on
+    periodic domains (every ghost cell is filled exactly once).
+    """
+    copier = ExchangeCopier(layout, nghost)
+    physical = layout.total_cells()
+    return (physical + copier.total_ghost_points()) / physical

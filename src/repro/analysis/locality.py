@@ -1,0 +1,149 @@
+"""Working-set and reuse-window sizes for each schedule (paper §IV).
+
+The qualitative claims of §IV ("for large problem sizes, the input and
+temporary data fall out of cache before reuse") become quantitative
+here: every reuse opportunity in a schedule has a *window* — the bytes
+touched between two uses of the same datum — and the reuse hits in
+cache iff the window fits.  The traffic model pairs each re-access
+stream with its window; the machine model supplies the per-thread cache
+capacity.
+
+Windows in the exemplar (data layout ``[x,y,z,c]``, x unit-stride):
+
+* **x-stencil window** — the 4-point interpolation along x rereads data
+  at register/L1 distance; never a realistic miss source.
+* **y-stencil window** — rereads a row 4 times at a spacing of one row:
+  ``4·(nx+4)`` elements per component.
+* **z-stencil window** — rereads a plane 4 times at a spacing of one
+  plane: ``4·(nx+4)(ny+4)`` elements per component.  For N = 128 this
+  is ~0.6 MB/component — with the component-loop *inside* all C
+  components stream together and the window is ~2.9 MB, past the
+  per-thread share of L3 once several threads run per socket.
+* **box footprint** — everything a schedule touches on one box; the
+  window for cross-pass reuse (baseline rereads phi0 once per
+  direction; fused schedules reread the precomputed velocities).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..schedules.base import Variant
+from ..stencil.operators import FACE_INTERP_GHOST
+
+__all__ = [
+    "DOUBLE",
+    "cells_of",
+    "ghosted_cells_of",
+    "faces_of",
+    "total_faces_of",
+    "stencil_window_bytes",
+    "scratch_bytes",
+    "box_footprint_bytes",
+    "fits_in_cache",
+]
+
+DOUBLE = 8
+_G = FACE_INTERP_GHOST
+
+
+def cells_of(shape: Sequence[int]) -> int:
+    """Cells in a region."""
+    n = 1
+    for s in shape:
+        n *= int(s)
+    return n
+
+
+def ghosted_cells_of(shape: Sequence[int]) -> int:
+    """Cells including the kernel's 2-wide ghost ring."""
+    n = 1
+    for s in shape:
+        n *= int(s) + 2 * _G
+    return n
+
+
+def faces_of(shape: Sequence[int], d: int) -> int:
+    """Faces normal to direction ``d`` of a region."""
+    n = 1
+    for ax, s in enumerate(shape):
+        n *= int(s) + 1 if ax == d else int(s)
+    return n
+
+
+def total_faces_of(shape: Sequence[int]) -> int:
+    """Faces over all directions."""
+    return sum(faces_of(shape, d) for d in range(len(shape)))
+
+
+def stencil_window_bytes(shape: Sequence[int], d: int, comps_in_flight: int) -> int:
+    """Reuse window of the 4-point stencil along direction ``d``.
+
+    The distance between the first and last touch of an element is three
+    ``d``-pencils/planes of the ghosted region below axis ``d`` (x is
+    unit stride).  ``comps_in_flight`` is C for CLI (all components
+    stream together), 1 for CLO.
+    """
+    below = 1
+    for ax in range(d):
+        below *= int(shape[ax]) + 2 * _G
+    return 4 * below * comps_in_flight * DOUBLE
+
+
+def scratch_bytes(variant: Variant, shape: Sequence[int], ncomp: int) -> int:
+    """Live scratch while processing one region under ``variant``.
+
+    Series: the full C-component face array (plus the CLI velocity).
+    Shift-fuse: three velocity face arrays plus the rolling flux caches.
+    Tiled categories: per-tile scratch of the intra-tile schedule plus,
+    for blocked wavefront, the frontier flux-cache planes.
+    """
+    dim = len(shape)
+    c = ncomp
+    fmax = max(faces_of(shape, d) for d in range(dim))
+    if variant.category == "series":
+        vel = fmax if variant.component_loop == "CLI" else 0
+        return (c * fmax + vel) * DOUBLE
+    if variant.category == "shift_fuse":
+        vel = sum(faces_of(shape, d) for d in range(dim))
+        # Rolling caches: a plane + a row (+2 scalars), per comp in flight.
+        cif = c if variant.component_loop == "CLI" else 1
+        plane = cells_of(shape) // int(shape[-1]) if dim >= 2 else 1
+        row = int(shape[0])
+        caches = 2 * (plane + row + 1) * cif
+        return (vel + caches) * DOUBLE
+    if variant.category == "blocked_wavefront":
+        vel = sum(faces_of(shape, d) for d in range(dim))
+        cif = c if variant.component_loop == "CLI" else 1
+        plane = cells_of(shape) // int(shape[-1]) if dim >= 2 else 1
+        frontier = 2 * dim * plane * cif
+        t = variant.tile_size
+        tile_flux = (c + 1) * (t + 1) * t ** (dim - 1)
+        return (vel + frontier + tile_flux) * DOUBLE
+    if variant.category == "overlapped":
+        t = variant.tile_size
+        tshape = (t,) * dim
+        tfmax = max(faces_of(tshape, d) for d in range(dim))
+        if variant.intra_tile in ("shift_fuse", "wavefront"):
+            vel = sum(faces_of(tshape, d) for d in range(dim))
+            plane = t ** (dim - 1)
+            cif = c if variant.component_loop == "CLI" else 1
+            frontier = (
+                2 * dim * plane * cif if variant.intra_tile == "wavefront" else 0
+            )
+            return (vel + 2 * plane * cif + frontier) * DOUBLE
+        velcli = tfmax if variant.component_loop == "CLI" else 0
+        return (c * tfmax + velcli) * DOUBLE
+    raise ValueError(f"unknown category {variant.category!r}")
+
+
+def box_footprint_bytes(variant: Variant, shape: Sequence[int], ncomp: int) -> int:
+    """Everything touched processing one box: state + scratch."""
+    c = ncomp
+    state = (c * ghosted_cells_of(shape) + 2 * c * cells_of(shape)) * DOUBLE
+    return state + scratch_bytes(variant, shape, ncomp)
+
+
+def fits_in_cache(working_set: int, cache_bytes: float) -> bool:
+    """Whether a working set is fully cache-resident."""
+    return working_set <= cache_bytes

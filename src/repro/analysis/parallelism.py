@@ -1,0 +1,88 @@
+"""Available parallelism per schedule (paper §IV and §VI discussion).
+
+Two effects dominate the figures:
+
+* ``P>=Box`` needs at least one box per thread — N=128 leaves only 24
+  boxes, and N=16 with within-box tiling leaves one tile's worth of
+  work per box (Fig. 9's crossover);
+* wavefront schedules idle cores during the fill/drain ramp: the first
+  and last wavefronts hold few tiles (the offset of the Blocked WF
+  lines in Figs. 10-12).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..box.box import Box
+from ..schedules.base import Variant
+from ..schedules.tiling import TileGrid
+
+__all__ = [
+    "tasks_per_box",
+    "level_parallelism",
+    "wavefront_efficiency",
+    "parallel_efficiency_bound",
+]
+
+
+def tasks_per_box(variant: Variant, n: int, dim: int = 3) -> int:
+    """Independent-or-pipelined work units inside one N^dim box."""
+    if variant.granularity == "P>=Box":
+        return 1
+    if variant.category == "series":
+        return n  # z-slices
+    if variant.category == "shift_fuse":
+        return n  # wavefront of fused plane iterations
+    grid = TileGrid(Box.cube(n, dim), variant.tile_size)
+    return len(grid)
+
+
+def level_parallelism(variant: Variant, n: int, num_boxes: int, dim: int = 3) -> int:
+    """Peak concurrent work units for a whole level.
+
+    ``P>=Box`` runs boxes concurrently; ``P<Box`` runs the units of one
+    box at a time (boxes are iterated serially, as in the paper's second
+    parallelization approach).
+    """
+    if variant.granularity == "P>=Box":
+        return num_boxes
+    if variant.category == "blocked_wavefront":
+        grid = TileGrid(Box.cube(n, dim), variant.tile_size)
+        return max(grid.wavefront_sizes())
+    return tasks_per_box(variant, n, dim)
+
+
+def wavefront_efficiency(n: int, tile: int, threads: int, dim: int = 3) -> float:
+    """Ideal efficiency of a blocked wavefront on P threads.
+
+    Each wavefront w holds ``s_w`` tiles and takes ``ceil(s_w / P)``
+    tile-steps; efficiency is total tiles over P times the step count.
+    This is the §VI-B "warm-up period" penalty in closed form.
+    """
+    grid = TileGrid(Box.cube(n, dim), tile)
+    sizes = grid.wavefront_sizes()
+    steps = sum(math.ceil(s / threads) for s in sizes)
+    total = sum(sizes)
+    return total / (threads * steps)
+
+
+def parallel_efficiency_bound(
+    variant: Variant, n: int, num_boxes: int, threads: int, dim: int = 3
+) -> float:
+    """Upper bound on parallel efficiency from work-unit counts alone.
+
+    Captures the Fig. 9 effect: with fewer units than threads the
+    efficiency cannot exceed units/threads; with a non-divisible count
+    the last round runs partially occupied.
+    """
+    if variant.granularity == "P>=Box":
+        units = num_boxes
+        rounds = math.ceil(units / threads)
+        return units / (threads * rounds)
+    if variant.category == "blocked_wavefront":
+        return wavefront_efficiency(n, variant.tile_size, threads, dim)
+    units = tasks_per_box(variant, n, dim)
+    rounds = math.ceil(units / threads)
+    return units / (threads * rounds)

@@ -1,0 +1,96 @@
+"""Temporary-storage formulas (paper Table I).
+
+Elements of flux and velocity temporary data per schedule category::
+
+    Series of loops                  Flux: C(N+1)^3        Velocity: (N+1)^3
+    Loops shifted and fused          Flux: 2 + 2N + 2N^2   Velocity: 3(N+1)^3
+    Loops shifted, fused, tiled      Flux: 2(3CN^2)        Velocity: 3(N+1)^3
+    Shifted, fused, overlapping      Flux: PC(2+2T+2T^2)   Velocity: PC·3(T+1)^3
+
+where N is the box edge, T the tile edge, C the component count, and P
+the thread count (overlapped tiles keep per-thread tile scratch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..schedules.base import Variant
+
+__all__ = ["TemporarySizes", "table1_temporaries", "table1_rows"]
+
+
+@dataclass(frozen=True)
+class TemporarySizes:
+    """Flux and velocity temporary element counts for one schedule."""
+
+    flux: int
+    velocity: int
+
+    @property
+    def total(self) -> int:
+        return self.flux + self.velocity
+
+    def bytes(self, itemsize: int = 8) -> int:
+        return self.total * itemsize
+
+
+def table1_temporaries(
+    category: str,
+    n: int,
+    c: int = 5,
+    tile: int | None = None,
+    threads: int = 1,
+) -> TemporarySizes:
+    """Table I's formulas, exactly as printed.
+
+    ``threads`` matters only for the overlapped row (the P factor).
+    """
+    if category == "series":
+        return TemporarySizes(flux=c * (n + 1) ** 3, velocity=(n + 1) ** 3)
+    if category == "shift_fuse":
+        return TemporarySizes(
+            flux=2 + 2 * n + 2 * n * n, velocity=3 * (n + 1) ** 3
+        )
+    if category == "blocked_wavefront":
+        if tile is None:
+            raise ValueError("tiled schedule needs a tile size")
+        return TemporarySizes(flux=2 * (3 * c * n * n), velocity=3 * (n + 1) ** 3)
+    if category == "overlapped":
+        if tile is None:
+            raise ValueError("overlapped schedule needs a tile size")
+        t, p = tile, threads
+        return TemporarySizes(
+            flux=p * c * (2 + 2 * t + 2 * t * t),
+            velocity=p * c * 3 * (t + 1) ** 3,
+        )
+    raise ValueError(f"unknown category {category!r}")
+
+
+def table1_for_variant(variant: Variant, n: int, c: int = 5, threads: int = 1) -> TemporarySizes:
+    """Table I numbers for a concrete variant descriptor."""
+    return table1_temporaries(
+        variant.category, n, c=c, tile=variant.tile_size, threads=threads
+    )
+
+
+def table1_rows(n: int, c: int = 5, tile: int = 16, threads: int = 1) -> list[dict]:
+    """All four Table I rows for one (N, T, C, P) configuration."""
+    rows = []
+    for category, label in (
+        ("series", "Series of Loops"),
+        ("shift_fuse", "Loops shifted and fused"),
+        ("blocked_wavefront", "Loops shifted, fused, tiled"),
+        ("overlapped", "Shifted, fused, overlapping tiles"),
+    ):
+        t = table1_temporaries(category, n, c=c, tile=tile, threads=threads)
+        rows.append(
+            {
+                "schedule": label,
+                "category": category,
+                "flux": t.flux,
+                "velocity": t.velocity,
+                "total_mb": t.bytes() / 2**20,
+            }
+        )
+    return rows

@@ -1,0 +1,40 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from .experiments import (
+    FIG2_TO_4,
+    FIG10_TO_12,
+    SeriesData,
+    desktop_bandwidth_probes,
+    fig1_ghost_ratio,
+    fig9_best_by_box_size,
+    scaling_figure,
+    schedule_figure,
+    table1,
+)
+from .report import ascii_plot, format_series, format_speedup_summary, format_table
+from .runner import (
+    best_configuration,
+    machine_thread_points,
+    thread_sweep,
+    time_variant,
+)
+
+__all__ = [
+    "FIG10_TO_12",
+    "ascii_plot",
+    "FIG2_TO_4",
+    "SeriesData",
+    "best_configuration",
+    "desktop_bandwidth_probes",
+    "fig1_ghost_ratio",
+    "fig9_best_by_box_size",
+    "format_series",
+    "format_speedup_summary",
+    "format_table",
+    "machine_thread_points",
+    "scaling_figure",
+    "schedule_figure",
+    "table1",
+    "thread_sweep",
+    "time_variant",
+]

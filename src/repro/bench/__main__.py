@@ -1,0 +1,89 @@
+"""CLI: regenerate the paper's tables and figures from the command line.
+
+Usage::
+
+    python -m repro.bench            # everything
+    python -m repro.bench fig1 fig10 table1 bandwidth fig9 fig2 ...
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import (
+    desktop_bandwidth_probes,
+    fig1_ghost_ratio,
+    fig9_best_by_box_size,
+    scaling_figure,
+    schedule_figure,
+    table1,
+)
+from .report import ascii_plot, format_series, format_table
+
+__all__ = ["main"]
+
+
+def _run(name: str) -> str:
+    if name == "fig1":
+        return format_series(fig1_ghost_ratio())
+    if name in ("fig2", "fig3", "fig4"):
+        d = scaling_figure(name)
+        return format_series(d) + ascii_plot(d)
+    if name == "table1":
+        return format_table("Table I (N=128, T=16, C=5, P=1)", table1())
+    if name == "fig9":
+        return format_series(fig9_best_by_box_size())
+    if name in ("fig10", "fig11", "fig12"):
+        d = schedule_figure(name)
+        return format_series(d) + ascii_plot(d)
+    if name == "bandwidth":
+        return format_table(
+            "SVI-B desktop bandwidth probes (GB/s)", desktop_bandwidth_probes()
+        )
+    if name == "profile":
+        return _bandwidth_profile_report()
+    raise SystemExit(
+        f"unknown experiment {name!r}; choose from fig1 fig2 fig3 fig4 "
+        f"table1 fig9 fig10 fig11 fig12 bandwidth profile"
+    )
+
+
+def _bandwidth_profile_report() -> str:
+    """§VI-B style VTune profile of baseline vs shift-fuse on the desktop."""
+    from ..machine import IVY_DESKTOP, build_workload
+    from ..machine.counters import profile_workload
+    from ..schedules import Variant
+
+    out = ["SVI-B: single-thread bandwidth profiles, Ivy Bridge desktop, N=128", ""]
+    for label, variant in (
+        ("baseline", Variant("series", "P>=Box", "CLO")),
+        ("shift-fuse", Variant("shift_fuse", "P>=Box", "CLO")),
+    ):
+        profile = profile_workload(build_workload(variant, 128), IVY_DESKTOP, 1)
+        out.append(
+            f"{label}: mean {profile.mean_gbs():.1f} GB/s, "
+            f"peak sustained {profile.peak_sustained_gbs():.1f} GB/s"
+        )
+        for s in profile.stretches(tolerance_gbs=0.5)[:6]:
+            out.append(
+                f"  [{s.start_s:7.3f}s +{s.duration_s:6.3f}s] {s.gbs:6.2f} GB/s"
+            )
+    out.append("")
+    return "\n".join(out)
+
+
+ALL = (
+    "fig1", "fig2", "fig3", "fig4", "table1",
+    "fig9", "fig10", "fig11", "fig12", "bandwidth", "profile",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    names = (argv if argv is not None else sys.argv[1:]) or list(ALL)
+    for name in names:
+        print(_run(name))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,196 @@
+"""Experiment definitions: one function per paper table/figure.
+
+Each function returns plain data (dicts of labelled series) so the
+benchmark harness can print it and tests can assert the paper's
+qualitative shape against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..analysis.ghost import ghost_ratio_series
+from ..analysis.temporary import table1_rows
+from ..exemplar.problem import PAPER_BOX_SIZES, PAPER_DOMAIN_CELLS
+from ..machine.spec import (
+    IVY_BRIDGE,
+    IVY_DESKTOP,
+    MAGNY_COURS,
+    SANDY_BRIDGE,
+    MachineSpec,
+)
+from ..schedules.base import Variant
+from ..schedules.variants import figure_variants
+from .runner import best_configuration, machine_thread_points, thread_sweep, time_variant
+
+__all__ = [
+    "SeriesData",
+    "fig1_ghost_ratio",
+    "scaling_figure",
+    "FIG2_TO_4",
+    "table1",
+    "fig9_best_by_box_size",
+    "schedule_figure",
+    "FIG10_TO_12",
+    "desktop_bandwidth_probes",
+]
+
+
+@dataclass
+class SeriesData:
+    """Labelled (x, y) series sharing one x-axis — one figure's lines."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    x: list = field(default_factory=list)
+    lines: dict = field(default_factory=dict)
+
+    def add_line(self, label: str, ys: Sequence[float]) -> None:
+        if len(ys) != len(self.x):
+            raise ValueError("series length must match the x axis")
+        self.lines[label] = list(ys)
+
+
+# ---------------------------------------------------------------- Fig. 1
+def fig1_ghost_ratio(box_sizes: Sequence[int] = (16, 32, 64, 128)) -> SeriesData:
+    """Fig. 1: total/physical cell ratio vs box size, four (D, ghost) lines."""
+    data = SeriesData(
+        title="Fig. 1: Ratio of total cells to physical cells",
+        xlabel="Box size",
+        ylabel="ratio",
+        x=list(box_sizes),
+    )
+    for dim, ghost in ((3, 2), (3, 5), (4, 2), (4, 5)):
+        series = ghost_ratio_series(box_sizes, dim=dim, nghost=ghost)
+        data.add_line(f"{dim}D, {ghost} ghost", [r for _, r in series])
+    return data
+
+
+# ------------------------------------------------------------ Figs. 2-4
+#: Figure id -> (machine, the best overlapped-tiling line of that figure).
+FIG2_TO_4: dict[str, tuple[MachineSpec, Variant, str]] = {
+    "fig2": (
+        MAGNY_COURS,
+        Variant("overlapped", "P>=Box", "CLO", tile_size=16, intra_tile="shift_fuse"),
+        "Shift-Fuse OT-16: P>=Box, N=128",
+    ),
+    "fig3": (
+        IVY_BRIDGE,
+        Variant("overlapped", "P<Box", "CLO", tile_size=8, intra_tile="shift_fuse"),
+        "Shift-Fuse OT-8: P<Box, N=128",
+    ),
+    "fig4": (
+        SANDY_BRIDGE,
+        Variant("overlapped", "P<Box", "CLO", tile_size=16, intra_tile="shift_fuse"),
+        "Shift-Fuse OT-16: P<Box, N=128",
+    ),
+}
+
+
+def scaling_figure(figure: str) -> SeriesData:
+    """Figs. 2-4: baseline/shift-fuse at N=16 and N=128 vs thread count."""
+    machine, ot_variant, ot_label = FIG2_TO_4[figure]
+    threads = machine_thread_points(machine)
+    data = SeriesData(
+        title=f"{figure}: Performance on {machine.name} (execution time, s)",
+        xlabel="Thread count",
+        ylabel="time (s)",
+        x=threads,
+    )
+    lines = [
+        ("Baseline: P>=Box, N=16", Variant("series", "P>=Box", "CLO"), 16),
+        ("Shift-Fuse: P>=Box, N=16", Variant("shift_fuse", "P>=Box", "CLO"), 16),
+        ("Baseline: P>=Box, N=128", Variant("series", "P>=Box", "CLO"), 128),
+        (ot_label, ot_variant, 128),
+    ]
+    for label, variant, n in lines:
+        results = thread_sweep(variant, machine, threads, n)
+        data.add_line(label, [r.time_s for r in results])
+    return data
+
+
+# ------------------------------------------------------------- Table I
+def table1(n: int = 128, tile: int = 16, threads: int = 1) -> list[dict]:
+    """Table I rows for one configuration."""
+    return table1_rows(n, c=5, tile=tile, threads=threads)
+
+
+# -------------------------------------------------------------- Fig. 9
+def fig9_best_by_box_size(
+    machines: Sequence[MachineSpec] = (MAGNY_COURS, IVY_BRIDGE),
+    box_sizes: Sequence[int] = PAPER_BOX_SIZES,
+) -> SeriesData:
+    """Fig. 9: fastest time over all configurations per box size,
+    split by parallelization granularity, at the full core count."""
+    data = SeriesData(
+        title="Fig. 9: Best performance with box size",
+        xlabel="Box size",
+        ylabel="time (s)",
+        x=list(box_sizes),
+    )
+    for machine in machines:
+        for granularity in ("P>=Box", "P<Box"):
+            ys = []
+            for n in box_sizes:
+                _, result = best_configuration(
+                    machine, n, machine.cores, granularity=granularity
+                )
+                ys.append(result.time_s)
+            data.add_line(f"{machine.name} {granularity}", ys)
+    return data
+
+
+# ---------------------------------------------------------- Figs. 10-12
+FIG10_TO_12: dict[str, MachineSpec] = {
+    "fig10": MAGNY_COURS,
+    "fig11": IVY_BRIDGE,
+    "fig12": SANDY_BRIDGE,
+}
+
+
+def schedule_figure(figure: str, box_size: int = 128) -> SeriesData:
+    """Figs. 10-12: the seven labelled schedules at N=128 vs threads."""
+    machine = FIG10_TO_12[figure]
+    threads = machine_thread_points(machine)
+    data = SeriesData(
+        title=f"{figure}: Performance on {machine.name} (N={box_size})",
+        xlabel="Thread count",
+        ylabel="time (s)",
+        x=threads,
+    )
+    for label, variant in figure_variants(figure).items():
+        results = thread_sweep(variant, machine, threads, box_size)
+        data.add_line(label, [r.time_s for r in results])
+    return data
+
+
+# ------------------------------------------------- §VI-B bandwidth text
+def desktop_bandwidth_probes() -> list[dict]:
+    """The Ivy Bridge desktop VTune numbers quoted in §VI-B.
+
+    Paper: baseline N=16 sustains up to 4.9 GB/s at 1 thread and
+    14.5 GB/s at 4; baseline N=128 reaches 18.3 GB/s at 1 thread
+    (contended beyond 2); shift-fuse lowers N=16 to 3.9 and N=128 to
+    stretches of ~9.4 GB/s.
+    """
+    probes = [
+        ("baseline N=16, 1 thread", Variant("series", "P>=Box", "CLO"), 16, 1, 4.9),
+        ("baseline N=16, 4 threads", Variant("series", "P>=Box", "CLO"), 16, 4, 14.5),
+        ("baseline N=128, 1 thread", Variant("series", "P>=Box", "CLO"), 128, 1, 18.3),
+        ("shift-fuse N=16, 1 thread", Variant("shift_fuse", "P>=Box", "CLO"), 16, 1, 3.9),
+        ("shift-fuse N=128, 1 thread", Variant("shift_fuse", "P>=Box", "CLO"), 128, 1, 9.4),
+    ]
+    rows = []
+    for label, variant, n, t, paper_gbs in probes:
+        r = time_variant(variant, IVY_DESKTOP, t, n)
+        rows.append(
+            {
+                "probe": label,
+                "paper_gbs": paper_gbs,
+                "model_gbs": r.bandwidth_gbs,
+                "time_s": r.time_s,
+            }
+        )
+    return rows

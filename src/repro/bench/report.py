@@ -1,0 +1,117 @@
+"""ASCII reporting of experiment data (the figures' rows/series)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .experiments import SeriesData
+
+__all__ = ["format_series", "format_table", "format_speedup_summary", "ascii_plot"]
+
+
+def format_series(data: SeriesData, precision: int = 3) -> str:
+    """Render one figure's series as an aligned text table."""
+    width = max(len(label) for label in data.lines) if data.lines else 10
+    col = max(precision + 5, max(len(str(x)) for x in data.x) + 1)
+    out = [data.title, ""]
+    header = " " * (width + 2) + "".join(f"{x!s:>{col}}" for x in data.x)
+    out.append(f"{data.xlabel} ->")
+    out.append(header)
+    for label, ys in data.lines.items():
+        row = "".join(f"{y:>{col}.{precision}f}" for y in ys)
+        out.append(f"{label:<{width}}  {row}")
+    out.append("")
+    return "\n".join(out)
+
+
+def format_table(title: str, rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)\n"
+    cols = list(columns) if columns else list(rows[0].keys())
+    widths = {}
+    rendered = []
+    for row in rows:
+        r = {}
+        for c in cols:
+            v = row.get(c, "")
+            r[c] = f"{v:.4g}" if isinstance(v, float) else str(v)
+        rendered.append(r)
+    for c in cols:
+        widths[c] = max(len(c), max(len(r[c]) for r in rendered))
+    out = [title, ""]
+    out.append("  ".join(f"{c:<{widths[c]}}" for c in cols))
+    out.append("  ".join("-" * widths[c] for c in cols))
+    for r in rendered:
+        out.append("  ".join(f"{r[c]:<{widths[c]}}" for c in cols))
+    out.append("")
+    return "\n".join(out)
+
+
+def ascii_plot(
+    data: SeriesData,
+    height: int = 16,
+    width: int = 64,
+    logy: bool = True,
+) -> str:
+    """Render the series as a character plot (log y, like the figures).
+
+    Each line gets a marker ``a, b, c, ...``; collisions show the later
+    line's marker.  Meant for terminals, so the figures' visual story
+    (which curve flattens, which keeps dropping) survives into text.
+    """
+    if not data.lines:
+        return f"{data.title}\n(no data)\n"
+    ys_all = [y for ys in data.lines.values() for y in ys if y > 0]
+    if not ys_all:
+        return f"{data.title}\n(no positive data)\n"
+    conv = (lambda v: math.log10(v)) if logy else (lambda v: v)
+    lo, hi = conv(min(ys_all)), conv(max(ys_all))
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    xmin, xmax = min(data.x), max(data.x)
+    span = max(1e-12, math.log10(xmax) - math.log10(xmin)) if xmin > 0 else 1.0
+
+    def col(x):
+        if xmin <= 0:
+            return int((data.x.index(x)) * (width - 1) / max(1, len(data.x) - 1))
+        return int((math.log10(x) - math.log10(xmin)) / span * (width - 1))
+
+    def row(y):
+        frac = (conv(y) - lo) / (hi - lo)
+        return height - 1 - int(round(frac * (height - 1)))
+
+    markers = "abcdefghijklmnop"
+    legend = []
+    for m, (label, ys) in zip(markers, data.lines.items()):
+        legend.append(f"  {m} = {label}")
+        for x, y in zip(data.x, ys):
+            if y > 0:
+                grid[row(y)][col(x)] = m
+    top = f"{10**hi if logy else hi:.3g}"
+    bot = f"{10**lo if logy else lo:.3g}"
+    out = [data.title, ""]
+    for i, r in enumerate(grid):
+        prefix = top if i == 0 else (bot if i == height - 1 else "")
+        out.append(f"{prefix:>8} |{''.join(r)}")
+    out.append(" " * 9 + "+" + "-" * width)
+    out.append(" " * 10 + f"{data.xlabel}: {xmin} .. {xmax}")
+    out.extend(legend)
+    out.append("")
+    return "\n".join(out)
+
+
+def format_speedup_summary(data: SeriesData, baseline_label: str) -> str:
+    """Relative slowdown of every line against one baseline line."""
+    if baseline_label not in data.lines:
+        raise KeyError(f"no line labelled {baseline_label!r}")
+    base = data.lines[baseline_label]
+    out = [f"Relative to {baseline_label!r} (last point):"]
+    for label, ys in data.lines.items():
+        if label == baseline_label:
+            continue
+        out.append(f"  {label}: {ys[-1] / base[-1]:.2f}x")
+    out.append("")
+    return "\n".join(out)

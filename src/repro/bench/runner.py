@@ -1,0 +1,104 @@
+"""Experiment runner: time schedule variants on simulated machines."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..exemplar.problem import PAPER_DOMAIN_CELLS
+from ..machine.simulator import SimResult, estimate_workload, simulate_workload
+from ..machine.spec import MachineSpec
+from ..machine.workload import build_workload
+from ..schedules.base import Variant
+from ..schedules.variants import practical_variants
+
+__all__ = [
+    "time_variant",
+    "thread_sweep",
+    "best_configuration",
+    "machine_thread_points",
+]
+
+
+def time_variant(
+    variant: Variant,
+    machine: MachineSpec,
+    threads: int,
+    box_size: int,
+    domain_cells: Sequence[int] = PAPER_DOMAIN_CELLS,
+    ncomp: int = 5,
+    engine: str = "estimate",
+) -> SimResult:
+    """Simulated execution of one configuration.
+
+    ``engine`` selects the closed-form estimator (default; exact for the
+    paper's uniform workloads) or the event-driven simulator.
+    """
+    wl = build_workload(
+        variant, box_size, domain_cells=domain_cells, ncomp=ncomp,
+        dim=len(domain_cells),
+    )
+    if engine == "estimate":
+        return estimate_workload(wl, machine, threads)
+    if engine == "simulate":
+        return simulate_workload(wl, machine, threads)
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+def thread_sweep(
+    variant: Variant,
+    machine: MachineSpec,
+    threads: Iterable[int],
+    box_size: int,
+    domain_cells: Sequence[int] = PAPER_DOMAIN_CELLS,
+    ncomp: int = 5,
+) -> list[SimResult]:
+    """Execution times over a range of thread counts (one figure line)."""
+    wl = build_workload(
+        variant, box_size, domain_cells=domain_cells, ncomp=ncomp,
+        dim=len(domain_cells),
+    )
+    return [estimate_workload(wl, machine, t) for t in threads]
+
+
+def best_configuration(
+    machine: MachineSpec,
+    box_size: int,
+    threads: int,
+    granularity: str | None = None,
+    domain_cells: Sequence[int] = PAPER_DOMAIN_CELLS,
+    variants: Sequence[Variant] | None = None,
+) -> tuple[Variant, SimResult]:
+    """Fastest practical variant for one (machine, box size, threads).
+
+    Reproduces the per-point minimization behind Fig. 9 ("fastest
+    performance over all configurations").
+    """
+    pool = list(variants) if variants is not None else practical_variants()
+    if granularity is not None:
+        pool = [v for v in pool if v.granularity == granularity]
+    pool = [v for v in pool if v.applicable_to_box(box_size)]
+    if not pool:
+        raise ValueError(
+            f"no applicable variants for box size {box_size} "
+            f"(granularity={granularity!r})"
+        )
+    best: tuple[Variant, SimResult] | None = None
+    for v in pool:
+        r = time_variant(v, machine, threads, box_size, domain_cells)
+        if best is None or r.time_s < best[1].time_s:
+            best = (v, r)
+    return best
+
+
+def machine_thread_points(machine: MachineSpec) -> list[int]:
+    """The thread counts the paper plots for each machine."""
+    points = {
+        "magny_cours": [1, 2, 4, 8, 16, 24],
+        "ivy_bridge": [1, 2, 4, 8, 16, 20, 40],
+        "sandy_bridge": [1, 2, 4, 8, 12, 16],
+        "ivy_desktop": [1, 2, 4],
+    }
+    try:
+        return points[machine.name]
+    except KeyError:
+        raise KeyError(f"no paper thread points for machine {machine.name!r}")

@@ -1,0 +1,32 @@
+"""Structured-grid substrate: box calculus, box data, layouts, ghost exchange.
+
+A from-scratch reproduction of the slice of Chombo the paper's benchmark
+relies on (§II–III): ``IntVect``/``Box`` index calculus, Fortran-ordered
+``FArrayBox`` data, ``DisjointBoxLayout`` domain decomposition, and
+``LevelData`` with periodic ghost-cell ``exchange()``.
+"""
+
+from .box import Box, CellCentering
+from .copier import CopyItem, ExchangeCopier
+from .farraybox import FArrayBox
+from .intvect import IntVect, ones_vector, unit_vector, zero_vector
+from .layout import DisjointBoxLayout, decompose_domain
+from .leveldata import ExchangeStats, LevelData
+from .problem_domain import ProblemDomain
+
+__all__ = [
+    "Box",
+    "CellCentering",
+    "CopyItem",
+    "DisjointBoxLayout",
+    "ExchangeCopier",
+    "ExchangeStats",
+    "FArrayBox",
+    "IntVect",
+    "LevelData",
+    "ProblemDomain",
+    "decompose_domain",
+    "ones_vector",
+    "unit_vector",
+    "zero_vector",
+]

@@ -1,0 +1,337 @@
+"""Box calculus for rectangular index-space regions.
+
+A :class:`Box` is a closed rectangular region of cell-centred index space
+described by its low and high corners (both inclusive), mirroring Chombo's
+``Box``.  Boxes support the calculus the scheduling layer needs:
+
+* grow/shrink by ghost layers,
+* conversion between cell-centred and face-centred regions
+  (``face_box`` ≙ Chombo's ``surroundingNodes`` in one direction),
+* intersection / union-bounding / containment,
+* iteration over sub-boxes (tiles) and slabs.
+
+Centering
+---------
+A box has a *centering*: cell-centred in all directions, or node/face
+centred in one direction.  The exemplar kernel computes fluxes on faces
+of direction ``d``; the face box in direction ``d`` for a cell box of
+``N`` cells has ``N+1`` index points along ``d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .intvect import IntVect, unit_vector
+
+__all__ = ["Box", "CellCentering"]
+
+
+class CellCentering:
+    """Centering tags for :class:`Box` (cell-centred or face-centred in one dir)."""
+
+    CELL = -1  # cell centred in every direction
+
+    @staticmethod
+    def face(direction: int) -> int:
+        """Centering tag for faces normal to ``direction``."""
+        return int(direction)
+
+
+@dataclass(frozen=True)
+class Box:
+    """A rectangular region of index space, inclusive of both corners.
+
+    Parameters
+    ----------
+    lo, hi:
+        Inclusive corners.  ``hi`` must be componentwise >= ``lo`` for a
+        non-empty box; an empty box is represented by ``Box.empty(dim)``.
+    centering:
+        ``CellCentering.CELL`` for a cell-centred box, or a direction
+        index for a box of faces normal to that direction.  Centering is
+        metadata used by data holders; the index arithmetic is identical.
+    """
+
+    lo: IntVect
+    hi: IntVect
+    centering: int = CellCentering.CELL
+
+    def __post_init__(self):
+        if self.lo.dim != self.hi.dim:
+            raise ValueError("lo and hi must have the same dimension")
+        if not (self.centering == CellCentering.CELL or 0 <= self.centering < self.lo.dim):
+            raise ValueError(f"invalid centering {self.centering} for dim {self.lo.dim}")
+
+    # -- constructors --------------------------------------------------------------
+    @staticmethod
+    def from_extents(lo: Sequence[int], size: Sequence[int]) -> "Box":
+        """Build a cell-centred box from a low corner and per-direction sizes."""
+        lo_iv = IntVect(lo)
+        size_t = tuple(int(s) for s in size)
+        if any(s <= 0 for s in size_t):
+            raise ValueError(f"sizes must be positive, got {size_t}")
+        hi_iv = IntVect(a + s - 1 for a, s in zip(lo_iv, size_t))
+        return Box(lo_iv, hi_iv)
+
+    @staticmethod
+    def cube(n: int, dim: int = 3, lo: int = 0) -> "Box":
+        """An ``n``-cell hypercube box starting at ``lo`` in every direction."""
+        return Box.from_extents((lo,) * dim, (n,) * dim)
+
+    @staticmethod
+    def empty(dim: int) -> "Box":
+        """The canonical empty box (hi < lo)."""
+        return Box(IntVect((0,) * dim), IntVect((-1,) * dim))
+
+    # -- basic queries --------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Number of spatial dimensions."""
+        return self.lo.dim
+
+    @property
+    def is_empty(self) -> bool:
+        """True if the box contains no index points."""
+        return any(h < l for l, h in zip(self.lo, self.hi))
+
+    def size(self, direction: int | None = None):
+        """Number of index points along ``direction``, or the size tuple."""
+        if direction is None:
+            return tuple(max(0, h - l + 1) for l, h in zip(self.lo, self.hi))
+        return max(0, self.hi[direction] - self.lo[direction] + 1)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Alias of ``size()`` matching NumPy vocabulary."""
+        return self.size()
+
+    def num_points(self) -> int:
+        """Total number of index points (cells or faces) in the box."""
+        n = 1
+        for s in self.size():
+            n *= s
+        return n
+
+    def contains(self, other) -> bool:
+        """True if ``other`` (IntVect or Box) lies entirely inside this box."""
+        if isinstance(other, IntVect):
+            return self.lo.le(other) and other.le(self.hi)
+        if isinstance(other, Box):
+            if other.is_empty:
+                return True
+            return self.lo.le(other.lo) and other.hi.le(self.hi)
+        raise TypeError(f"cannot test containment of {type(other).__name__}")
+
+    def __contains__(self, other) -> bool:
+        return self.contains(other)
+
+    # -- calculus -------------------------------------------------------------------
+    def grow(self, amount: int | Sequence[int]) -> "Box":
+        """Grow (positive) or shrink (negative) the box in every direction."""
+        if isinstance(amount, int):
+            amount = (amount,) * self.dim
+        lo = IntVect(l - a for l, a in zip(self.lo, amount))
+        hi = IntVect(h + a for h, a in zip(self.hi, amount))
+        return Box(lo, hi, self.centering)
+
+    def grow_dir(self, direction: int, amount: int) -> "Box":
+        """Grow only along one direction (both sides)."""
+        return Box(
+            self.lo.shift(direction, -amount),
+            self.hi.shift(direction, amount),
+            self.centering,
+        )
+
+    def grow_lo(self, direction: int, amount: int) -> "Box":
+        """Grow only the low side of one direction."""
+        return Box(self.lo.shift(direction, -amount), self.hi, self.centering)
+
+    def grow_hi(self, direction: int, amount: int) -> "Box":
+        """Grow only the high side of one direction."""
+        return Box(self.lo, self.hi.shift(direction, amount), self.centering)
+
+    def shift(self, direction: int, amount: int) -> "Box":
+        """Translate the box along one direction."""
+        return Box(
+            self.lo.shift(direction, amount),
+            self.hi.shift(direction, amount),
+            self.centering,
+        )
+
+    def shift_vect(self, offset: IntVect) -> "Box":
+        """Translate the box by an IntVect offset."""
+        return Box(self.lo + offset, self.hi + offset, self.centering)
+
+    def intersect(self, other: "Box") -> "Box":
+        """Intersection with another box (centering of ``self`` is kept)."""
+        if self.is_empty or other.is_empty:
+            return Box.empty(self.dim)
+        lo = self.lo.max_with(other.lo)
+        hi = self.hi.min_with(other.hi)
+        if any(h < l for l, h in zip(lo, hi)):
+            return Box.empty(self.dim)
+        return Box(lo, hi, self.centering)
+
+    def __and__(self, other: "Box") -> "Box":
+        return self.intersect(other)
+
+    def intersects(self, other: "Box") -> bool:
+        """True if the two boxes share at least one index point."""
+        return not self.intersect(other).is_empty
+
+    def minbox(self, other: "Box") -> "Box":
+        """Smallest box containing both boxes (the bounding union)."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Box(self.lo.min_with(other.lo), self.hi.max_with(other.hi), self.centering)
+
+    # -- centering conversions --------------------------------------------------------
+    def face_box(self, direction: int) -> "Box":
+        """The box of faces normal to ``direction`` bounding these cells.
+
+        For a cell box with ``N`` cells along ``direction``, the face box
+        has ``N+1`` index points along that direction (Chombo's
+        ``surroundingNodes(box, dir)``).
+        """
+        if self.centering != CellCentering.CELL:
+            raise ValueError("face_box only defined for cell-centred boxes")
+        return Box(self.lo, self.hi.shift(direction, 1), CellCentering.face(direction))
+
+    def enclosed_cells(self) -> "Box":
+        """Inverse of :meth:`face_box`: the cells whose faces this box holds."""
+        if self.centering == CellCentering.CELL:
+            return self
+        d = self.centering
+        return Box(self.lo, self.hi.shift(d, -1), CellCentering.CELL)
+
+    def low_side_faces(self, direction: int) -> "Box":
+        """The single plane of faces on the low side of the box in ``direction``."""
+        fb = self.face_box(direction)
+        return Box(
+            fb.lo,
+            fb.hi.with_component(direction, fb.lo[direction]),
+            CellCentering.face(direction),
+        )
+
+    def high_side_faces(self, direction: int) -> "Box":
+        """The single plane of faces on the high side of the box in ``direction``."""
+        fb = self.face_box(direction)
+        return Box(
+            fb.lo.with_component(direction, fb.hi[direction]),
+            fb.hi,
+            CellCentering.face(direction),
+        )
+
+    # -- AMR refinement calculus ---------------------------------------------------------
+    def coarsenable(self, ratio: int) -> bool:
+        """True if the box aligns to the coarse grid at this ratio."""
+        if ratio <= 0:
+            raise ValueError(f"ratio must be positive, got {ratio}")
+        return all(
+            l % ratio == 0 and (h + 1) % ratio == 0
+            for l, h in zip(self.lo, self.hi)
+        )
+
+    def coarsen(self, ratio: int) -> "Box":
+        """The coarse-grid box covering these cells (Chombo `coarsen`).
+
+        Uses floor division, so a non-aligned box coarsens to the
+        smallest coarse box containing it.
+        """
+        if ratio <= 0:
+            raise ValueError(f"ratio must be positive, got {ratio}")
+        lo = IntVect(l // ratio for l in self.lo)
+        hi = IntVect(h // ratio for h in self.hi)
+        return Box(lo, hi, self.centering)
+
+    def refine(self, ratio: int) -> "Box":
+        """The fine-grid box covering exactly these cells (Chombo `refine`)."""
+        if ratio <= 0:
+            raise ValueError(f"ratio must be positive, got {ratio}")
+        lo = IntVect(l * ratio for l in self.lo)
+        hi = IntVect((h + 1) * ratio - 1 for h in self.hi)
+        return Box(lo, hi, self.centering)
+
+    # -- decomposition helpers ---------------------------------------------------------
+    def slab(self, direction: int, index_lo: int, index_hi: int | None = None) -> "Box":
+        """A slab of the box between two absolute indices along ``direction``."""
+        if index_hi is None:
+            index_hi = index_lo
+        lo = self.lo.with_component(direction, max(self.lo[direction], index_lo))
+        hi = self.hi.with_component(direction, min(self.hi[direction], index_hi))
+        return Box(lo, hi, self.centering)
+
+    def slices(self, direction: int) -> Iterator["Box"]:
+        """Iterate unit-thickness slabs along ``direction`` (z-slices etc.)."""
+        for i in range(self.lo[direction], self.hi[direction] + 1):
+            yield self.slab(direction, i)
+
+    def tile(self, tile_size: int | Sequence[int]) -> list["Box"]:
+        """Decompose into tiles of at most ``tile_size`` cells per direction.
+
+        Tiles are aligned to the low corner of the box; edge tiles may be
+        smaller.  The return order is lexicographic with the *first*
+        coordinate fastest, matching Fortran/x-fastest traversal.
+        """
+        if isinstance(tile_size, int):
+            tile_size = (tile_size,) * self.dim
+        ts = tuple(int(t) for t in tile_size)
+        if any(t <= 0 for t in ts):
+            raise ValueError(f"tile sizes must be positive, got {ts}")
+        if self.is_empty:
+            return []
+        counts = [
+            (self.size(d) + ts[d] - 1) // ts[d] for d in range(self.dim)
+        ]
+        tiles: list[Box] = []
+        # x-fastest ordering: enumerate the multi-index with dim 0 innermost.
+        def rec(d: int, idx: list[int]):
+            if d < 0:
+                lo = IntVect(
+                    self.lo[k] + idx[k] * ts[k] for k in range(self.dim)
+                )
+                hi = IntVect(
+                    min(self.hi[k], self.lo[k] + (idx[k] + 1) * ts[k] - 1)
+                    for k in range(self.dim)
+                )
+                tiles.append(Box(lo, hi, self.centering))
+                return
+            for i in range(counts[d]):
+                idx[d] = i
+                rec(d - 1, idx)
+
+        rec(self.dim - 1, [0] * self.dim)
+        return tiles
+
+    def corners(self) -> list[IntVect]:
+        """All 2^dim corner points of the box."""
+        out = []
+        for mask in range(1 << self.dim):
+            out.append(
+                IntVect(
+                    self.hi[d] if (mask >> d) & 1 else self.lo[d]
+                    for d in range(self.dim)
+                )
+            )
+        return out
+
+    # -- numpy interop ------------------------------------------------------------------
+    def slices_within(self, container: "Box") -> tuple[slice, ...]:
+        """Slices addressing this box inside an array allocated over ``container``.
+
+        Raises if this box is not contained in ``container``.
+        """
+        if not container.contains(self):
+            raise ValueError(f"{self} not contained in {container}")
+        return tuple(
+            slice(l - cl, h - cl + 1)
+            for l, h, cl in zip(self.lo, self.hi, container.lo)
+        )
+
+    def __repr__(self) -> str:
+        cent = "cell" if self.centering == CellCentering.CELL else f"face{self.centering}"
+        return f"Box[{self.lo.to_tuple()}..{self.hi.to_tuple()} {cent}]"

@@ -1,0 +1,133 @@
+"""FArrayBox: multi-component array data on a box.
+
+Mirrors Chombo's ``FArrayBox``: a Fortran-ordered (column-major) array of
+float64 over a :class:`~repro.box.box.Box`, with a trailing component
+axis.  The paper (§III-C) stresses this layout — ``[x, y, z, c]`` with
+``x`` unit-stride — because it is good for gradients but puts the
+components of one cell far apart in memory, which matters for the flux
+kernels.
+
+Data is addressed in *global* index space: ``fab[box]`` returns a NumPy
+view of the subregion ``box`` regardless of where the FArrayBox was
+allocated, so stencil code never does its own offset arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .box import Box
+
+__all__ = ["FArrayBox"]
+
+
+class FArrayBox:
+    """Array data over a box with ``ncomp`` trailing components.
+
+    Parameters
+    ----------
+    box:
+        Region covered by the data (including any ghost ring the caller
+        grew into the box).
+    ncomp:
+        Number of components (5 for the exemplar state ⟨ρ,u,v,w,e⟩).
+    data:
+        Optional preexisting array of shape ``box.size() + (ncomp,)``;
+        copied views are *not* taken — the FArrayBox aliases it.
+    """
+
+    __slots__ = ("box", "ncomp", "data")
+
+    def __init__(self, box: Box, ncomp: int = 1, data: np.ndarray | None = None):
+        if box.is_empty:
+            raise ValueError("cannot allocate an FArrayBox over an empty box")
+        if ncomp <= 0:
+            raise ValueError(f"ncomp must be positive, got {ncomp}")
+        self.box = box
+        self.ncomp = int(ncomp)
+        shape = box.size() + (self.ncomp,)
+        if data is None:
+            self.data = np.zeros(shape, dtype=np.float64, order="F")
+        else:
+            if data.shape != shape:
+                raise ValueError(f"data shape {data.shape} != expected {shape}")
+            self.data = data
+
+    # -- basic info ---------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Spatial dimensionality."""
+        return self.box.dim
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the underlying array."""
+        return self.data.nbytes
+
+    def copy(self) -> "FArrayBox":
+        """Deep copy preserving layout."""
+        return FArrayBox(self.box, self.ncomp, self.data.copy(order="F"))
+
+    # -- windowed access ------------------------------------------------------------
+    def window(self, region: Box, comp: int | slice | None = None) -> np.ndarray:
+        """A NumPy view of ``region`` (global index space), optionally one comp.
+
+        The returned array has the region's spatial shape; if ``comp`` is
+        an int the component axis is dropped, if a slice it is kept, if
+        None all components are kept.
+        """
+        sl = region.slices_within(self.box)
+        if comp is None:
+            return self.data[sl]
+        return self.data[sl + (comp,)]
+
+    def __getitem__(self, region: Box) -> np.ndarray:
+        return self.window(region)
+
+    def set_val(self, value: float, region: Box | None = None, comp: int | None = None) -> None:
+        """Fill (a region of) the data with a constant."""
+        if region is None:
+            region = self.box
+        self.window(region, comp)[...] = value
+
+    def copy_from(self, src: "FArrayBox", region: Box | None = None,
+                  src_region: Box | None = None) -> None:
+        """Copy ``src_region`` of ``src`` onto ``region`` of self.
+
+        Defaults: the intersection of the two boxes (same region on both
+        sides).  When both regions are given they must have equal shapes
+        but may be offset — this is how periodic ghost images are filled.
+        """
+        if region is None and src_region is None:
+            region = src_region = self.box.intersect(src.box)
+            if region.is_empty:
+                return
+        elif region is None or src_region is None:
+            raise ValueError("give both region and src_region, or neither")
+        if region.size() != src_region.size():
+            raise ValueError(
+                f"shape mismatch: dst {region.size()} vs src {src_region.size()}"
+            )
+        if src.ncomp != self.ncomp:
+            raise ValueError("component count mismatch")
+        self.window(region)[...] = src.window(src_region)
+
+    # -- reductions -----------------------------------------------------------------
+    def norm(self, order: int = 2, region: Box | None = None, comp: int | None = None) -> float:
+        """Vector norm over (a region of) the data."""
+        view = self.window(region or self.box, comp)
+        flat = np.asarray(view).ravel()
+        if order == 0:
+            return float(np.max(np.abs(flat))) if flat.size else 0.0
+        return float(np.linalg.norm(flat, ord=order))
+
+    def max(self, region: Box | None = None, comp: int | None = None) -> float:
+        """Maximum over (a region of) the data."""
+        return float(np.max(self.window(region or self.box, comp)))
+
+    def min(self, region: Box | None = None, comp: int | None = None) -> float:
+        """Minimum over (a region of) the data."""
+        return float(np.min(self.window(region or self.box, comp)))
+
+    def __repr__(self) -> str:
+        return f"FArrayBox[{self.box}, ncomp={self.ncomp}]"

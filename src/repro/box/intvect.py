@@ -1,0 +1,197 @@
+"""Integer vectors indexing cells of a structured grid.
+
+``IntVect`` mirrors Chombo's class of the same name: a small immutable
+vector of ``SpaceDim`` integers used to address cells, faces, and box
+corners.  The reproduction fixes no global ``SpaceDim``; an ``IntVect``
+carries its own dimensionality, and operations between vectors require
+matching dimensions.
+
+The class is deliberately lightweight (a tuple subclass) because box
+calculus in the scheduling layer manipulates millions of them only at
+*tile* granularity, never per cell — per-cell work happens inside NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["IntVect", "unit_vector", "zero_vector", "ones_vector"]
+
+
+class IntVect:
+    """An immutable vector of integers addressing a point in index space.
+
+    Parameters
+    ----------
+    components:
+        Iterable of integers, one per spatial dimension.
+
+    Examples
+    --------
+    >>> iv = IntVect((1, 2, 3))
+    >>> iv + IntVect((1, 0, 0))
+    IntVect(2, 2, 3)
+    >>> iv.shift(1, -2)
+    IntVect(1, 0, 3)
+    """
+
+    __slots__ = ("_v",)
+
+    def __init__(self, components: Iterable[int]):
+        v = tuple(int(c) for c in components)
+        if not v:
+            raise ValueError("IntVect needs at least one component")
+        object.__setattr__(self, "_v", v)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("IntVect is immutable")
+
+    # -- basic container protocol -------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Number of spatial dimensions."""
+        return len(self._v)
+
+    def __len__(self) -> int:
+        return len(self._v)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._v)
+
+    def __getitem__(self, i: int) -> int:
+        return self._v[i]
+
+    def to_tuple(self) -> tuple[int, ...]:
+        """Return the raw component tuple."""
+        return self._v
+
+    # -- equality / hashing -------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IntVect):
+            return self._v == other._v
+        if isinstance(other, tuple):
+            return self._v == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._v)
+
+    def __repr__(self) -> str:
+        return f"IntVect{self._v!r}"
+
+    # -- arithmetic ---------------------------------------------------------------
+    def _coerce(self, other) -> tuple[int, ...]:
+        if isinstance(other, IntVect):
+            other = other._v
+        if isinstance(other, (tuple, list)):
+            if len(other) != len(self._v):
+                raise ValueError(
+                    f"dimension mismatch: {len(self._v)} vs {len(other)}"
+                )
+            return tuple(int(c) for c in other)
+        if isinstance(other, int):
+            return (other,) * len(self._v)
+        raise TypeError(f"cannot combine IntVect with {type(other).__name__}")
+
+    def __add__(self, other) -> "IntVect":
+        o = self._coerce(other)
+        return IntVect(a + b for a, b in zip(self._v, o))
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "IntVect":
+        o = self._coerce(other)
+        return IntVect(a - b for a, b in zip(self._v, o))
+
+    def __rsub__(self, other) -> "IntVect":
+        o = self._coerce(other)
+        return IntVect(b - a for a, b in zip(self._v, o))
+
+    def __mul__(self, other) -> "IntVect":
+        o = self._coerce(other)
+        return IntVect(a * b for a, b in zip(self._v, o))
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other) -> "IntVect":
+        o = self._coerce(other)
+        return IntVect(a // b for a, b in zip(self._v, o))
+
+    def __neg__(self) -> "IntVect":
+        return IntVect(-a for a in self._v)
+
+    # -- comparisons (componentwise, as in Chombo) ---------------------------------
+    def le(self, other) -> bool:
+        """True if every component is <= the matching component of ``other``."""
+        o = self._coerce(other)
+        return all(a <= b for a, b in zip(self._v, o))
+
+    def lt(self, other) -> bool:
+        """True if every component is < the matching component of ``other``."""
+        o = self._coerce(other)
+        return all(a < b for a, b in zip(self._v, o))
+
+    def ge(self, other) -> bool:
+        """True if every component is >= the matching component of ``other``."""
+        o = self._coerce(other)
+        return all(a >= b for a, b in zip(self._v, o))
+
+    def gt(self, other) -> bool:
+        """True if every component is > the matching component of ``other``."""
+        o = self._coerce(other)
+        return all(a > b for a, b in zip(self._v, o))
+
+    # -- convenience --------------------------------------------------------------
+    def shift(self, direction: int, amount: int = 1) -> "IntVect":
+        """Return a copy shifted by ``amount`` along ``direction``."""
+        if not 0 <= direction < len(self._v):
+            raise IndexError(f"direction {direction} out of range for dim {self.dim}")
+        v = list(self._v)
+        v[direction] += amount
+        return IntVect(v)
+
+    def with_component(self, direction: int, value: int) -> "IntVect":
+        """Return a copy with component ``direction`` replaced by ``value``."""
+        if not 0 <= direction < len(self._v):
+            raise IndexError(f"direction {direction} out of range for dim {self.dim}")
+        v = list(self._v)
+        v[direction] = int(value)
+        return IntVect(v)
+
+    def max_with(self, other) -> "IntVect":
+        """Componentwise maximum."""
+        o = self._coerce(other)
+        return IntVect(max(a, b) for a, b in zip(self._v, o))
+
+    def min_with(self, other) -> "IntVect":
+        """Componentwise minimum."""
+        o = self._coerce(other)
+        return IntVect(min(a, b) for a, b in zip(self._v, o))
+
+    def sum(self) -> int:
+        """Sum of components (used for wavefront numbering)."""
+        return sum(self._v)
+
+    def product(self) -> int:
+        """Product of components (cell counts)."""
+        p = 1
+        for a in self._v:
+            p *= a
+        return p
+
+
+def zero_vector(dim: int) -> IntVect:
+    """The origin of ``dim``-dimensional index space."""
+    return IntVect((0,) * dim)
+
+
+def ones_vector(dim: int) -> IntVect:
+    """The vector of all ones."""
+    return IntVect((1,) * dim)
+
+
+def unit_vector(direction: int, dim: int) -> IntVect:
+    """The unit vector e_d in ``dim`` dimensions (paper's :math:`e^d`)."""
+    if not 0 <= direction < dim:
+        raise IndexError(f"direction {direction} out of range for dim {dim}")
+    return IntVect(tuple(1 if i == direction else 0 for i in range(dim)))

@@ -1,0 +1,108 @@
+"""Problem domain: the global index space, with optional periodicity.
+
+Mirrors Chombo's ``ProblemDomain``.  The domain bounds ghost-cell
+exchange: ghost regions outside a non-periodic boundary are filled by
+boundary conditions (the exemplar uses periodic domains, as does the
+paper's benchmark, so every ghost cell has a physical image).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .box import Box
+from .intvect import IntVect
+
+__all__ = ["ProblemDomain"]
+
+
+@dataclass(frozen=True)
+class ProblemDomain:
+    """The global computational domain.
+
+    Parameters
+    ----------
+    box:
+        The cell-centred box covering the whole domain.
+    periodic:
+        Per-direction periodicity flags.  Defaults to fully periodic,
+        which is what the exemplar benchmark uses.
+    """
+
+    box: Box
+    periodic: tuple[bool, ...] = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.periodic is None:
+            object.__setattr__(self, "periodic", (True,) * self.box.dim)
+        if len(self.periodic) != self.box.dim:
+            raise ValueError("periodic flags must match domain dimension")
+
+    @property
+    def dim(self) -> int:
+        """Number of spatial dimensions."""
+        return self.box.dim
+
+    def is_periodic(self, direction: int) -> bool:
+        """True if the domain wraps in ``direction``."""
+        return self.periodic[direction]
+
+    def contains(self, other) -> bool:
+        """Containment test against the domain box."""
+        return self.box.contains(other)
+
+    def periodic_shifts(self, region: Box) -> list[IntVect]:
+        """All domain-size translations mapping ``region`` near the domain.
+
+        Returns every shift vector ``s`` (a multiple of the domain size in
+        each periodic direction, including zero) such that
+        ``region.shift_vect(s)`` intersects the domain box.  Used by the
+        exchange copier to locate periodic images of ghost regions.
+        """
+        if region.is_empty:
+            return []
+        sizes = self.box.size()
+        options: list[list[int]] = []
+        for d in range(self.dim):
+            opts = [0]
+            if self.periodic[d]:
+                # A ghost region extends at most one domain-length outside.
+                span = sizes[d]
+                if region.lo[d] < self.box.lo[d]:
+                    opts.append(span)
+                if region.hi[d] > self.box.hi[d]:
+                    opts.append(-span)
+            options.append(opts)
+        shifts: list[IntVect] = []
+
+        def rec(d: int, acc: list[int]):
+            if d == self.dim:
+                s = IntVect(acc)
+                if region.shift_vect(s).intersects(self.box):
+                    shifts.append(s)
+                return
+            for o in options[d]:
+                acc.append(o)
+                rec(d + 1, acc)
+                acc.pop()
+
+        rec(0, [])
+        return shifts
+
+    def image_of(self, point: IntVect) -> IntVect:
+        """Wrap an index point into the domain along periodic directions.
+
+        Non-periodic components are returned unchanged even if outside.
+        """
+        comps = []
+        for d in range(self.dim):
+            c = point[d]
+            if self.periodic[d]:
+                span = self.box.size(d)
+                c = (c - self.box.lo[d]) % span + self.box.lo[d]
+            comps.append(c)
+        return IntVect(comps)
+
+    def __repr__(self) -> str:
+        p = "".join("P" if f else "-" for f in self.periodic)
+        return f"ProblemDomain[{self.box} periodic={p}]"

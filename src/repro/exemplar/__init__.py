@@ -1,0 +1,63 @@
+"""The CFD exemplar benchmark kernel (paper §III).
+
+A finite-volume flux kernel representative of CFD stencil computations:
+4th-order interpolation of the state to faces (Eq. 6), flux formation
+with the face velocity (Eq. 7), and flux-difference accumulation into
+cells (Fig. 6), for the 5-component state ⟨ρ,u,v,w,e⟩.
+"""
+
+from .flux import (
+    FLOPS_ACCUM_PER_CELL,
+    FLOPS_FLUX1_PER_FACE,
+    FLOPS_FLUX2_PER_FACE,
+    accumulate_divergence,
+    axslice,
+    eval_flux1,
+    eval_flux2,
+)
+from .problem import (
+    PAPER_BOX_SIZES,
+    PAPER_DOMAIN_CELLS,
+    PAPER_TOTAL_CELLS,
+    ExemplarProblem,
+)
+from .reference import reference_kernel, reference_on_level, required_ghost
+from .state import (
+    COMPONENT_NAMES,
+    ENERGY,
+    NCOMP,
+    RHO,
+    VELX,
+    VELY,
+    VELZ,
+    random_initial_data,
+    smooth_initial_data,
+    velocity_component,
+)
+
+__all__ = [
+    "COMPONENT_NAMES",
+    "ENERGY",
+    "ExemplarProblem",
+    "FLOPS_ACCUM_PER_CELL",
+    "FLOPS_FLUX1_PER_FACE",
+    "FLOPS_FLUX2_PER_FACE",
+    "NCOMP",
+    "PAPER_BOX_SIZES",
+    "PAPER_DOMAIN_CELLS",
+    "PAPER_TOTAL_CELLS",
+    "RHO",
+    "VELX",
+    "VELY",
+    "VELZ",
+    "accumulate_divergence",
+    "axslice",
+    "eval_flux1",
+    "eval_flux2",
+    "random_initial_data",
+    "reference_kernel",
+    "reference_on_level",
+    "required_ghost",
+    "smooth_initial_data",
+    "velocity_component",
+]

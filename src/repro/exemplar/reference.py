@@ -1,0 +1,84 @@
+"""Reference (gold-standard) implementation of the exemplar kernel.
+
+This is the simplest possible whole-array realization of Fig. 6's
+pseudo-code: for each direction, interpolate all components to faces
+(Eq. 6), extract the face velocity, form the flux (Eq. 7), and
+accumulate the flux difference into every cell.  It makes no attempt at
+locality or storage economy — it is the semantic contract every schedule
+variant in :mod:`repro.schedules` must match **bitwise**.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..box.leveldata import LevelData
+from ..stencil.operators import FACE_INTERP_GHOST
+from .flux import accumulate_divergence, eval_flux1, eval_flux2
+from .state import velocity_component
+
+__all__ = ["reference_kernel", "reference_on_level", "required_ghost"]
+
+
+def required_ghost() -> int:
+    """Ghost width the kernel needs (2, from the 4th-order interpolation)."""
+    return FACE_INTERP_GHOST
+
+
+def reference_kernel(phi_with_ghosts: np.ndarray) -> np.ndarray:
+    """Run the full flux kernel on one box.
+
+    Parameters
+    ----------
+    phi_with_ghosts:
+        Cell data of shape ``(N_0+4, ..., N_{dim-1}+4, C)`` — the box
+        grown by the 2-cell ghost ring, ghosts already filled.  The
+        number of components ``C`` must exceed the dimension (component
+        ``d+1`` is the direction-``d`` velocity).
+
+    Returns
+    -------
+    phi1 of shape ``(N_0, ..., N_{dim-1}, C)``: the input cell values
+    plus the accumulated flux divergence of every direction, in x,y,z
+    accumulation order.
+    """
+    g = FACE_INTERP_GHOST
+    dim = phi_with_ghosts.ndim - 1
+    ncomp = phi_with_ghosts.shape[-1]
+    if ncomp <= dim:
+        raise ValueError(
+            f"need more components ({ncomp}) than dimensions ({dim})"
+        )
+    if any(s <= 2 * g for s in phi_with_ghosts.shape[:-1]):
+        raise ValueError("box too small for the ghost ring")
+
+    interior = tuple(slice(g, -g) for _ in range(dim)) + (slice(None),)
+    phi1 = phi_with_ghosts[interior].copy(order="F")
+
+    for d in range(dim):
+        # Interior in transverse directions, full (ghosted) along d.
+        sl = tuple(
+            slice(None) if ax == d else slice(g, -g) for ax in range(dim)
+        ) + (slice(None),)
+        face_phi = eval_flux1(phi_with_ghosts[sl], axis=d)
+        velocity = face_phi[..., velocity_component(d)]
+        flux = eval_flux2(face_phi, velocity)
+        accumulate_divergence(phi1, flux, axis=d)
+    return phi1
+
+
+def reference_on_level(phi0: LevelData) -> LevelData:
+    """Run the reference kernel over every box of a level.
+
+    ``phi0`` must have ghost width 2 with ghosts already exchanged.
+    Returns a fresh ghostless LevelData holding phi1.
+    """
+    g = FACE_INTERP_GHOST
+    if phi0.ghost < g:
+        raise ValueError(f"level needs ghost >= {g}, has {phi0.ghost}")
+    out = LevelData(phi0.layout, ncomp=phi0.ncomp, ghost=0)
+    for i in phi0.layout:
+        box = phi0.layout.box(i)
+        src = phi0[i].window(box.grow(g))
+        out[i].window(box)[...] = reference_kernel(np.asarray(src))
+    return out

@@ -1,0 +1,38 @@
+"""Roofline helpers: analytic bounds the simulator must respect."""
+
+from __future__ import annotations
+
+from .spec import MachineSpec
+
+__all__ = [
+    "arithmetic_intensity",
+    "roofline_gflops",
+    "min_time_bound",
+]
+
+
+def arithmetic_intensity(flops: float, dram_bytes: float) -> float:
+    """Flops per DRAM byte."""
+    if dram_bytes <= 0:
+        raise ValueError("dram_bytes must be positive")
+    return flops / dram_bytes
+
+
+def roofline_gflops(machine: MachineSpec, intensity: float, threads: int) -> float:
+    """Attainable GF/s: min(compute roof, bandwidth roof x intensity)."""
+    compute = machine.thread_compute_rate(threads) * threads / 1e9
+    bandwidth = machine.available_bw_gbs(threads) * intensity
+    return min(compute, bandwidth)
+
+
+def min_time_bound(
+    machine: MachineSpec, flops: float, dram_bytes: float, threads: int
+) -> float:
+    """Lower bound on execution time: both roofs must be respected.
+
+    Any simulated time below this bound is a simulator bug (tested).
+    """
+    compute = flops / (machine.thread_compute_rate(threads) * threads)
+    bw = machine.available_bw_gbs(threads) * 1e9
+    memory = dram_bytes / bw if bw > 0 else 0.0
+    return max(compute, memory)

@@ -1,0 +1,198 @@
+"""Workload construction: a schedule variant becomes barrier phases of work items.
+
+Every schedule in the study has barrier-synchronized structure:
+
+* ``P>=Box`` — one phase holding every box (boxes are independent);
+* ``P<Box`` series / shift-fuse / overlapped — boxes run one after
+  another (the parallel loop is inside the box), each box one phase of
+  slice/tile items;
+* ``P<Box`` blocked wavefront — each wavefront of each box is a phase
+  (the wavefront barrier), tiles within a wavefront are the items.
+
+Items carry flops and a cache-dependent :class:`TrafficModel`; identical
+items are stored as (item, count) groups so paper-scale workloads
+(hundreds of thousands of tiles) stay cheap to build and analyse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..analysis.flops import region_flops, variant_box_flops
+from ..analysis.traffic import TrafficModel, variant_traffic
+from ..box.box import Box
+from ..exemplar.problem import PAPER_DOMAIN_CELLS
+from ..schedules.base import Variant
+from ..schedules.tiling import TileGrid
+
+__all__ = ["WorkItem", "Phase", "Workload", "build_workload"]
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One schedulable unit: arithmetic plus a traffic model."""
+
+    label: str
+    flops: float
+    traffic: TrafficModel
+
+
+@dataclass
+class Phase:
+    """Items between two barriers, as (item, count) groups."""
+
+    label: str
+    groups: list[tuple[WorkItem, int]] = field(default_factory=list)
+
+    def add(self, item: WorkItem, count: int = 1) -> None:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.groups.append((item, count))
+
+    @property
+    def num_items(self) -> int:
+        return sum(c for _, c in self.groups)
+
+    def total_flops(self) -> float:
+        return sum(i.flops * c for i, c in self.groups)
+
+    def expand(self) -> list[WorkItem]:
+        """Materialize individual items (for the event-driven simulator)."""
+        out: list[WorkItem] = []
+        for item, count in self.groups:
+            out.extend([item] * count)
+        return out
+
+
+@dataclass
+class Workload:
+    """The full level computation as an ordered list of barrier phases."""
+
+    variant: Variant
+    box_size: int
+    num_boxes: int
+    ncomp: int
+    dim: int
+    phases: list[Phase] = field(default_factory=list)
+
+    @property
+    def total_cells(self) -> int:
+        return self.num_boxes * self.box_size**self.dim
+
+    def total_flops(self) -> float:
+        return sum(p.total_flops() for p in self.phases)
+
+    def total_items(self) -> int:
+        return sum(p.num_items for p in self.phases)
+
+    def max_phase_width(self) -> int:
+        return max((p.num_items for p in self.phases), default=0)
+
+
+def _num_boxes(domain_cells: Sequence[int], box_size: int) -> int:
+    n = 1
+    for c in domain_cells:
+        if c % box_size != 0:
+            raise ValueError(
+                f"domain extent {c} not divisible by box size {box_size}"
+            )
+        n *= c // box_size
+    return n
+
+
+def build_workload(
+    variant: Variant,
+    box_size: int,
+    domain_cells: Sequence[int] = PAPER_DOMAIN_CELLS,
+    ncomp: int = 5,
+    dim: int = 3,
+) -> Workload:
+    """Phases + items for running ``variant`` over the whole level."""
+    if not variant.applicable_to_box(box_size):
+        raise ValueError(
+            f"{variant.label} not applicable to box size {box_size} "
+            f"(tile must be strictly smaller)"
+        )
+    if len(domain_cells) != dim:
+        raise ValueError("domain_cells must match dim")
+    n = box_size
+    num_boxes = _num_boxes(domain_cells, n)
+    wl = Workload(variant, n, num_boxes, ncomp, dim)
+    box_traffic = variant_traffic(variant, n, ncomp=ncomp, dim=dim)
+    box_flops = variant_box_flops(variant, n, ncomp=ncomp, dim=dim).total
+
+    if variant.granularity == "P>=Box":
+        phase = Phase("boxes")
+        phase.add(WorkItem(f"box-{n}", box_flops, box_traffic), num_boxes)
+        wl.phases.append(phase)
+        return wl
+
+    # P<Box: boxes sequential, parallelism inside each box.
+    if variant.category in ("series", "shift_fuse"):
+        # z-slices (series) / wavefronted fused planes (shift-fuse):
+        # n units per box, each 1/n of the box's work.
+        item = WorkItem(f"slice-{n}", box_flops / n, box_traffic.scaled(1.0 / n))
+        per_box = Phase("slices")
+        per_box.add(item, n)
+        wl.phases.extend(_repeat_phase(per_box, num_boxes))
+        return wl
+
+    grid = TileGrid(Box.cube(n, dim), variant.tile_size)
+    cells = n**dim
+    if variant.category == "overlapped":
+        per_box = Phase("tiles")
+        for item, count in _tile_groups(grid, variant, box_traffic, ncomp, cells):
+            per_box.add(item, count)
+        wl.phases.extend(_repeat_phase(per_box, num_boxes))
+        return wl
+
+    # Blocked wavefront: one phase per wavefront per box.
+    tile_shapes: dict[tuple[int, ...], WorkItem] = {}
+    box_phases: list[Phase] = []
+    for w, tile_ids in enumerate(grid.wavefronts()):
+        phase = Phase(f"wavefront-{w}")
+        counts: dict[tuple[int, ...], int] = {}
+        for ti in tile_ids:
+            shape = grid.tile_box(ti).size()
+            counts[shape] = counts.get(shape, 0) + 1
+        for shape, count in counts.items():
+            if shape not in tile_shapes:
+                tcells = 1
+                for s in shape:
+                    tcells *= s
+                tile_shapes[shape] = WorkItem(
+                    f"wf-tile-{shape}",
+                    box_flops * tcells / cells,
+                    box_traffic.scaled(tcells / cells),
+                )
+            phase.add(tile_shapes[shape], count)
+        box_phases.append(phase)
+    for b in range(num_boxes):
+        if b == 0:
+            wl.phases.extend(box_phases)
+        else:
+            wl.phases.extend(
+                Phase(p.label, list(p.groups)) for p in box_phases
+            )
+    return wl
+
+
+def _tile_groups(grid, variant, box_traffic, ncomp, cells):
+    """(item, count) groups for overlapped tiles, merged by tile shape."""
+    counts: dict[tuple[int, ...], int] = {}
+    for tb in grid:
+        counts[tb.size()] = counts.get(tb.size(), 0) + 1
+    for shape, count in counts.items():
+        flops = region_flops(shape, ncomp).total
+        tcells = 1
+        for s in shape:
+            tcells *= s
+        yield WorkItem(
+            f"ot-tile-{shape}", flops, box_traffic.scaled(tcells / cells)
+        ), count
+
+
+def _repeat_phase(phase: Phase, count: int) -> list[Phase]:
+    """``count`` barrier-separated copies of a per-box phase."""
+    return [Phase(phase.label, list(phase.groups)) for _ in range(count)]

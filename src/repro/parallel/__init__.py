@@ -1,0 +1,13 @@
+"""Real shared-memory execution of the schedules (the OpenMP analogue)."""
+
+from .partition import ParallelPlan, TaskGroup, build_plan
+from .pool import ParallelResult, run_plan, run_schedule_parallel
+
+__all__ = [
+    "ParallelPlan",
+    "ParallelResult",
+    "TaskGroup",
+    "build_plan",
+    "run_plan",
+    "run_schedule_parallel",
+]

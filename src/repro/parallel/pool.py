@@ -1,0 +1,84 @@
+"""Thread-pool execution of schedule plans (the OpenMP stand-in).
+
+NumPy kernels release the GIL for large array operations, so genuine
+overlap occurs for box-sized work; at container scale this is a sanity
+layer (results must stay bitwise identical under any interleaving), and
+the quantitative scaling study runs on :mod:`repro.machine`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..box.leveldata import LevelData
+from ..schedules.base import Variant
+from ..schedules.level import prepare_phi1
+from ..stencil.operators import FACE_INTERP_GHOST
+from .partition import ParallelPlan, build_plan
+
+__all__ = ["ParallelResult", "run_plan", "run_schedule_parallel"]
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of a threaded execution."""
+
+    phi1: LevelData
+    elapsed_s: float
+    threads: int
+    num_tasks: int
+    num_barriers: int
+
+
+def run_plan(plan: ParallelPlan, threads: int) -> tuple[float, int]:
+    """Execute a plan's barrier groups on a thread pool.
+
+    Returns (elapsed seconds, tasks executed).  Each group joins fully
+    before the next starts (the barrier); exceptions propagate.
+    """
+    if threads <= 0:
+        raise ValueError("threads must be positive")
+    executed = 0
+    start = time.perf_counter()
+    if threads == 1:
+        for group in plan.groups:
+            for task in group.tasks:
+                task()
+                executed += 1
+    else:
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            for group in plan.groups:
+                futures = [pool.submit(t) for t in group.tasks]
+                for f in futures:
+                    f.result()
+                executed += len(futures)
+    return time.perf_counter() - start, executed
+
+
+def run_schedule_parallel(
+    variant: Variant,
+    phi0: LevelData,
+    threads: int,
+    slabs_per_box: int | None = None,
+) -> ParallelResult:
+    """Run one schedule over a level with real threads.
+
+    ``phi0`` needs the kernel's 2-ghost ring, exchanged.  The result is
+    bitwise identical to :func:`repro.schedules.run_schedule_on_level`.
+    """
+    if phi0.ghost < FACE_INTERP_GHOST:
+        raise ValueError(
+            f"level needs ghost >= {FACE_INTERP_GHOST}, has {phi0.ghost}"
+        )
+    phi1 = prepare_phi1(phi0)
+    plan = build_plan(variant, phi0, phi1, slabs_per_box=slabs_per_box)
+    elapsed, executed = run_plan(plan, threads)
+    return ParallelResult(
+        phi1=phi1,
+        elapsed_s=elapsed,
+        threads=threads,
+        num_tasks=executed,
+        num_barriers=len(plan.groups),
+    )

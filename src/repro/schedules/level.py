@@ -1,0 +1,55 @@
+"""Level-wide schedule execution (serial reference driver).
+
+Runs one schedule variant over every box of a level, the way Chombo's
+box loop does, without threads — the :mod:`repro.parallel` package adds
+the shared-memory execution, and :mod:`repro.machine` simulates it on
+the paper's machines.  This driver is the correctness anchor: whatever
+the execution substrate, the result must equal this one bitwise.
+"""
+
+from __future__ import annotations
+
+from ..box.leveldata import LevelData
+from ..stencil.operators import FACE_INTERP_GHOST
+from .base import BoxExecutor, Variant
+from .variants import make_executor
+
+__all__ = ["run_schedule_on_level", "prepare_phi1"]
+
+
+def prepare_phi1(phi0: LevelData) -> LevelData:
+    """Ghostless output level pre-filled with phi0's valid data.
+
+    Fig. 6 line 1: ``phi0 = phi1 = initial data`` — the kernel
+    *accumulates* flux differences onto the initial state.
+    """
+    out = LevelData(phi0.layout, ncomp=phi0.ncomp, ghost=0)
+    for i in phi0.layout:
+        box = phi0.layout.box(i)
+        out[i].window(box)[...] = phi0[i].window(box)
+    return out
+
+
+def run_schedule_on_level(
+    variant: Variant | BoxExecutor, phi0: LevelData
+) -> LevelData:
+    """Execute one schedule variant over every box of ``phi0``.
+
+    ``phi0`` must carry the kernel's 2-cell ghost ring with ghosts
+    already exchanged.  Returns the new state as a ghostless level.
+    """
+    if phi0.ghost < FACE_INTERP_GHOST:
+        raise ValueError(
+            f"level needs ghost >= {FACE_INTERP_GHOST}, has {phi0.ghost}"
+        )
+    dim = phi0.layout.domain.dim
+    if isinstance(variant, BoxExecutor):
+        executor = variant
+    else:
+        executor = make_executor(variant, dim=dim, ncomp=phi0.ncomp)
+    phi1 = prepare_phi1(phi0)
+    for i in phi0.layout:
+        box = phi0.layout.box(i)
+        phi_g = phi0[i].window(box.grow(FACE_INTERP_GHOST))
+        executor.run(phi_g, phi1[i].window(box))
+    return phi1

@@ -1,0 +1,90 @@
+"""The original "series of loops" schedule (paper §IV-A, Fig. 6/7).
+
+For each direction: interpolate every component to the faces (EvalFlux1
+over the whole box), extract the face velocity, form the flux
+(EvalFlux2), and accumulate the flux difference into every cell.  The
+full C-component face array is live between the passes — O(C·(N+1)³)
+flux temporary — and the input is streamed once per direction, which is
+what starves memory bandwidth at N=128.
+
+Component-loop placement (the CLO/CLI axis):
+
+* **CLI** (component loop inside): all components are processed together
+  at each face; the face velocity must be copied out before EvalFlux2
+  overwrites its slot — the O((N+1)³) velocity temporary of Table I.
+* **CLO** (component loop outside): components are processed one at a
+  time; doing the velocity component's EvalFlux2 *last* lets the flux
+  array itself hold the interpolated velocity, eliminating the velocity
+  temporary (§IV-A "no temporary storage is required for the velocity").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exemplar.flux import accumulate_divergence, eval_flux1
+from ..exemplar.state import velocity_component
+from ..stencil.operators import FACE_INTERP_GHOST
+from ..util.alloc import alloc_scratch
+from .base import BoxExecutor, Variant
+
+__all__ = ["SeriesExecutor"]
+
+
+class SeriesExecutor(BoxExecutor):
+    """Baseline series-of-loops schedule; N-dimensional."""
+
+    def run(self, phi_g: np.ndarray, phi1: np.ndarray) -> None:
+        g = FACE_INTERP_GHOST
+        dim, ncomp = self.dim, self.ncomp
+        if phi_g.ndim != dim + 1 or phi_g.shape[-1] != ncomp:
+            raise ValueError(
+                f"phi_g shape {phi_g.shape} inconsistent with dim={dim}, ncomp={ncomp}"
+            )
+        clo = self.variant.component_loop == "CLO"
+        for d in range(dim):
+            sl = tuple(
+                slice(None) if ax == d else slice(g, -g) for ax in range(dim)
+            ) + (slice(None),)
+            view = phi_g[sl]
+            face_shape = tuple(
+                view.shape[ax] - 3 if ax == d else view.shape[ax]
+                for ax in range(dim)
+            )
+            flux = alloc_scratch("flux", face_shape + (ncomp,))
+            vd = velocity_component(d)
+            if clo:
+                # First pass: interpolate each component separately.
+                for c in range(ncomp):
+                    eval_flux1(view[..., c], axis=d, out=flux[..., c])
+                # Second pass: the flux array's component vd still holds
+                # the interpolated velocity; multiply it into the other
+                # components first, itself last.
+                vel = flux[..., vd]
+                for c in range(ncomp):
+                    if c != vd:
+                        np.multiply(flux[..., c], vel, out=flux[..., c])
+                np.multiply(vel, vel, out=vel)
+                for c in range(ncomp):
+                    accumulate_divergence(phi1[..., c], flux[..., c], axis=d)
+            else:
+                eval_flux1(view, axis=d, out=flux)
+                velocity = alloc_scratch("velocity", face_shape)
+                velocity[...] = flux[..., vd]
+                np.multiply(flux, velocity[..., None], out=flux)
+                accumulate_divergence(phi1, flux, axis=d)
+
+    def logical_temporaries(self, n: int) -> dict[str, int]:
+        c = self.ncomp
+        faces = (n + 1) ** self.dim
+        return {
+            "flux": c * faces,
+            "velocity": 0 if self.variant.component_loop == "CLO" else faces,
+        }
+
+
+def make_series_executor(variant: Variant, dim: int = 3, ncomp: int = 5) -> SeriesExecutor:
+    """Factory used by the variant registry."""
+    if variant.category != "series":
+        raise ValueError(f"not a series variant: {variant}")
+    return SeriesExecutor(variant, dim=dim, ncomp=ncomp)

@@ -1,0 +1,316 @@
+"""What / When / Where schedule specifications (the CodeGen+ separation).
+
+The paper implements its variants by separating (§IV-E):
+
+* **What** — statement macros over iteration domains: the exemplar has
+  three statements per direction (EvalFlux1, EvalFlux2, accumulate),
+  each over a face- or cell-centred domain;
+* **When** — a schedule mapping: which statements fuse into which loop
+  bands, with what shifts, loop order, tiling, and parallel loop;
+* **Where** — storage mappings for the flux/velocity temporaries
+  (full arrays, rolling planes, frontier caches, or tile-local).
+
+This module states those three views declaratively for every variant
+and *validates* them: band ordering must respect the kernel's
+dependences, and fusing statements into one band is legal only when the
+shifts cover the dependence distances (the shift-and-fuse legality
+condition: ``shift(consumer) - shift(producer) >= distance``, with the
+intra-iteration stage order breaking ties).  The storage mappings
+reproduce Table I (tested against :mod:`repro.analysis.temporary`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..box.intvect import IntVect, unit_vector, zero_vector
+from .base import Variant
+
+__all__ = [
+    "StatementSpec",
+    "DependenceEdge",
+    "FusedStatement",
+    "Band",
+    "ScheduleSpec",
+    "StorageDecl",
+    "exemplar_statements",
+    "dependence_edges",
+    "schedule_spec",
+    "storage_mapping",
+    "validate_schedule",
+    "ScheduleLegalityError",
+]
+
+
+class ScheduleLegalityError(ValueError):
+    """A schedule specification violates a kernel dependence."""
+
+
+@dataclass(frozen=True)
+class StatementSpec:
+    """One statement macro of the exemplar (the What).
+
+    ``centering`` is -1 for cell-centred domains or the face direction;
+    ``direction`` is the flux direction the statement belongs to.
+    """
+
+    name: str
+    direction: int
+    centering: int
+    reads: tuple[str, ...]
+    writes: tuple[str, ...]
+    flops_per_point: int
+
+
+@dataclass(frozen=True)
+class DependenceEdge:
+    """producer -> consumer with an iteration-space distance.
+
+    The consumer instance at iteration ``i`` reads the producer value
+    produced at ``i + distance`` (componentwise; the exemplar's only
+    nonzero distance is the accumulate reading the high-side face).
+    """
+
+    producer: str
+    consumer: str
+    distance: IntVect
+
+
+def exemplar_statements(dim: int = 3) -> list[StatementSpec]:
+    """The 3·dim statement macros of Fig. 6."""
+    out = []
+    for d in range(dim):
+        out.append(
+            StatementSpec(
+                name=f"flux1_{d}",
+                direction=d,
+                centering=d,
+                reads=("phi0",),
+                writes=(f"flux_{d}",),
+                flops_per_point=5,
+            )
+        )
+        out.append(
+            StatementSpec(
+                name=f"flux2_{d}",
+                direction=d,
+                centering=d,
+                reads=(f"flux_{d}", f"velocity_{d}"),
+                writes=(f"flux_{d}",),
+                flops_per_point=1,
+            )
+        )
+        out.append(
+            StatementSpec(
+                name=f"accum_{d}",
+                direction=d,
+                centering=-1,
+                reads=(f"flux_{d}", "phi1"),
+                writes=("phi1",),
+                flops_per_point=2,
+            )
+        )
+    return out
+
+
+def dependence_edges(dim: int = 3) -> list[DependenceEdge]:
+    """True data dependences between the exemplar's statements.
+
+    Within each direction d: flux1 -> flux2 at the same face (distance
+    0), and flux2 -> accumulate, where cell ``i`` reads its low face
+    ``i`` (distance 0) and its high face ``i + e_d`` (distance e_d).
+    There are no cross-direction dependences — phi1 accumulation is
+    order-insensitive only in the bitwise sense if the x,y,z order is
+    fixed, which the executors do by convention, not by dependence.
+    """
+    edges = []
+    for d in range(dim):
+        zero = zero_vector(dim)
+        e = unit_vector(d, dim)
+        edges.append(DependenceEdge(f"flux1_{d}", f"flux2_{d}", zero))
+        edges.append(DependenceEdge(f"flux2_{d}", f"accum_{d}", zero))
+        edges.append(DependenceEdge(f"flux2_{d}", f"accum_{d}", e))
+    return edges
+
+
+@dataclass(frozen=True)
+class FusedStatement:
+    """A statement's placement inside a band (the When).
+
+    ``shift`` displaces the statement's iterations relative to the
+    band's common iteration space (the paper's loop shifting);
+    ``stage`` orders statements executed at the same shifted iteration.
+    """
+
+    name: str
+    shift: IntVect
+    stage: int
+
+
+@dataclass
+class Band:
+    """One loop band: fused statements executed in a common loop nest."""
+
+    label: str
+    statements: list[FusedStatement]
+    loop_order: tuple[str, ...] = ("z", "y", "x")
+    parallel_loop: str | None = None
+    tile_size: int | None = None
+    wavefront: bool = False
+
+    def statement_names(self) -> set[str]:
+        return {s.name for s in self.statements}
+
+
+@dataclass
+class ScheduleSpec:
+    """The full When view of one variant: ordered bands."""
+
+    variant: Variant
+    dim: int
+    bands: list[Band] = field(default_factory=list)
+
+    def band_of(self, statement: str) -> int:
+        for i, b in enumerate(self.bands):
+            if statement in b.statement_names():
+                return i
+        raise KeyError(f"statement {statement!r} not scheduled")
+
+    def placement(self, statement: str) -> FusedStatement:
+        for b in self.bands:
+            for s in b.statements:
+                if s.name == statement:
+                    return s
+        raise KeyError(f"statement {statement!r} not scheduled")
+
+
+def schedule_spec(variant: Variant, dim: int = 3) -> ScheduleSpec:
+    """The When mapping of each variant category."""
+    spec = ScheduleSpec(variant, dim)
+    zero = zero_vector(dim)
+    par = "box" if variant.granularity == "P>=Box" else None
+
+    if variant.category == "series":
+        # 3·dim separate bands, in the Fig. 6 order.
+        for d in range(dim):
+            for stage, stmt in enumerate((f"flux1_{d}", f"flux2_{d}", f"accum_{d}")):
+                spec.bands.append(
+                    Band(
+                        label=f"{stmt}-pass",
+                        statements=[FusedStatement(stmt, zero, stage)],
+                        parallel_loop=par or "z",
+                    )
+                )
+        return spec
+
+    if variant.category in ("shift_fuse", "blocked_wavefront", "overlapped"):
+        # One fused band: face statements shifted down by e_d so a
+        # cell's high-side face is produced at the cell's iteration.
+        fused = []
+        for d in range(dim):
+            e = unit_vector(d, dim)
+            fused.append(FusedStatement(f"flux1_{d}", -e, 3 * d))
+            fused.append(FusedStatement(f"flux2_{d}", -e, 3 * d + 1))
+            fused.append(FusedStatement(f"accum_{d}", zero, 3 * d + 2))
+        band = Band(
+            label=f"{variant.category}-fused",
+            statements=fused,
+            parallel_loop=par or ("tile" if variant.is_tiled else "wavefront"),
+            tile_size=variant.tile_size,
+            wavefront=variant.category == "blocked_wavefront",
+        )
+        if variant.category == "overlapped" and variant.intra_tile == "basic":
+            # Basic intra-tile schedule: the tile runs the series bands.
+            spec.bands = []
+            for d in range(dim):
+                for stage, stmt in enumerate(
+                    (f"flux1_{d}", f"flux2_{d}", f"accum_{d}")
+                ):
+                    spec.bands.append(
+                        Band(
+                            label=f"tile-{stmt}-pass",
+                            statements=[FusedStatement(stmt, zero, stage)],
+                            parallel_loop=par or "tile",
+                            tile_size=variant.tile_size,
+                        )
+                    )
+            return spec
+        spec.bands.append(band)
+        return spec
+
+    raise ValueError(f"unknown category {variant.category!r}")
+
+
+def validate_schedule(spec: ScheduleSpec) -> None:
+    """Check every dependence is honoured by the band/shift/stage order.
+
+    * producer in an earlier band: always legal (bands are barriers);
+    * producer in a later band: always illegal;
+    * same band (fusion): legal iff
+      ``shift(consumer) - shift(producer) >= distance`` componentwise,
+      with strict stage ordering when equality makes them simultaneous.
+    """
+    for edge in dependence_edges(spec.dim):
+        pb = spec.band_of(edge.producer)
+        cb = spec.band_of(edge.consumer)
+        if pb < cb:
+            continue
+        if pb > cb:
+            raise ScheduleLegalityError(
+                f"{edge.consumer} scheduled before its producer "
+                f"{edge.producer}"
+            )
+        p = spec.placement(edge.producer)
+        c = spec.placement(edge.consumer)
+        slack = c.shift - p.shift - edge.distance
+        if not slack.ge(0):
+            raise ScheduleLegalityError(
+                f"fusing {edge.producer} -> {edge.consumer} with shifts "
+                f"{p.shift.to_tuple()} -> {c.shift.to_tuple()} does not "
+                f"cover distance {edge.distance.to_tuple()}"
+            )
+        if slack == zero_vector(spec.dim) and p.stage >= c.stage:
+            raise ScheduleLegalityError(
+                f"{edge.producer} and {edge.consumer} land on the same "
+                f"iteration but stages are not ordered"
+            )
+
+
+@dataclass(frozen=True)
+class StorageDecl:
+    """Where one temporary lives and how big it is (elements)."""
+
+    array: str
+    kind: str  # full-array | rolling | frontier-cache | tile-local | none
+    elements: int
+
+
+def storage_mapping(variant: Variant, n: int, c: int = 5) -> list[StorageDecl]:
+    """The Where view: storage declarations matching Table I."""
+    if variant.category == "series":
+        vel = (
+            0 if variant.component_loop == "CLO" else (n + 1) ** 3
+        )
+        return [
+            StorageDecl("flux", "full-array", c * (n + 1) ** 3),
+            StorageDecl(
+                "velocity", "none" if vel == 0 else "full-array", vel
+            ),
+        ]
+    if variant.category == "shift_fuse":
+        return [
+            StorageDecl("flux", "rolling", 2 + 2 * n + 2 * n * n),
+            StorageDecl("velocity", "full-array", 3 * (n + 1) ** 3),
+        ]
+    if variant.category == "blocked_wavefront":
+        return [
+            StorageDecl("flux", "frontier-cache", 2 * (3 * c * n * n)),
+            StorageDecl("velocity", "full-array", 3 * (n + 1) ** 3),
+        ]
+    if variant.category == "overlapped":
+        t = variant.tile_size
+        return [
+            StorageDecl("flux", "tile-local", c * (2 + 2 * t + 2 * t * t)),
+            StorageDecl("velocity", "tile-local", c * 3 * (t + 1) ** 3),
+        ]
+    raise ValueError(f"unknown category {variant.category!r}")

@@ -1,0 +1,159 @@
+"""Task graphs: the unit of scheduling for both real threads and the simulator.
+
+Every schedule variant decomposes the level's work into :class:`Task`
+objects — whole boxes (``P>=Box``), or z-slices / tiles / wavefront
+tiles within boxes (``P<Box``) — with barrier-style dependencies where
+the schedule requires them (wavefronts; box-sequential execution when
+parallelism is within the box).
+
+A task records *what it touches* (:class:`Access` list) and *how much
+arithmetic it does*, not a fixed time: the machine model converts
+accesses to memory traffic given a cache capacity, so the same graph
+replays on any simulated machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["Access", "Task", "TaskGraph", "DOUBLE_BYTES"]
+
+#: The exemplar is compiled for 64-bit floats (§III-C).
+DOUBLE_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Access:
+    """One array access performed by a task.
+
+    Parameters
+    ----------
+    array:
+        Logical array name (``phi0``, ``phi1``, ``flux``, ``velocity``,
+        ``flux_cache``...).
+    points:
+        Index points touched (cells or faces), *per component*.
+    comps:
+        Number of components touched.
+    mode:
+        ``r`` read, ``w`` write, or ``rw``.
+    scratch:
+        True for thread-private temporaries: they generate memory
+        traffic only when they spill past the cache; False for the
+        global state arrays, which are always streamed from/to memory
+        at least once (compulsory traffic).
+    """
+
+    array: str
+    points: int
+    comps: int = 1
+    mode: str = "r"
+    scratch: bool = False
+
+    def __post_init__(self):
+        if self.mode not in ("r", "w", "rw"):
+            raise ValueError(f"bad access mode {self.mode!r}")
+        if self.points < 0 or self.comps <= 0:
+            raise ValueError("points must be >= 0 and comps positive")
+
+    @property
+    def elements(self) -> int:
+        return self.points * self.comps
+
+    @property
+    def bytes(self) -> int:
+        n = self.elements * DOUBLE_BYTES
+        return 2 * n if self.mode == "rw" else n
+
+
+@dataclass
+class Task:
+    """A schedulable unit of work."""
+
+    tid: int
+    label: str
+    flops: float
+    accesses: list[Access] = field(default_factory=list)
+    deps: list[int] = field(default_factory=list)
+    #: live thread-private scratch while the task runs (bytes)
+    scratch_bytes: int = 0
+    #: grouping key for reporting (e.g. "box3", "wavefront5")
+    phase: str = ""
+
+    def stream_bytes(self) -> int:
+        """Bytes of non-scratch (global array) accesses."""
+        return sum(a.bytes for a in self.accesses if not a.scratch)
+
+    def scratch_traffic_bytes(self) -> int:
+        """Bytes of scratch accesses (hit memory only on spill)."""
+        return sum(a.bytes for a in self.accesses if a.scratch)
+
+
+class TaskGraph:
+    """A DAG of tasks plus convenience queries for schedulers."""
+
+    def __init__(self) -> None:
+        self.tasks: list[Task] = []
+
+    def add(
+        self,
+        label: str,
+        flops: float,
+        accesses: Iterable[Access] = (),
+        deps: Iterable[int] = (),
+        scratch_bytes: int = 0,
+        phase: str = "",
+    ) -> Task:
+        t = Task(
+            tid=len(self.tasks),
+            label=label,
+            flops=float(flops),
+            accesses=list(accesses),
+            deps=sorted(set(deps)),
+            scratch_bytes=int(scratch_bytes),
+            phase=phase,
+        )
+        for d in t.deps:
+            if not 0 <= d < t.tid:
+                raise ValueError(f"task {t.tid} depends on invalid/future task {d}")
+        self.tasks.append(t)
+        return t
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks)
+
+    def __getitem__(self, tid: int) -> Task:
+        return self.tasks[tid]
+
+    def total_flops(self) -> float:
+        return sum(t.flops for t in self.tasks)
+
+    def total_stream_bytes(self) -> int:
+        return sum(t.stream_bytes() for t in self.tasks)
+
+    def successors(self) -> list[list[int]]:
+        succ: list[list[int]] = [[] for _ in self.tasks]
+        for t in self.tasks:
+            for d in t.deps:
+                succ[d].append(t.tid)
+        return succ
+
+    def critical_path_length(self) -> int:
+        """Longest chain of tasks (unit task weight)."""
+        depth = [0] * len(self.tasks)
+        for t in self.tasks:  # tasks are topologically ordered by construction
+            depth[t.tid] = 1 + max((depth[d] for d in t.deps), default=0)
+        return max(depth, default=0)
+
+    def max_width(self) -> int:
+        """Maximum number of tasks with equal depth (peak parallelism bound)."""
+        depth = [0] * len(self.tasks)
+        counts: dict[int, int] = {}
+        for t in self.tasks:
+            depth[t.tid] = 1 + max((depth[d] for d in t.deps), default=0)
+            counts[depth[t.tid]] = counts.get(depth[t.tid], 0) + 1
+        return max(counts.values(), default=0)

@@ -1,0 +1,203 @@
+"""Enumeration of the schedule design space and the paper's practical set.
+
+The paper (§IV-E, footnote 1) counts 328 total variant combinations once
+every sub-axis (intra-tile schedule, inter-tile schedule, parallelization
+granularity, tile size, ...) is expanded, and runs experiments with ~30
+practical points.  This module enumerates the structural design space,
+applies the paper's pruning rules, and names the variants that appear in
+the figures:
+
+* tile sizes are only used for boxes strictly larger than the tile,
+* overlapped tiles use only the component-loop-outside (CLO) form —
+  the untiled CLI variants were slower (§IV-E),
+* wavefront figures use parallelization over tiles (``P<Box``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .base import (
+    COMPONENT_LOOPS,
+    GRANULARITIES,
+    PAPER_INTRA_TILE,
+    TILE_SIZES,
+    BoxExecutor,
+    Variant,
+)
+from .overlapped import OverlappedTileExecutor
+from .series import SeriesExecutor
+from .shift_fuse import ShiftFuseExecutor
+from .wavefront import BlockedWavefrontExecutor
+
+__all__ = [
+    "make_executor",
+    "enumerate_design_space",
+    "extended_variants",
+    "practical_variants",
+    "baseline_variant",
+    "shift_fuse_variant",
+    "variant_by_label",
+    "figure_variants",
+]
+
+_EXECUTORS = {
+    "series": SeriesExecutor,
+    "shift_fuse": ShiftFuseExecutor,
+    "blocked_wavefront": BlockedWavefrontExecutor,
+    "overlapped": OverlappedTileExecutor,
+}
+
+
+def make_executor(variant: Variant, dim: int = 3, ncomp: int = 5) -> BoxExecutor:
+    """Build the executor class matching the variant's category."""
+    return _EXECUTORS[variant.category](variant, dim=dim, ncomp=ncomp)
+
+
+def enumerate_design_space() -> list[Variant]:
+    """Every structural point in the design space (before pruning)."""
+    out: list[Variant] = []
+    for g in GRANULARITIES:
+        for cl in COMPONENT_LOOPS:
+            out.append(Variant("series", g, cl))
+            out.append(Variant("shift_fuse", g, cl))
+            for t in TILE_SIZES:
+                out.append(Variant("blocked_wavefront", g, cl, tile_size=t))
+                for intra in PAPER_INTRA_TILE:
+                    out.append(
+                        Variant("overlapped", g, cl, tile_size=t, intra_tile=intra)
+                    )
+    return out
+
+
+def practical_variants() -> list[Variant]:
+    """The ~30 variants actually measured (paper §IV-E pruning).
+
+    series: 4 (granularity × component loop); shift-fuse: 4; blocked
+    wavefront: 8 (P<Box, component loop × tile size); overlapped: 16
+    (CLO only, granularity × intra-tile × tile size) — 32 total,
+    matching the paper's "approximately 30".
+    """
+    out: list[Variant] = []
+    for g in GRANULARITIES:
+        for cl in COMPONENT_LOOPS:
+            out.append(Variant("series", g, cl))
+            out.append(Variant("shift_fuse", g, cl))
+    for cl in COMPONENT_LOOPS:
+        for t in TILE_SIZES:
+            out.append(Variant("blocked_wavefront", "P<Box", cl, tile_size=t))
+    for g in GRANULARITIES:
+        for intra in PAPER_INTRA_TILE:
+            for t in TILE_SIZES:
+                out.append(
+                    Variant("overlapped", g, "CLO", tile_size=t, intra_tile=intra)
+                )
+    return out
+
+
+def extended_variants() -> list[Variant]:
+    """The practical set plus the hierarchical-tiling extension points.
+
+    Hierarchical overlapped tiling (§V related work, implemented as an
+    extension): outer tiles 16/32 with inner wavefront sub-tiles half
+    the size, CLO, both granularities.
+    """
+    out = list(practical_variants())
+    for g in GRANULARITIES:
+        for outer, inner in ((16, 8), (32, 8), (32, 16)):
+            out.append(
+                Variant(
+                    "overlapped", g, "CLO", tile_size=outer,
+                    intra_tile="wavefront", inner_tile_size=inner,
+                )
+            )
+    return out
+
+
+def baseline_variant(granularity: str = "P>=Box") -> Variant:
+    """The paper's "Baseline": series of loops, component loop outside."""
+    return Variant("series", granularity, "CLO")
+
+
+def shift_fuse_variant(granularity: str = "P>=Box") -> Variant:
+    """The paper's "Shift-Fuse" line."""
+    return Variant("shift_fuse", granularity, "CLO")
+
+
+def variant_by_label(label: str) -> Variant:
+    """Look a practical variant up by its figure-legend label."""
+    for v in practical_variants():
+        if v.label == label:
+            return v
+    raise KeyError(f"no practical variant labelled {label!r}")
+
+
+def figure_variants(figure: str) -> dict[str, Variant]:
+    """The labelled line set of one of the paper's schedule figures.
+
+    ``figure`` is one of ``fig10`` (Magny-Cours), ``fig11`` (Ivy
+    Bridge), ``fig12`` (Sandy Bridge); each returns the seven schedules
+    in that figure's legend, keyed by legend label.
+    """
+    common = {
+        "Baseline: P>=Box": Variant("series", "P>=Box", "CLO"),
+        "Shift-Fuse: P>=Box": Variant("shift_fuse", "P>=Box", "CLO"),
+    }
+    per_figure: dict[str, dict[str, Variant]] = {
+        "fig10": {
+            "Blocked WF-CLO-16: P<Box": Variant(
+                "blocked_wavefront", "P<Box", "CLO", tile_size=16
+            ),
+            "Shift-Fuse OT-8: P<Box": Variant(
+                "overlapped", "P<Box", "CLO", tile_size=8, intra_tile="shift_fuse"
+            ),
+            "Basic-Sched OT-8: P<Box": Variant(
+                "overlapped", "P<Box", "CLO", tile_size=8, intra_tile="basic"
+            ),
+            "Shift-Fuse OT-16: P>=Box": Variant(
+                "overlapped", "P>=Box", "CLO", tile_size=16, intra_tile="shift_fuse"
+            ),
+            "Basic-Sched OT-16: P>=Box": Variant(
+                "overlapped", "P>=Box", "CLO", tile_size=16, intra_tile="basic"
+            ),
+        },
+        "fig11": {
+            "Blocked WF-CLI-4: P<Box": Variant(
+                "blocked_wavefront", "P<Box", "CLI", tile_size=4
+            ),
+            "Shift-Fuse OT-8: P<Box": Variant(
+                "overlapped", "P<Box", "CLO", tile_size=8, intra_tile="shift_fuse"
+            ),
+            "Basic-Sched OT-16: P<Box": Variant(
+                "overlapped", "P<Box", "CLO", tile_size=16, intra_tile="basic"
+            ),
+            "Shift-Fuse OT-8: P>=Box": Variant(
+                "overlapped", "P>=Box", "CLO", tile_size=8, intra_tile="shift_fuse"
+            ),
+            "Basic-Sched OT-16: P>=Box": Variant(
+                "overlapped", "P>=Box", "CLO", tile_size=16, intra_tile="basic"
+            ),
+        },
+        "fig12": {
+            "Blocked WF-CLI-16: P<Box": Variant(
+                "blocked_wavefront", "P<Box", "CLI", tile_size=16
+            ),
+            "Shift-Fuse OT-16: P<Box": Variant(
+                "overlapped", "P<Box", "CLO", tile_size=16, intra_tile="shift_fuse"
+            ),
+            "Basic-Sched OT-16: P<Box": Variant(
+                "overlapped", "P<Box", "CLO", tile_size=16, intra_tile="basic"
+            ),
+            "Shift-Fuse OT-8: P>=Box": Variant(
+                "overlapped", "P>=Box", "CLO", tile_size=8, intra_tile="shift_fuse"
+            ),
+            "Basic-Sched OT-16: P>=Box": Variant(
+                "overlapped", "P>=Box", "CLO", tile_size=16, intra_tile="basic"
+            ),
+        },
+    }
+    if figure not in per_figure:
+        raise KeyError(f"unknown figure {figure!r}; use fig10/fig11/fig12")
+    out = dict(common)
+    out.update(per_figure[figure])
+    return out

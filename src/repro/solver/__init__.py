@@ -1,0 +1,12 @@
+"""Time-dependent solves on the substrate (the §II solver structure)."""
+
+from .integrator import IntegrationStats, TimeIntegrator
+from .operators import GHOST, AdvectionOperator, ExemplarOperator
+
+__all__ = [
+    "AdvectionOperator",
+    "ExemplarOperator",
+    "GHOST",
+    "IntegrationStats",
+    "TimeIntegrator",
+]

@@ -1,0 +1,28 @@
+"""Stencil algebra: linear stencils applied via shifted NumPy views."""
+
+from .operators import (
+    FACE_INTERP_GHOST,
+    centered_gradient_stencil,
+    divergence_stencil,
+    face_interp_stencil,
+    identity_stencil,
+    laplacian_stencil,
+    upwind_stencil,
+)
+from .stencil import Stencil, StencilTap
+from .transfer import prolong_constant, prolong_linear, restrict_average
+
+__all__ = [
+    "prolong_constant",
+    "prolong_linear",
+    "restrict_average",
+    "FACE_INTERP_GHOST",
+    "Stencil",
+    "StencilTap",
+    "centered_gradient_stencil",
+    "divergence_stencil",
+    "face_interp_stencil",
+    "identity_stencil",
+    "laplacian_stencil",
+    "upwind_stencil",
+]

@@ -1,0 +1,98 @@
+"""Standard stencils used by the exemplar and the example solvers.
+
+The flux kernel's 4th-order face interpolation (paper Eq. 6) and the
+divergence accumulation (Fig. 6 lines 18–19) are expressed here as
+:class:`~repro.stencil.stencil.Stencil` objects, plus a handful of
+classic operators (2nd-order gradients/Laplacian, 1st-order upwind) used
+by the example applications.
+
+Face convention: face index ``i`` along direction ``d`` is the low face
+of cell ``i`` (at ``i - 1/2``).  Eq. 6 written for that face reads::
+
+    <phi>_{i-1/2} = 7/12 (<phi>_{i-1} + <phi>_i) - 1/12 (<phi>_{i+1} + <phi>_{i-2})
+"""
+
+from __future__ import annotations
+
+from ..box.intvect import unit_vector, zero_vector
+from .stencil import Stencil
+
+__all__ = [
+    "face_interp_stencil",
+    "divergence_stencil",
+    "centered_gradient_stencil",
+    "laplacian_stencil",
+    "upwind_stencil",
+    "identity_stencil",
+    "FACE_INTERP_GHOST",
+]
+
+#: Ghost width required by the 4th-order face interpolation (Eq. 6):
+#: the low-side face of the lowest cell reads two cells below the box.
+FACE_INTERP_GHOST = 2
+
+
+def face_interp_stencil(direction: int, dim: int = 3) -> Stencil:
+    """4th-order cell-to-face average (paper Eq. 6), for faces normal to ``direction``.
+
+    Input is cell-centred data; output index ``i`` is the face at
+    ``i - 1/2`` along ``direction``.
+    """
+    e = unit_vector(direction, dim)
+    return Stencil(
+        {
+            (-e).to_tuple(): 7.0 / 12.0,
+            zero_vector(dim).to_tuple(): 7.0 / 12.0,
+            e.to_tuple(): -1.0 / 12.0,
+            (-e - e).to_tuple(): -1.0 / 12.0,
+        },
+        dim,
+    )
+
+
+def divergence_stencil(direction: int, dim: int = 3) -> Stencil:
+    """Face-to-cell flux difference (Fig. 6 lines 18–19).
+
+    For cell ``i``, reads face ``i+1`` (high face) minus face ``i`` (low
+    face): ``phi1(cell) += flux(cell + 1) - flux(cell)``.
+    """
+    e = unit_vector(direction, dim)
+    return Stencil(
+        {
+            e.to_tuple(): 1.0,
+            zero_vector(dim).to_tuple(): -1.0,
+        },
+        dim,
+    )
+
+
+def centered_gradient_stencil(direction: int, dim: int = 3, dx: float = 1.0) -> Stencil:
+    """2nd-order centred difference (paper Eq. 2), cell-to-cell."""
+    e = unit_vector(direction, dim)
+    c = 1.0 / (2.0 * dx)
+    return Stencil({e.to_tuple(): c, (-e).to_tuple(): -c}, dim)
+
+
+def laplacian_stencil(dim: int = 3, dx: float = 1.0) -> Stencil:
+    """2nd-order (2·dim+1)-point Laplacian, cell-to-cell."""
+    inv = 1.0 / (dx * dx)
+    taps = {zero_vector(dim).to_tuple(): -2.0 * dim * inv}
+    for d in range(dim):
+        e = unit_vector(d, dim)
+        taps[e.to_tuple()] = inv
+        taps[(-e).to_tuple()] = inv
+    return Stencil(taps, dim)
+
+
+def upwind_stencil(direction: int, dim: int = 3, velocity: float = 1.0, dx: float = 1.0) -> Stencil:
+    """1st-order upwind advection derivative ``-v * d/dx`` for constant v."""
+    e = unit_vector(direction, dim)
+    c = velocity / dx
+    if velocity >= 0:
+        return Stencil({zero_vector(dim).to_tuple(): -c, (-e).to_tuple(): c}, dim)
+    return Stencil({e.to_tuple(): -c, zero_vector(dim).to_tuple(): c}, dim)
+
+
+def identity_stencil(dim: int = 3) -> Stencil:
+    """The identity (useful for copies through the stencil machinery)."""
+    return Stencil({zero_vector(dim).to_tuple(): 1.0}, dim)

@@ -1,0 +1,176 @@
+"""Stencil algebra over box-shaped NumPy data.
+
+A :class:`Stencil` is a finite set of (offset, coefficient) taps applied
+to array data via shifted views — no per-cell Python loops (the guides'
+first rule for HPC Python).  Stencils know their *footprint* so callers
+can compute required ghost widths and valid application regions with box
+calculus rather than index arithmetic.
+
+Index conventions
+-----------------
+Face-centred data in direction ``d`` uses Chombo's convention: face
+index ``i`` along ``d`` is the **low** face of cell ``i`` (the face at
+``i - 1/2``).  A cell box of ``N`` cells therefore has ``N + 1`` faces,
+indices ``lo .. hi+1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..box.box import Box
+from ..box.intvect import IntVect
+
+__all__ = ["Stencil", "StencilTap"]
+
+
+@dataclass(frozen=True)
+class StencilTap:
+    """One stencil tap: read at ``offset`` from the output point, scaled."""
+
+    offset: IntVect
+    coeff: float
+
+
+class Stencil:
+    """A linear stencil mapping one centering to another.
+
+    Parameters
+    ----------
+    taps:
+        Mapping from integer offset tuples to coefficients, or a
+        sequence of :class:`StencilTap`.  Offsets are *relative to the
+        output index* and are read from the input array using the same
+        integer indexing (centering conventions are the caller's
+        contract; see module docstring).
+    dim:
+        Spatial dimensionality.
+    """
+
+    def __init__(self, taps, dim: int):
+        if isinstance(taps, Mapping):
+            entries = [StencilTap(IntVect(k), float(v)) for k, v in taps.items()]
+        else:
+            entries = [
+                t if isinstance(t, StencilTap) else StencilTap(IntVect(t[0]), float(t[1]))
+                for t in taps
+            ]
+        if not entries:
+            raise ValueError("stencil needs at least one tap")
+        for t in entries:
+            if t.offset.dim != dim:
+                raise ValueError(f"tap {t} has wrong dimension (expected {dim})")
+        self.taps = tuple(sorted(entries, key=lambda t: t.offset.to_tuple()))
+        self.dim = dim
+
+    # -- footprint queries --------------------------------------------------------
+    def lo_extent(self) -> IntVect:
+        """Most negative offset per direction (how far the stencil reaches down)."""
+        lo = self.taps[0].offset
+        for t in self.taps[1:]:
+            lo = lo.min_with(t.offset)
+        return lo
+
+    def hi_extent(self) -> IntVect:
+        """Most positive offset per direction."""
+        hi = self.taps[0].offset
+        for t in self.taps[1:]:
+            hi = hi.max_with(t.offset)
+        return hi
+
+    def required_input_box(self, output_box: Box) -> Box:
+        """The input region read when producing every point of ``output_box``."""
+        return Box(
+            output_box.lo + self.lo_extent(),
+            output_box.hi + self.hi_extent(),
+        )
+
+    def valid_output_box(self, input_box: Box) -> Box:
+        """The largest output region computable from data on ``input_box``."""
+        return Box(
+            input_box.lo - self.lo_extent(),
+            input_box.hi - self.hi_extent(),
+        )
+
+    def ghost_width(self) -> int:
+        """Maximum |offset| over all taps and directions."""
+        width = 0
+        for t in self.taps:
+            for c in t.offset:
+                width = max(width, abs(c))
+        return width
+
+    @property
+    def num_taps(self) -> int:
+        return len(self.taps)
+
+    def flops_per_point(self) -> int:
+        """Multiply+add count per output point (coeff*x each tap, then sums)."""
+        return 2 * len(self.taps) - 1
+
+    # -- application ----------------------------------------------------------------
+    def apply(
+        self,
+        src: np.ndarray,
+        src_box: Box,
+        out_box: Box,
+        out: np.ndarray | None = None,
+        out_container: Box | None = None,
+        accumulate: bool = False,
+    ) -> np.ndarray:
+        """Apply the stencil, producing values over ``out_box``.
+
+        Parameters
+        ----------
+        src:
+            Input array whose spatial axes cover ``src_box`` (a trailing
+            component axis, if any, is carried through).
+        src_box:
+            Region covered by ``src``.
+        out_box:
+            Region of output points to produce; its required input must
+            lie within ``src_box``.
+        out / out_container:
+            Optional output array covering ``out_container`` (defaults
+            to a fresh array exactly covering ``out_box``).
+        accumulate:
+            Add into ``out`` instead of overwriting.
+        """
+        need = self.required_input_box(out_box)
+        if not src_box.contains(need):
+            raise ValueError(
+                f"stencil needs {need} but input only covers {src_box}"
+            )
+        extra = src.ndim - self.dim
+        if extra < 0:
+            raise ValueError("src has fewer axes than the stencil dimension")
+        tail = (slice(None),) * extra
+
+        acc: np.ndarray | None = None
+        for tap in self.taps:
+            region = out_box.shift_vect(tap.offset)
+            view = src[region.slices_within(src_box) + tail]
+            term = tap.coeff * view
+            acc = term if acc is None else acc + term
+
+        if out is None:
+            if accumulate:
+                raise ValueError("accumulate=True requires an output array")
+            return acc
+        if out_container is None:
+            out_container = out_box
+        sl = out_box.slices_within(out_container) + tail
+        if accumulate:
+            out[sl] += acc
+        else:
+            out[sl] = acc
+        return out
+
+    def __repr__(self) -> str:
+        taps = ", ".join(
+            f"{t.offset.to_tuple()}:{t.coeff:+g}" for t in self.taps
+        )
+        return f"Stencil[{taps}]"

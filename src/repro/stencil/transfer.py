@@ -1,0 +1,89 @@
+"""Inter-level transfer operators for refinement hierarchies.
+
+Chombo's AMR context (§II: Berger-Oliger-Colella refinement) needs two
+grid-transfer primitives, both provided here in conservative
+finite-volume form and fully vectorized:
+
+* **restriction** — coarse cell = average of its ``ratio^dim`` fine
+  children (exactly conservative);
+* **prolongation** — piecewise-constant injection of the coarse value
+  into the children (conservative; higher-order correction is a
+  limited-slope option).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["restrict_average", "prolong_constant", "prolong_linear"]
+
+
+def _check_ratio(ratio: int) -> None:
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+
+
+def restrict_average(fine: np.ndarray, ratio: int, dim: int | None = None) -> np.ndarray:
+    """Conservative average of fine cells onto the coarse grid.
+
+    ``fine`` has spatial axes first (each divisible by ``ratio``) and an
+    optional trailing component axis; ``dim`` defaults to all axes being
+    spatial except a trailing component axis when ``fine.ndim > dim``.
+    """
+    _check_ratio(ratio)
+    if dim is None:
+        dim = fine.ndim - 1 if fine.ndim > 1 else fine.ndim
+    for ax in range(dim):
+        if fine.shape[ax] % ratio:
+            raise ValueError(
+                f"axis {ax} extent {fine.shape[ax]} not divisible by {ratio}"
+            )
+    out = fine
+    # Reshape each spatial axis into (coarse, ratio) and mean over the
+    # ratio axis, back to front so axis indices stay valid.
+    for ax in range(dim - 1, -1, -1):
+        shape = list(out.shape)
+        coarse = shape[ax] // ratio
+        new_shape = shape[:ax] + [coarse, ratio] + shape[ax + 1:]
+        out = out.reshape(new_shape).mean(axis=ax + 1)
+    return out
+
+
+def prolong_constant(coarse: np.ndarray, ratio: int, dim: int | None = None) -> np.ndarray:
+    """Piecewise-constant injection onto the fine grid (conservative)."""
+    _check_ratio(ratio)
+    if dim is None:
+        dim = coarse.ndim - 1 if coarse.ndim > 1 else coarse.ndim
+    out = coarse
+    for ax in range(dim):
+        out = np.repeat(out, ratio, axis=ax)
+    return out
+
+
+def prolong_linear(coarse: np.ndarray, ratio: int, dim: int | None = None) -> np.ndarray:
+    """Linear (slope-corrected) prolongation, still conservative.
+
+    Adds a central-difference slope within each coarse cell; slopes are
+    one-sided at boundaries.  The mean over each coarse cell's children
+    equals the coarse value, so restriction of the result recovers the
+    input exactly.
+    """
+    _check_ratio(ratio)
+    if dim is None:
+        dim = coarse.ndim - 1 if coarse.ndim > 1 else coarse.ndim
+    out = prolong_constant(coarse, ratio, dim).astype(np.float64, copy=True)
+    # Child offsets within a coarse cell, centred: for ratio r the
+    # children sit at (k + 0.5)/r - 0.5 in coarse-cell units.
+    offsets = (np.arange(ratio) + 0.5) / ratio - 0.5
+    for ax in range(dim):
+        if coarse.shape[ax] < 2:
+            continue  # a single coarse cell has no slope
+        slope = np.gradient(coarse.astype(np.float64), axis=ax)
+        fine_slope = prolong_constant(slope, ratio, dim)
+        # Per-child offset pattern along this axis.
+        reps = out.shape[ax] // ratio
+        pattern = np.tile(offsets, reps)
+        shape = [1] * out.ndim
+        shape[ax] = out.shape[ax]
+        out += fine_slope * pattern.reshape(shape)
+    return out

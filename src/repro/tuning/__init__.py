@@ -1,0 +1,5 @@
+"""Model-driven schedule autotuning (implements the paper's §VII outlook)."""
+
+from .autotuner import Autotuner, TuningEntry, TuningResult
+
+__all__ = ["Autotuner", "TuningEntry", "TuningResult"]

@@ -1,0 +1,180 @@
+"""Model-driven schedule autotuning (the paper's concluding direction).
+
+§VII: "it would be beneficial to determine ways to automate the
+automatic implementation, selection, and tuning of such inter-loop
+program optimizations for PDE application frameworks."  This module is
+that selector for the reproduced stack: given a machine, box size, and
+thread count, it searches the practical variant space with the machine
+model, optionally prunes it analytically first (cheap storage/
+parallelism bounds before any simulation), and returns a ranked tuning
+result that can drive real execution via `repro.schedules` /
+`repro.parallel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..analysis.parallelism import parallel_efficiency_bound
+from ..analysis.traffic import variant_traffic
+from ..bench.runner import time_variant
+from ..exemplar.problem import PAPER_DOMAIN_CELLS
+from ..machine.spec import MachineSpec
+from ..schedules.base import Variant
+from ..schedules.variants import practical_variants
+
+__all__ = ["TuningEntry", "TuningResult", "Autotuner"]
+
+
+@dataclass(frozen=True)
+class TuningEntry:
+    """One evaluated configuration."""
+
+    variant: Variant
+    time_s: float
+    bandwidth_gbs: float
+    pruned: bool = False
+    prune_reason: str = ""
+
+
+@dataclass
+class TuningResult:
+    """Ranked outcome of one tuning run."""
+
+    machine: str
+    box_size: int
+    threads: int
+    entries: list[TuningEntry] = field(default_factory=list)
+
+    @property
+    def best(self) -> TuningEntry:
+        evaluated = [e for e in self.entries if not e.pruned]
+        if not evaluated:
+            raise ValueError("no variant survived pruning")
+        return min(evaluated, key=lambda e: e.time_s)
+
+    @property
+    def evaluated(self) -> list[TuningEntry]:
+        return sorted(
+            (e for e in self.entries if not e.pruned), key=lambda e: e.time_s
+        )
+
+    @property
+    def pruned(self) -> list[TuningEntry]:
+        return [e for e in self.entries if e.pruned]
+
+    def speedup_over_baseline(self) -> float:
+        """Best variant vs the paper's baseline (series, P>=Box, CLO)."""
+        base = [
+            e
+            for e in self.entries
+            if e.variant.category == "series"
+            and e.variant.granularity == "P>=Box"
+            and not e.pruned
+        ]
+        if not base:
+            raise ValueError("baseline was pruned; cannot compare")
+        return min(b.time_s for b in base) / self.best.time_s
+
+
+class Autotuner:
+    """Search the schedule space for one (machine, workload) point.
+
+    Parameters
+    ----------
+    machine:
+        Target machine model.
+    domain_cells:
+        Level size (defaults to the paper's 50M-cell domain).
+    prune:
+        Apply the analytic pre-filters before simulating:
+
+        * *parallelism bound* — drop variants whose work-unit counts
+          cannot occupy ``min_efficiency`` of the threads (e.g. P<Box
+          tiling of a box barely larger than the tile);
+        * *traffic dominance* — drop variants whose modelled DRAM
+          traffic exceeds ``traffic_slack`` times the cheapest
+          variant's (they cannot win on a bandwidth-limited node).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        domain_cells: Sequence[int] = PAPER_DOMAIN_CELLS,
+        prune: bool = True,
+        min_efficiency: float = 0.4,
+        traffic_slack: float = 4.0,
+    ):
+        self.machine = machine
+        self.domain_cells = tuple(domain_cells)
+        self.prune = prune
+        self.min_efficiency = min_efficiency
+        self.traffic_slack = traffic_slack
+
+    def _num_boxes(self, box_size: int) -> int:
+        n = 1
+        for c in self.domain_cells:
+            n *= c // box_size
+        return n
+
+    def tune(
+        self,
+        box_size: int,
+        threads: int | None = None,
+        variants: Sequence[Variant] | None = None,
+    ) -> TuningResult:
+        """Evaluate (and rank) every applicable variant."""
+        threads = threads or self.machine.cores
+        pool = [
+            v
+            for v in (variants if variants is not None else practical_variants())
+            if v.applicable_to_box(box_size)
+        ]
+        if not pool:
+            raise ValueError(f"no applicable variants for box size {box_size}")
+        result = TuningResult(self.machine.name, box_size, threads)
+        num_boxes = self._num_boxes(box_size)
+        cache = self.machine.cache_per_thread_bytes(threads)
+        traffics = {
+            v: variant_traffic(v, box_size).dram_bytes(cache) for v in pool
+        }
+        floor = min(traffics.values())
+        for v in pool:
+            is_baseline = (
+                v.category == "series" and v.granularity == "P>=Box"
+            )
+            # The baseline is the comparison anchor: never pruned.
+            if self.prune and not is_baseline:
+                eff = parallel_efficiency_bound(v, box_size, num_boxes, threads)
+                if eff < self.min_efficiency:
+                    result.entries.append(
+                        TuningEntry(
+                            v, float("inf"), 0.0, pruned=True,
+                            prune_reason=f"parallel efficiency bound {eff:.2f}",
+                        )
+                    )
+                    continue
+                if traffics[v] > self.traffic_slack * floor:
+                    result.entries.append(
+                        TuningEntry(
+                            v, float("inf"), 0.0, pruned=True,
+                            prune_reason=(
+                                f"traffic {traffics[v] / floor:.1f}x the floor"
+                            ),
+                        )
+                    )
+                    continue
+            r = time_variant(v, self.machine, threads, box_size, self.domain_cells)
+            result.entries.append(TuningEntry(v, r.time_s, r.bandwidth_gbs))
+        return result
+
+    def tune_box_sizes(
+        self, box_sizes: Sequence[int], threads: int | None = None
+    ) -> dict[int, TuningResult]:
+        """Tune several box sizes (the Fig. 9 sweep, automated)."""
+        return {n: self.tune(n, threads) for n in box_sizes}
+
+    def recommend(self, box_size: int, threads: int | None = None) -> Variant:
+        """The single best schedule for this point."""
+        return self.tune(box_size, threads).best.variant

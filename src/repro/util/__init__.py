@@ -1,0 +1,6 @@
+"""Shared utilities: allocation accounting, timers, small helpers."""
+
+from .alloc import AllocationTracker, current_tracker, track_allocations
+from .timer import Timer
+
+__all__ = ["AllocationTracker", "current_tracker", "track_allocations", "Timer"]

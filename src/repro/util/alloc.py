@@ -1,0 +1,97 @@
+"""Allocation accounting for temporary arrays.
+
+The paper's Table I characterizes each schedule by the amount of
+*temporary* data it needs (flux and velocity scratch).  To verify those
+formulas against the actual implementations, schedule executors route
+every scratch allocation through :func:`alloc_scratch`, and tests wrap
+executions in :func:`track_allocations` to observe exactly how many
+elements each executor allocated, tagged by purpose.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "AllocationRecord",
+    "AllocationTracker",
+    "alloc_scratch",
+    "current_tracker",
+    "track_allocations",
+]
+
+_state = threading.local()
+
+
+@dataclass
+class AllocationRecord:
+    """One scratch allocation: a tag, a shape, and the element count."""
+
+    tag: str
+    shape: tuple[int, ...]
+    elements: int
+
+
+@dataclass
+class AllocationTracker:
+    """Accumulates scratch allocations grouped by tag."""
+
+    records: list[AllocationRecord] = field(default_factory=list)
+
+    def add(self, tag: str, shape: Sequence[int]) -> None:
+        shape = tuple(int(s) for s in shape)
+        n = 1
+        for s in shape:
+            n *= s
+        self.records.append(AllocationRecord(tag, shape, n))
+
+    def total_elements(self, tag: str | None = None) -> int:
+        """Total elements allocated, optionally restricted to one tag."""
+        return sum(r.elements for r in self.records if tag is None or r.tag == tag)
+
+    def peak_elements_by_tag(self) -> dict[str, int]:
+        """Maximum single-allocation size per tag.
+
+        Schedules reuse their scratch buffers across tasks; the *peak*
+        single allocation is what Table I's formulas describe (per
+        thread, the live scratch at any instant).
+        """
+        peaks: dict[str, int] = defaultdict(int)
+        for r in self.records:
+            peaks[r.tag] = max(peaks[r.tag], r.elements)
+        return dict(peaks)
+
+    def count(self, tag: str | None = None) -> int:
+        """Number of allocation events."""
+        return sum(1 for r in self.records if tag is None or r.tag == tag)
+
+
+def current_tracker() -> AllocationTracker | None:
+    """The tracker installed on this thread, or None."""
+    return getattr(_state, "tracker", None)
+
+
+@contextmanager
+def track_allocations() -> Iterator[AllocationTracker]:
+    """Context manager installing a fresh tracker on the current thread."""
+    prev = current_tracker()
+    tracker = AllocationTracker()
+    _state.tracker = tracker
+    try:
+        yield tracker
+    finally:
+        _state.tracker = prev
+
+
+def alloc_scratch(tag: str, shape: Sequence[int], dtype=np.float64, order: str = "F") -> np.ndarray:
+    """Allocate a scratch array, reporting it to the active tracker."""
+    tracker = current_tracker()
+    if tracker is not None:
+        tracker.add(tag, shape)
+    return np.empty(tuple(int(s) for s in shape), dtype=dtype, order=order)

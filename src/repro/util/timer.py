@@ -1,0 +1,34 @@
+"""A small accumulating wall-clock timer used by the bench harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Accumulates elapsed wall-clock time over repeated ``measure`` blocks."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.count = 0
+
+    @contextmanager
+    def measure(self):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.elapsed += time.perf_counter() - start
+            self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean time per measured block (0.0 if never used)."""
+        return self.elapsed / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.count = 0

@@ -1,0 +1,110 @@
+"""Tests of AMR box calculus and inter-level transfer operators."""
+
+import numpy as np
+import pytest
+
+from repro.box import Box
+from repro.stencil.transfer import (
+    prolong_constant,
+    prolong_linear,
+    restrict_average,
+)
+
+
+class TestBoxRefinement:
+    def test_refine_coarsen_roundtrip(self):
+        b = Box.from_extents((2, -4, 0), (3, 5, 7))
+        assert b.refine(2).coarsen(2) == b
+        assert b.refine(4).coarsen(4) == b
+
+    def test_refine_point_counts(self):
+        b = Box.cube(4, 3)
+        assert b.refine(2).num_points() == 8 * b.num_points()
+
+    def test_coarsen_floor_semantics(self):
+        b = Box.from_extents((1, 1), (3, 3))  # cells 1..3
+        c = b.coarsen(2)
+        assert c.lo.to_tuple() == (0, 0)
+        assert c.hi.to_tuple() == (1, 1)
+
+    def test_coarsenable(self):
+        assert Box.from_extents((0, 0), (4, 4)).coarsenable(2)
+        assert not Box.from_extents((1, 0), (4, 4)).coarsenable(2)
+        assert Box.cube(8, 3).coarsenable(4)
+
+    def test_invalid_ratio(self):
+        b = Box.cube(4, 2)
+        for fn in (b.coarsen, b.refine, b.coarsenable):
+            with pytest.raises(ValueError):
+                fn(0)
+
+    def test_refinement_preserves_centering(self):
+        fb = Box.cube(4, 2).face_box(0)
+        assert fb.refine(2).centering == fb.centering
+
+
+class TestRestriction:
+    def test_constant_preserved(self):
+        fine = np.full((8, 8, 8, 2), 3.0)
+        coarse = restrict_average(fine, 2)
+        assert coarse.shape == (4, 4, 4, 2)
+        assert np.all(coarse == 3.0)
+
+    def test_exact_conservation(self):
+        rng = np.random.default_rng(0)
+        fine = rng.random((8, 12, 4, 3))
+        coarse = restrict_average(fine, 2)
+        assert coarse.sum() * 8 == pytest.approx(fine.sum(), rel=1e-12)
+
+    def test_ratio_4(self):
+        fine = np.arange(16.0).reshape(16, 1)
+        coarse = restrict_average(fine, 4, dim=1)
+        assert coarse.shape == (4, 1)
+        assert coarse[0, 0] == pytest.approx(1.5)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            restrict_average(np.zeros((6, 6)), 4, dim=2)
+
+
+class TestProlongation:
+    def test_constant_injection(self):
+        coarse = np.arange(4.0).reshape(2, 2)
+        fine = prolong_constant(coarse, 2, dim=2)
+        assert fine.shape == (4, 4)
+        assert np.all(fine[:2, :2] == coarse[0, 0])
+
+    def test_restrict_of_prolong_is_identity(self):
+        rng = np.random.default_rng(1)
+        coarse = rng.random((4, 4, 2))
+        for prolong in (prolong_constant, prolong_linear):
+            fine = prolong(coarse, 2)
+            back = restrict_average(fine, 2)
+            assert np.allclose(back, coarse, atol=1e-12), prolong.__name__
+
+    def test_linear_reproduces_linear_fields(self):
+        # A linear coarse field prolongs to the exact linear fine field
+        # in the interior (one-sided slopes differ at boundaries).
+        x = np.arange(8.0)[:, None]
+        coarse = np.broadcast_to(3.0 * x, (8, 8)).copy()
+        fine = prolong_linear(coarse, 2, dim=2)
+        # Fine cell i sits at coarse coordinate (i + 0.5)/2 - 0.5.
+        xi = (np.arange(16) + 0.5) / 2 - 0.5
+        expect = 3.0 * xi[:, None]
+        assert np.allclose(fine[2:-2, :], np.broadcast_to(expect, (16, 16))[2:-2, :])
+
+    def test_linear_beats_constant_on_smooth_data(self):
+        # Treat coarse values as samples of a smooth field at coarse
+        # cell centres; the slope-corrected prolongation lands closer
+        # to the field at the fine centres than constant injection.
+        def field(x):
+            return np.sin(0.4 * x)
+
+        xc = np.arange(16) + 0.5
+        coarse = np.broadcast_to(field(xc)[:, None], (16, 8)).copy()
+        xf = (np.arange(32) + 0.5) / 2
+        exact = np.broadcast_to(field(xf)[:, None], (32, 16))
+        fc = prolong_constant(coarse, 2, dim=2)
+        fl = prolong_linear(coarse, 2, dim=2)
+        err = lambda a: np.abs(a - exact)[2:-2].max()
+        assert err(fl) < 0.5 * err(fc)

@@ -1,0 +1,69 @@
+"""Flop-count model vs actual executed arithmetic."""
+
+import pytest
+
+from repro.analysis import box_flops, overlapped_box_flops, region_flops, variant_box_flops
+from repro.schedules import Variant
+
+
+class TestRegionFlops:
+    def test_cube(self):
+        f = region_flops((4, 4, 4), ncomp=5)
+        faces = 3 * 5 * 16  # (n+1)*n^2 per dir
+        assert f.flux1 == 5 * faces * 5
+        assert f.flux2 == 1 * faces * 5
+        assert f.accumulate == 2 * 64 * 5 * 3
+        assert f.total == f.flux1 + f.flux2 + f.accumulate
+
+    def test_anisotropic(self):
+        f = region_flops((2, 3, 4), ncomp=4)
+        faces = 3 * 12 + 4 * 8 + 5 * 6
+        assert f.flux1 == 5 * faces * 4
+
+    def test_2d(self):
+        f = region_flops((4, 4), ncomp=3)
+        faces = 2 * 5 * 4
+        assert f.flux1 == 5 * faces * 3
+        assert f.accumulate == 2 * 16 * 3 * 2
+
+
+class TestOverlappedRedundancy:
+    def test_redundancy_positive(self):
+        base = box_flops(16).total
+        ot = overlapped_box_flops(16, 8).total
+        assert ot > base
+        # Flux work scales by ~(T+1)/T per direction; accumulation is
+        # never redundant.
+        assert overlapped_box_flops(16, 8).accumulate == box_flops(16).accumulate
+
+    def test_smaller_tiles_more_redundancy(self):
+        assert (
+            overlapped_box_flops(32, 4).total
+            > overlapped_box_flops(32, 8).total
+            > overlapped_box_flops(32, 16).total
+            > box_flops(32).total
+        )
+
+    def test_exact_tile_face_count(self):
+        # 2 tiles of 8 in each direction: per direction 2*(9*16*16)
+        # faces vs 17*16*16 -> one extra plane of 16x16 per direction.
+        base = box_flops(16, ncomp=1)
+        ot = overlapped_box_flops(16, 8, ncomp=1)
+        extra_faces = 3 * 16 * 16
+        assert ot.flux1 - base.flux1 == 5 * extra_faces
+        assert ot.flux2 - base.flux2 == 1 * extra_faces
+
+
+class TestVariantDispatch:
+    def test_non_tiled_same_as_box(self):
+        for cat in ("series", "shift_fuse"):
+            v = Variant(cat)
+            assert variant_box_flops(v, 16).total == box_flops(16).total
+
+    def test_wavefront_not_redundant(self):
+        v = Variant("blocked_wavefront", "P<Box", "CLO", tile_size=8)
+        assert variant_box_flops(v, 16).total == box_flops(16).total
+
+    def test_overlapped_redundant(self):
+        v = Variant("overlapped", "P<Box", "CLO", tile_size=8, intra_tile="basic")
+        assert variant_box_flops(v, 16).total == overlapped_box_flops(16, 8).total

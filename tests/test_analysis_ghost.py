@@ -1,0 +1,59 @@
+"""Tests for the Fig. 1 ghost-ratio model."""
+
+import pytest
+
+from repro.analysis import (
+    ghost_ratio,
+    ghost_ratio_series,
+    measured_ghost_ratio,
+    min_box_size_for_ratio,
+)
+from repro.box import Box, ProblemDomain, decompose_domain
+
+
+class TestFormula:
+    def test_known_values(self):
+        assert ghost_ratio(16, 3, 2) == pytest.approx((20 / 16) ** 3)
+        assert ghost_ratio(128, 4, 5) == pytest.approx((138 / 128) ** 4)
+
+    def test_no_ghosts(self):
+        assert ghost_ratio(16, 3, 0) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ghost_ratio(0, 3, 2)
+        with pytest.raises(ValueError):
+            ghost_ratio(16, 3, -1)
+
+    def test_series(self):
+        s = ghost_ratio_series((16, 32), dim=3, nghost=2)
+        assert s[0] == (16, pytest.approx(1.953125))
+        assert len(s) == 2
+
+    def test_paper_claim_five_ghosts_need_64(self):
+        # "Given five ghosts, a box size of 64 is necessary to get the
+        # ratio below 2.0."
+        n = min_box_size_for_ratio(2.0, dim=3, nghost=5)
+        assert 32 < n <= 64
+
+    def test_min_box_size_errors(self):
+        with pytest.raises(ValueError):
+            min_box_size_for_ratio(1.0)
+        with pytest.raises(ValueError):
+            min_box_size_for_ratio(1.0001, dim=3, nghost=5, max_n=4)
+
+
+class TestMeasured:
+    @pytest.mark.parametrize("box,ghost", [(4, 1), (4, 2), (8, 2)])
+    def test_matches_formula_on_periodic_domain(self, box, ghost):
+        domain = ProblemDomain(Box.cube(16, 3))
+        layout = decompose_domain(domain, box)
+        measured = measured_ghost_ratio(layout, ghost)
+        assert measured == pytest.approx(ghost_ratio(box, 3, ghost), rel=1e-12)
+
+    def test_2d(self):
+        domain = ProblemDomain(Box.cube(16, 2))
+        layout = decompose_domain(domain, 8)
+        assert measured_ghost_ratio(layout, 2) == pytest.approx(
+            ghost_ratio(8, 2, 2), rel=1e-12
+        )

@@ -1,0 +1,82 @@
+"""Tests of Table I formulas and their consistency with the executors."""
+
+import pytest
+
+from repro.analysis import table1_for_variant, table1_rows, table1_temporaries
+from repro.schedules import Variant, make_executor
+
+
+class TestFormulas:
+    def test_series(self):
+        t = table1_temporaries("series", 16, c=5)
+        assert t.flux == 5 * 17**3
+        assert t.velocity == 17**3
+        assert t.total == 6 * 17**3
+        assert t.bytes() == t.total * 8
+
+    def test_shift_fuse(self):
+        t = table1_temporaries("shift_fuse", 128)
+        assert t.flux == 2 + 256 + 2 * 128**2
+        assert t.velocity == 3 * 129**3
+
+    def test_wavefront_requires_tile(self):
+        with pytest.raises(ValueError):
+            table1_temporaries("blocked_wavefront", 128)
+
+    def test_overlapped_threads_factor(self):
+        t1 = table1_temporaries("overlapped", 128, tile=8, threads=1)
+        t24 = table1_temporaries("overlapped", 128, tile=8, threads=24)
+        assert t24.flux == 24 * t1.flux
+        assert t24.velocity == 24 * t1.velocity
+
+    def test_unknown_category(self):
+        with pytest.raises(ValueError):
+            table1_temporaries("nope", 16)
+
+    def test_rows_order(self):
+        rows = table1_rows(64)
+        assert [r["category"] for r in rows] == [
+            "series",
+            "shift_fuse",
+            "blocked_wavefront",
+            "overlapped",
+        ]
+
+    def test_storage_hierarchy_as_paper(self):
+        # Overlapped << fused < series for the paper's configuration.
+        n, t = 128, 16
+        series = table1_temporaries("series", n).total
+        fused = table1_temporaries("shift_fuse", n).total
+        ot = table1_temporaries("overlapped", n, tile=t).total
+        assert ot < fused < series
+
+
+class TestExecutorConsistency:
+    """Executors' self-declared temporaries track Table I."""
+
+    @pytest.mark.parametrize("cl", ["CLO", "CLI"])
+    def test_series_executor(self, cl):
+        v = Variant("series", "P>=Box", cl)
+        ex = make_executor(v)
+        decl = ex.logical_temporaries(16)
+        t = table1_for_variant(v, 16)
+        assert decl["flux"] == t.flux
+        # CLO needs no velocity temporary (§IV-A).
+        if cl == "CLO":
+            assert decl["velocity"] == 0
+        else:
+            assert decl["velocity"] == t.velocity
+
+    def test_shift_fuse_executor(self):
+        v = Variant("shift_fuse", "P>=Box", "CLO")
+        decl = make_executor(v).logical_temporaries(32)
+        t = table1_for_variant(v, 32)
+        assert decl["flux"] == t.flux
+        assert decl["velocity"] == t.velocity
+
+    def test_overlapped_executor_tile_scale(self):
+        v = Variant("overlapped", "P<Box", "CLO", tile_size=8, intra_tile="shift_fuse")
+        decl = make_executor(v).logical_temporaries(64)
+        # Per-thread scratch is tile-sized, independent of N.
+        assert decl == make_executor(v).logical_temporaries(128)
+        assert decl["velocity"] == 3 * 9**3

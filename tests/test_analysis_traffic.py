@@ -1,0 +1,139 @@
+"""Tests of the traffic model: limits, orderings, §VI-B behaviours."""
+
+import pytest
+
+from repro.analysis import (
+    ReuseStream,
+    TrafficModel,
+    box_footprint_bytes,
+    miss_fraction,
+    scratch_bytes,
+    stencil_window_bytes,
+    variant_traffic,
+)
+from repro.schedules import Variant
+
+MB = 2**20
+
+
+class TestMissFraction:
+    def test_fits(self):
+        assert miss_fraction(100, 200) == 0.0
+        assert miss_fraction(200, 200) == 0.0
+
+    def test_no_cache(self):
+        assert miss_fraction(100, 0) == 1.0
+
+    def test_partial(self):
+        assert miss_fraction(200, 100) == pytest.approx(0.5)
+
+    def test_monotone_in_ws(self):
+        fracs = [miss_fraction(ws, 100) for ws in (50, 150, 300, 1000)]
+        assert fracs == sorted(fracs)
+
+
+class TestTrafficModel:
+    def test_compulsory_floor(self):
+        tm = TrafficModel(100.0, [ReuseStream("s", 50.0, 10.0)])
+        assert tm.dram_bytes(1e9) == 100.0
+        assert tm.worst_case_bytes() == 150.0
+
+    def test_monotone_decreasing_in_cache(self):
+        v = Variant("series", "P>=Box", "CLO")
+        tm = variant_traffic(v, 64)
+        sizes = [0.1 * MB, 1 * MB, 10 * MB, 100 * MB, 1e12]
+        traffics = [tm.dram_bytes(s) for s in sizes]
+        assert all(a >= b for a, b in zip(traffics, traffics[1:]))
+        assert traffics[-1] == pytest.approx(tm.compulsory)
+
+    def test_scaled(self):
+        tm = variant_traffic(Variant("series"), 32)
+        half = tm.scaled(0.5)
+        assert half.compulsory == pytest.approx(tm.compulsory / 2)
+        # Windows unchanged; bytes halved.
+        for a, b in zip(tm.streams, half.streams):
+            assert b.working_set == a.working_set
+            assert b.bytes == pytest.approx(a.bytes / 2)
+
+
+class TestPaperBehaviours:
+    """The §VI-B findings the model must reproduce."""
+
+    def test_small_box_compulsory_only(self):
+        # N=16 in a 12 MB L3: everything fits, traffic ~ compulsory.
+        for v in (Variant("series"), Variant("shift_fuse")):
+            tm = variant_traffic(v, 16)
+            assert tm.dram_bytes(12 * MB) == pytest.approx(tm.compulsory)
+
+    def test_large_box_baseline_blowup(self):
+        tm = variant_traffic(Variant("series"), 128)
+        assert tm.dram_bytes(1 * MB) > 4 * tm.compulsory
+
+    def test_shift_fuse_halves_baseline(self):
+        base = variant_traffic(Variant("series"), 128).dram_bytes(1 * MB)
+        fused = variant_traffic(Variant("shift_fuse"), 128).dram_bytes(1 * MB)
+        assert 1.5 < base / fused < 3.0
+
+    def test_overlapped_near_compulsory(self):
+        v = Variant("overlapped", "P<Box", "CLO", tile_size=8, intra_tile="shift_fuse")
+        tm = variant_traffic(v, 128)
+        assert tm.dram_bytes(1 * MB) < 1.5 * tm.compulsory
+
+    def test_cli_worse_than_clo_at_large_n(self):
+        clo = variant_traffic(Variant("series", "P>=Box", "CLO"), 128)
+        cli = variant_traffic(Variant("series", "P>=Box", "CLI"), 128)
+        assert cli.dram_bytes(1 * MB) > clo.dram_bytes(1 * MB)
+
+    def test_schedule_ordering_at_128(self):
+        cache = 1 * MB
+        series = variant_traffic(Variant("series"), 128).dram_bytes(cache)
+        fused = variant_traffic(Variant("shift_fuse"), 128).dram_bytes(cache)
+        wf = variant_traffic(
+            Variant("blocked_wavefront", "P<Box", "CLO", tile_size=16), 128
+        ).dram_bytes(cache)
+        ot = variant_traffic(
+            Variant("overlapped", "P<Box", "CLO", tile_size=16, intra_tile="shift_fuse"),
+            128,
+        ).dram_bytes(cache)
+        assert ot < wf < fused < series
+
+    def test_tile32_spills(self):
+        # Tile-32 scratch outgrows a 1 MB share: more traffic than tile 8.
+        t32 = variant_traffic(
+            Variant("overlapped", "P<Box", "CLO", tile_size=32, intra_tile="basic"), 128
+        ).dram_bytes(0.5 * MB)
+        t8 = variant_traffic(
+            Variant("overlapped", "P<Box", "CLO", tile_size=8, intra_tile="basic"), 128
+        ).dram_bytes(0.5 * MB)
+        assert t32 > t8
+
+
+class TestLocalityHelpers:
+    def test_stencil_window_grows_with_axis(self):
+        shape = (64, 64, 64)
+        wx = stencil_window_bytes(shape, 0, 1)
+        wy = stencil_window_bytes(shape, 1, 1)
+        wz = stencil_window_bytes(shape, 2, 1)
+        assert wx < wy < wz
+        assert wz == 4 * 68 * 68 * 8
+
+    def test_window_comp_factor(self):
+        shape = (64, 64, 64)
+        assert stencil_window_bytes(shape, 2, 5) == 5 * stencil_window_bytes(shape, 2, 1)
+
+    def test_scratch_ordering(self):
+        shape = (128, 128, 128)
+        s_series = scratch_bytes(Variant("series"), shape, 5)
+        s_fused = scratch_bytes(Variant("shift_fuse"), shape, 5)
+        s_ot = scratch_bytes(
+            Variant("overlapped", "P<Box", "CLO", tile_size=8, intra_tile="basic"),
+            shape,
+            5,
+        )
+        assert s_ot < s_fused < s_series
+
+    def test_footprint_includes_state(self):
+        v = Variant("series")
+        fp = box_footprint_bytes(v, (16, 16, 16), 5)
+        state = (5 * 20**3 + 2 * 5 * 16**3) * 8
+        assert fp > state

@@ -1,0 +1,98 @@
+"""Tests of the bench harness: runner, experiments, reporting."""
+
+import pytest
+
+from repro.bench import (
+    SeriesData,
+    best_configuration,
+    fig1_ghost_ratio,
+    format_series,
+    format_speedup_summary,
+    format_table,
+    machine_thread_points,
+    thread_sweep,
+    time_variant,
+)
+from repro.machine import IVY_DESKTOP, SANDY_BRIDGE, MachineSpec
+from repro.schedules import Variant
+
+SMALL = (32, 32, 32)
+
+
+class TestRunner:
+    def test_time_variant_engines_agree(self):
+        v = Variant("series", "P>=Box", "CLO")
+        est = time_variant(v, SANDY_BRIDGE, 4, 16, SMALL, engine="estimate")
+        sim = time_variant(v, SANDY_BRIDGE, 4, 16, SMALL, engine="simulate")
+        assert est.time_s == pytest.approx(sim.time_s, rel=0.05)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            time_variant(Variant("series"), SANDY_BRIDGE, 1, 16, SMALL, engine="x")
+
+    def test_thread_sweep_lengths(self):
+        rs = thread_sweep(Variant("series"), SANDY_BRIDGE, [1, 2, 4], 16, SMALL)
+        assert [r.threads for r in rs] == [1, 2, 4]
+
+    def test_best_configuration_granularity_filter(self):
+        v, r = best_configuration(SANDY_BRIDGE, 16, 4, granularity="P>=Box",
+                                  domain_cells=SMALL)
+        assert v.granularity == "P>=Box"
+        assert r.time_s > 0
+
+    def test_best_configuration_no_variants(self):
+        with pytest.raises(ValueError):
+            best_configuration(SANDY_BRIDGE, 16, 4, domain_cells=SMALL, variants=[])
+
+    def test_best_beats_baseline(self):
+        base = time_variant(Variant("series", "P>=Box", "CLO"), SANDY_BRIDGE, 16, 16, SMALL)
+        _, best = best_configuration(SANDY_BRIDGE, 16, 16, domain_cells=SMALL)
+        assert best.time_s <= base.time_s * 1.0001
+
+    def test_thread_points(self):
+        assert machine_thread_points(SANDY_BRIDGE)[-1] == 16
+        assert machine_thread_points(IVY_DESKTOP) == [1, 2, 4]
+        with pytest.raises(KeyError):
+            machine_thread_points(
+                MachineSpec("x", 1, 1, 1.0, 32, 256, 1.0, 10.0)
+            )
+
+
+class TestSeriesData:
+    def test_add_line_validates_length(self):
+        d = SeriesData("t", "x", "y", x=[1, 2])
+        with pytest.raises(ValueError):
+            d.add_line("bad", [1.0])
+
+    def test_fig1_structure(self):
+        d = fig1_ghost_ratio((16, 32))
+        assert set(d.lines) == {
+            "3D, 2 ghost",
+            "3D, 5 ghost",
+            "4D, 2 ghost",
+            "4D, 5 ghost",
+        }
+
+
+class TestReport:
+    def test_format_series(self):
+        d = SeriesData("Title", "x", "y", x=[1, 2])
+        d.add_line("a", [1.5, 0.75])
+        text = format_series(d)
+        assert "Title" in text and "1.500" in text and "0.750" in text
+
+    def test_format_table(self):
+        text = format_table("T", [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}])
+        assert "T" in text and "10" in text and "0.25" in text
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table("T", [])
+
+    def test_speedup_summary(self):
+        d = SeriesData("T", "x", "y", x=[1])
+        d.add_line("base", [2.0])
+        d.add_line("other", [4.0])
+        text = format_speedup_summary(d, "base")
+        assert "2.00x" in text
+        with pytest.raises(KeyError):
+            format_speedup_summary(d, "missing")

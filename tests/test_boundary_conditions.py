@@ -1,0 +1,94 @@
+"""Non-periodic boundary semantics of the exchange.
+
+The paper (§II): "Outside the domain, boundary conditions may be used
+to set the ghost cells."  The exchange itself must fill every ghost
+cell with a *physical* image and leave out-of-domain ghosts untouched
+for the boundary condition to set.
+"""
+
+import numpy as np
+import pytest
+
+from repro.box import (
+    Box,
+    ExchangeCopier,
+    LevelData,
+    ProblemDomain,
+    decompose_domain,
+)
+
+SENTINEL = -7777.0
+
+
+def make_level(periodic):
+    domain = ProblemDomain(Box.cube(8, 2), periodic=periodic)
+    layout = decompose_domain(domain, 4)
+    ld = LevelData(layout, ncomp=1, ghost=2)
+    ld.set_val(SENTINEL)
+    ld.fill_from_function(lambda x, y, c: x + 100.0 * y)
+    return ld
+
+
+class TestNonPeriodic:
+    def test_outside_ghosts_untouched(self):
+        ld = make_level((False, False))
+        ld.exchange()
+        fab = ld[0]  # box at the domain's low corner
+        outside = fab.window(Box.from_extents((-2, -2), (2, 2)), comp=0)
+        assert np.all(outside == SENTINEL)
+
+    def test_interior_ghosts_filled(self):
+        ld = make_level((False, False))
+        ld.exchange()
+        fab = ld[0]
+        # Ghost cells reaching into the neighbouring box hold its data.
+        strip = fab.window(Box.from_extents((4, 0), (2, 4)), comp=0)
+        expect = np.arange(4, 6)[:, None] + 100.0 * np.arange(0, 4)[None, :]
+        assert np.array_equal(strip, expect)
+
+    def test_copier_volume_smaller_than_periodic(self):
+        dom_np = ProblemDomain(Box.cube(8, 2), periodic=(False, False))
+        dom_p = ProblemDomain(Box.cube(8, 2))
+        lay_np = decompose_domain(dom_np, 4)
+        lay_p = decompose_domain(dom_p, 4)
+        assert (
+            ExchangeCopier(lay_np, 2).total_ghost_points()
+            < ExchangeCopier(lay_p, 2).total_ghost_points()
+        )
+
+
+class TestMixedPeriodicity:
+    def test_wraps_only_periodic_direction(self):
+        ld = make_level((True, False))
+        ld.exchange()
+        fab = ld[0]
+        # x wraps: ghost at x=-1 holds x=7 data.
+        wrapped = fab.window(Box.from_extents((-1, 0), (1, 1)), comp=0).ravel()[0]
+        assert wrapped == 7.0
+        # y does not: ghost at y=-1 stays sentinel.
+        unfilled = fab.window(Box.from_extents((0, -1), (1, 1)), comp=0).ravel()[0]
+        assert unfilled == SENTINEL
+
+    def test_kernel_on_interior_boxes_unaffected_by_bc(self):
+        # A box fully interior to a non-periodic domain computes the
+        # same result as in the periodic case (its ghosts are physical
+        # either way).
+        from repro.exemplar import reference_kernel
+
+        out = {}
+        for periodic in (True, False):
+            domain = ProblemDomain(Box.cube(12, 2), periodic=(periodic,) * 2)
+            layout = decompose_domain(domain, 4)
+            ld = LevelData(layout, ncomp=3, ghost=2)
+            ld.fill_from_function(
+                lambda x, y, c: np.sin(0.3 * x) + np.cos(0.2 * y) + c
+            )
+            ld.exchange()
+            # The centre box (lo=(4,4)) has no domain-boundary ghosts.
+            centre = next(
+                i for i in layout if layout.box(i).lo.to_tuple() == (4, 4)
+            )
+            box = layout.box(centre)
+            phi_g = np.asarray(ld[centre].window(box.grow(2)))
+            out[periodic] = reference_kernel(phi_g)
+        assert np.array_equal(out[True], out[False])

@@ -1,0 +1,157 @@
+"""Unit tests for Box calculus."""
+
+import pytest
+
+from repro.box import Box, CellCentering, IntVect
+
+
+class TestConstruction:
+    def test_from_extents(self):
+        b = Box.from_extents((0, 0, 0), (4, 5, 6))
+        assert b.size() == (4, 5, 6)
+        assert b.num_points() == 120
+        assert b.lo == IntVect((0, 0, 0))
+        assert b.hi == IntVect((3, 4, 5))
+
+    def test_cube(self):
+        b = Box.cube(8, dim=3, lo=-2)
+        assert b.size() == (8, 8, 8)
+        assert b.lo == IntVect((-2, -2, -2))
+
+    def test_empty(self):
+        e = Box.empty(3)
+        assert e.is_empty
+        assert e.num_points() == 0
+
+    def test_bad_extents(self):
+        with pytest.raises(ValueError):
+            Box.from_extents((0, 0), (3, 0))
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            Box(IntVect((0, 0)), IntVect((1, 1, 1)))
+
+
+class TestContainment:
+    def test_contains_point(self):
+        b = Box.cube(4, 3)
+        assert IntVect((0, 0, 0)) in b
+        assert IntVect((3, 3, 3)) in b
+        assert IntVect((4, 0, 0)) not in b
+
+    def test_contains_box(self):
+        outer, inner = Box.cube(8, 3), Box.cube(4, 3, lo=2)
+        assert inner in outer
+        assert outer not in inner
+        assert Box.empty(3) in outer
+
+
+class TestCalculus:
+    def test_grow_shrink(self):
+        b = Box.cube(4, 3)
+        g = b.grow(2)
+        assert g.size() == (8, 8, 8)
+        assert g.grow(-2) == b
+
+    def test_grow_dir_sides(self):
+        b = Box.cube(4, 2)
+        assert b.grow_dir(0, 1).size() == (6, 4)
+        assert b.grow_lo(1, 1).size() == (4, 5)
+        assert b.grow_hi(1, 2).size() == (4, 6)
+
+    def test_shift(self):
+        b = Box.cube(4, 3).shift(2, 5)
+        assert b.lo == IntVect((0, 0, 5))
+
+    def test_intersect(self):
+        a = Box.from_extents((0, 0), (4, 4))
+        b = Box.from_extents((2, 2), (4, 4))
+        i = a & b
+        assert i.lo == IntVect((2, 2)) and i.hi == IntVect((3, 3))
+
+    def test_disjoint_intersection_empty(self):
+        a = Box.cube(2, 2)
+        b = Box.cube(2, 2, lo=5)
+        assert (a & b).is_empty
+        assert not a.intersects(b)
+
+    def test_minbox(self):
+        a = Box.cube(2, 2)
+        b = Box.cube(2, 2, lo=5)
+        m = a.minbox(b)
+        assert a in m and b in m
+        assert m.size() == (7, 7)
+
+    def test_minbox_with_empty(self):
+        a = Box.cube(2, 2)
+        assert a.minbox(Box.empty(2)) == a
+
+
+class TestCentering:
+    def test_face_box(self):
+        b = Box.cube(4, 3)
+        f = b.face_box(1)
+        assert f.size() == (4, 5, 4)
+        assert f.centering == CellCentering.face(1)
+        assert f.enclosed_cells() == b
+
+    def test_face_box_of_face_rejected(self):
+        with pytest.raises(ValueError):
+            Box.cube(4, 3).face_box(0).face_box(1)
+
+    def test_side_faces(self):
+        b = Box.cube(4, 2)
+        lo = b.low_side_faces(0)
+        hi = b.high_side_faces(0)
+        assert lo.size() == (1, 4) and hi.size() == (1, 4)
+        assert lo.lo[0] == 0 and hi.lo[0] == 4
+
+
+class TestDecomposition:
+    def test_slices(self):
+        b = Box.cube(3, 2)
+        sl = list(b.slices(1))
+        assert len(sl) == 3
+        assert all(s.size(1) == 1 for s in sl)
+
+    def test_slab(self):
+        b = Box.cube(8, 3)
+        s = b.slab(2, 2, 5)
+        assert s.size() == (8, 8, 4)
+
+    def test_tile_even(self):
+        tiles = Box.cube(8, 3).tile(4)
+        assert len(tiles) == 8
+        assert all(t.size() == (4, 4, 4) for t in tiles)
+
+    def test_tile_ragged(self):
+        tiles = Box.cube(6, 2).tile(4)
+        assert len(tiles) == 4
+        sizes = sorted(t.num_points() for t in tiles)
+        assert sizes == [4, 8, 8, 16]
+        assert sum(sizes) == 36
+
+    def test_tile_covers_disjointly(self):
+        b = Box.cube(10, 2)
+        tiles = b.tile(3)
+        assert sum(t.num_points() for t in tiles) == b.num_points()
+        for i, a in enumerate(tiles):
+            for c in tiles[i + 1:]:
+                assert not a.intersects(c)
+
+    def test_corners(self):
+        b = Box.cube(2, 2)
+        corners = {c.to_tuple() for c in b.corners()}
+        assert corners == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+class TestNumpyInterop:
+    def test_slices_within(self):
+        outer = Box.cube(8, 2).grow(2)
+        inner = Box.cube(4, 2, lo=1)
+        sl = inner.slices_within(outer)
+        assert sl == (slice(3, 7), slice(3, 7))
+
+    def test_slices_within_rejects_outside(self):
+        with pytest.raises(ValueError):
+            Box.cube(4, 2, lo=10).slices_within(Box.cube(8, 2))

@@ -1,0 +1,80 @@
+"""Tests of the bandwidth-profile counters (the VTune stand-in)."""
+
+import pytest
+
+from repro.machine import IVY_DESKTOP, build_workload
+from repro.machine.counters import BandwidthProfile, BandwidthSample, profile_workload
+from repro.schedules import Variant
+
+
+def profile(variant, n=128, threads=1):
+    wl = build_workload(variant, n)
+    return profile_workload(wl, IVY_DESKTOP, threads)
+
+
+class TestSampleAlgebra:
+    def test_sample_end(self):
+        s = BandwidthSample(1.0, 2.0, 5.0)
+        assert s.end_s == 3.0
+
+    def test_profile_totals(self):
+        p = BandwidthProfile("m", "v", 1)
+        p.samples = [BandwidthSample(0, 1.0, 10.0), BandwidthSample(1, 1.0, 2.0)]
+        assert p.total_time_s == 2.0
+        assert p.total_bytes == pytest.approx(12e9)
+        assert p.mean_gbs() == pytest.approx(6.0)
+        assert p.time_fraction_above(5.0) == pytest.approx(0.5)
+        assert p.peak_sustained_gbs() == 10.0
+
+    def test_stretch_coalescing(self):
+        p = BandwidthProfile("m", "v", 1)
+        p.samples = [
+            BandwidthSample(0, 1.0, 9.4),
+            BandwidthSample(1, 1.0, 9.6),
+            BandwidthSample(2, 1.0, 5.0),
+        ]
+        stretches = p.stretches(tolerance_gbs=0.5)
+        assert len(stretches) == 2
+        assert stretches[0].duration_s == 2.0
+        assert stretches[0].gbs == pytest.approx(9.5)
+
+    def test_empty_profile(self):
+        p = BandwidthProfile("m", "v", 1)
+        assert p.mean_gbs() == 0.0
+        assert p.time_fraction_above(1.0) == 0.0
+        assert p.peak_sustained_gbs() == 0.0
+
+
+class TestPaperProfiles:
+    """§VI-B's qualitative descriptions of the desktop traces."""
+
+    def test_baseline_profile_flat(self):
+        p = profile(Variant("series", "P>=Box", "CLO"))
+        gbs = [s.gbs for s in p.samples]
+        assert max(gbs) - min(gbs) < 0.2 * max(gbs)
+
+    def test_shift_fuse_interleaved_stretches(self):
+        # "time stretches requiring 9.4 GB/s interleaved with time
+        # intervals of similar length requiring less than 6 GB/s".
+        p = profile(Variant("shift_fuse", "P>=Box", "CLO"))
+        gbs = sorted({round(s.gbs, 2) for s in p.samples})
+        assert len(gbs) >= 2
+        assert gbs[-1] > 1.5 * gbs[0]  # clearly bimodal
+        # The high stretch exceeds the run's mean; the low sits below.
+        assert gbs[-1] > p.mean_gbs() > gbs[0]
+
+    def test_mean_matches_simulator(self):
+        from repro.machine import estimate_workload
+
+        wl = build_workload(Variant("series", "P>=Box", "CLO"), 128)
+        p = profile_workload(wl, IVY_DESKTOP, 1)
+        r = estimate_workload(wl, IVY_DESKTOP, 1)
+        assert p.mean_gbs() == pytest.approx(r.bandwidth_gbs, rel=1e-6)
+        assert p.total_time_s == pytest.approx(r.time_s, rel=1e-6)
+
+    def test_shift_fuse_high_stretch_near_paper(self):
+        # The precompute stretch should land in the paper's 9.4 GB/s
+        # regime (within 2x).
+        p = profile(Variant("shift_fuse", "P>=Box", "CLO"))
+        peak = p.peak_sustained_gbs()
+        assert 4.7 < peak < 18.8

@@ -1,0 +1,68 @@
+"""End-to-end integration: the full story in one test module.
+
+problem setup -> ghost exchange -> schedule selection (autotuner) ->
+threaded execution (bitwise vs serial) -> machine-model projection ->
+time integration with the selected schedule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import time_variant
+from repro.exemplar import ExemplarProblem
+from repro.machine import MAGNY_COURS
+from repro.parallel import run_schedule_parallel
+from repro.schedules import Variant, run_schedule_on_level
+from repro.solver import ExemplarOperator, TimeIntegrator
+from repro.tuning import Autotuner
+
+
+class TestFullPipeline:
+    def test_select_execute_project(self):
+        # 1. Select a schedule for the paper machine at N=128.
+        tuner = Autotuner(MAGNY_COURS)
+        chosen = tuner.recommend(128)
+        assert chosen.category == "overlapped"
+
+        # 2. Execute that schedule numerically on a small level, both
+        #    serial and threaded, against the baseline — all bitwise.
+        problem = ExemplarProblem(domain_cells=(16, 16, 16), box_size=8)
+        phi0 = problem.make_phi0()
+        small = Variant(
+            chosen.category,
+            chosen.granularity,
+            chosen.component_loop,
+            tile_size=4,  # scaled to the small test box
+            intra_tile=chosen.intra_tile,
+        )
+        serial = run_schedule_on_level(small, phi0).to_global_array()
+        baseline = run_schedule_on_level(
+            Variant("series", "P>=Box", "CLO"), phi0
+        ).to_global_array()
+        threaded = run_schedule_parallel(small, phi0, threads=4)
+        assert np.array_equal(serial, baseline)
+        assert np.array_equal(threaded.phi1.to_global_array(), serial)
+
+        # 3. Project the chosen schedule at paper scale: it must beat
+        #    the baseline by the headline factor.
+        t_best = time_variant(chosen, MAGNY_COURS, 24, 128).time_s
+        t_base = time_variant(
+            Variant("series", "P>=Box", "CLO"), MAGNY_COURS, 24, 128
+        ).time_s
+        assert t_base / t_best > 3.0
+
+        # 4. Advance the state in time under the chosen schedule; the
+        #    integration is conservative on the periodic domain.
+        u = problem.make_phi0(exchange=False)
+        ti = TimeIntegrator(u, ExemplarOperator(small), scheme="euler")
+        mass0 = ti.total_mass()
+        ti.advance(1e-3, 3)
+        assert np.allclose(ti.total_mass(), mass0, rtol=1e-12)
+
+    def test_exchange_volume_drives_box_choice(self):
+        # The motivation chain: bigger boxes -> fewer ghost points.
+        small = ExemplarProblem(domain_cells=(32, 32, 32), box_size=8)
+        large = ExemplarProblem(domain_cells=(32, 32, 32), box_size=16)
+        ps = small.make_phi0()
+        pl = large.make_phi0()
+        assert ps.stats.points > pl.stats.points

@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; they must keep working.
+Invocations are scaled down where the script accepts arguments.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "all schedules agree BITWISE" in out
+    assert "Magny-Cours" in out
+
+
+def test_advection_solver():
+    out = run_example("advection_solver.py")
+    assert "conservation drift" in out
+    assert "done." in out
+
+
+def test_heat_equation():
+    out = run_example("heat_equation.py")
+    assert "substrate verified" in out
+
+
+def test_schedule_explorer_small():
+    out = run_example("schedule_explorer.py", "ivy_desktop", "32")
+    assert "best:" in out and "spread:" in out
+
+
+def test_paper_figures_single():
+    out = run_example("paper_figures.py", "fig1")
+    assert "Ratio of total cells" in out
+
+
+def test_amr_two_level():
+    out = run_example("amr_two_level.py")
+    assert "conservation across levels holds" in out
+
+
+@pytest.mark.slow
+def test_ghost_cell_tradeoff():
+    out = run_example("ghost_cell_tradeoff.py")
+    assert "wins end to end" in out

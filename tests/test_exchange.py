@@ -1,0 +1,147 @@
+"""Integration tests for ExchangeCopier and LevelData ghost exchange."""
+
+import numpy as np
+import pytest
+
+from repro.box import (
+    Box,
+    ExchangeCopier,
+    LevelData,
+    ProblemDomain,
+    decompose_domain,
+)
+
+
+def _level(n=8, box=4, dim=3, ncomp=1, ghost=2, periodic=True):
+    domain = ProblemDomain(Box.cube(n, dim), periodic=(periodic,) * dim)
+    lay = decompose_domain(domain, box)
+    return LevelData(lay, ncomp=ncomp, ghost=ghost)
+
+
+def _global_index_fill(ld):
+    """Fill each valid cell with a unique encoding of its global index."""
+    weights = [1, 1000, 1000_000][: ld.layout.domain.dim]
+
+    def fn(*grids_and_comp):
+        *grids, comp = grids_and_comp
+        acc = 0
+        for g, w in zip(grids, weights):
+            acc = acc + g * w
+        return acc + comp * 10**9
+
+    ld.fill_from_function(fn)
+    return weights
+
+
+class TestCopierPlan:
+    def test_zero_ghost_empty_plan(self):
+        ld = _level(ghost=0)
+        copier = ExchangeCopier(ld.layout, 0)
+        assert copier.items == []
+        assert copier.total_ghost_points() == 0
+
+    def test_negative_ghost_rejected(self):
+        ld = _level()
+        with pytest.raises(ValueError):
+            ExchangeCopier(ld.layout, -1)
+
+    def test_plan_covers_all_ghosts_exactly_once(self):
+        ld = _level(n=8, box=4, dim=2, ghost=2)
+        copier = ExchangeCopier(ld.layout, 2)
+        per_box_ghosts = 8 * 8 - 4 * 4
+        assert copier.total_ghost_points() == per_box_ghosts * len(ld.layout)
+        # No destination point covered twice.
+        for idx in ld.layout:
+            seen = np.zeros((8, 8), dtype=int)
+            grown = ld.layout.box(idx).grow(2)
+            for item in copier.items:
+                if item.dst != idx:
+                    continue
+                sl = item.dst_region.slices_within(grown)
+                seen[sl] += 1
+            assert seen.max() == 1
+
+    def test_off_rank_accounting(self):
+        domain = ProblemDomain(Box.cube(8, 2))
+        lay_1rank = decompose_domain(domain, 4, num_ranks=1)
+        lay_4rank = decompose_domain(domain, 4, num_ranks=4)
+        c1 = ExchangeCopier(lay_1rank, 1)
+        c4 = ExchangeCopier(lay_4rank, 1)
+        assert c1.off_rank_points() == 0
+        assert c4.off_rank_points() == c4.total_ghost_points()
+
+    def test_bytes_per_exchange(self):
+        ld = _level(dim=2)
+        copier = ld.copier()
+        assert copier.bytes_per_exchange(ncomp=3) == copier.total_ghost_points() * 24
+
+
+class TestExchangeCorrectness:
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_periodic_ghosts_match_wrapped_cells(self, dim):
+        ld = _level(n=8, box=4, dim=dim, ncomp=2, ghost=2)
+        weights = _global_index_fill(ld)
+        ld.exchange()
+        for idx in ld.layout:
+            box = ld.layout.box(idx)
+            grown = box.grow(2)
+            fab = ld[idx]
+            # Check the low-corner ghost diagonal wraps correctly.
+            dom = ld.layout.domain
+            for point_off in range(-2, 0):
+                probe = box.lo + point_off
+                image = dom.image_of(probe)
+                got = fab.window(Box(probe, probe), comp=0).ravel()[0]
+                expect = sum(image[d] * weights[d] for d in range(dim))
+                assert got == expect
+
+    def test_single_box_self_exchange(self):
+        # One box on a periodic domain exchanges with itself through
+        # every boundary.
+        ld = _level(n=6, box=6, dim=2, ghost=2)
+        weights = _global_index_fill(ld)
+        ld.exchange()
+        fab = ld[0]
+        got = fab.window(Box.from_extents((-2, -2), (1, 1)), comp=0)
+        assert got[0, 0] == 4 * weights[0] + 4 * weights[1]
+
+    def test_exchange_idempotent(self):
+        ld = _level(dim=2)
+        _global_index_fill(ld)
+        ld.exchange()
+        snapshot = [fab.data.copy() for fab in ld.fabs]
+        ld.exchange()
+        for before, fab in zip(snapshot, ld.fabs):
+            assert np.array_equal(before, fab.data)
+
+    def test_stats_accumulate(self):
+        ld = _level(dim=2)
+        ld.exchange()
+        ld.exchange()
+        assert ld.stats.exchanges == 2
+        assert ld.stats.points == 2 * ld.copier().total_ghost_points()
+        assert ld.stats.bytes == ld.stats.points * ld.ncomp * 8
+
+    def test_zero_ghost_exchange_noop(self):
+        ld = _level(ghost=0)
+        ld.exchange()
+        assert ld.stats.exchanges == 0
+
+
+class TestLevelData:
+    def test_to_global_array_roundtrip(self):
+        ld = _level(n=8, box=4, dim=2, ncomp=2)
+        _global_index_fill(ld)
+        g = ld.to_global_array()
+        assert g.shape == (8, 8, 2)
+        assert g[3, 5, 0] == 3 + 5000
+
+    def test_norm_over_valid_cells_only(self):
+        ld = _level(n=4, box=4, dim=2, ncomp=1, ghost=2)
+        ld.set_val(1.0)  # sets ghosts too
+        assert ld.norm(2) == pytest.approx(4.0)  # sqrt(16 cells)
+        assert ld.norm(0) == 1.0
+
+    def test_ghost_requirement(self):
+        ld = _level(dim=2, ghost=1)
+        assert ld[0].box.size() == (6, 6)

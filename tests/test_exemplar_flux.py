@@ -1,0 +1,119 @@
+"""Unit tests for the exemplar flux primitives (Eqs. 6-7)."""
+
+import numpy as np
+import pytest
+
+from repro.exemplar import (
+    accumulate_divergence,
+    axslice,
+    eval_flux1,
+    eval_flux2,
+    velocity_component,
+)
+
+
+class TestAxslice:
+    def test_views(self):
+        a = np.arange(24).reshape(2, 3, 4)
+        assert np.array_equal(axslice(a, 1, 1, 3), a[:, 1:3, :])
+        assert axslice(a, 2, 0, 2).shape == (2, 3, 2)
+
+
+class TestEvalFlux1:
+    def test_shape(self):
+        phi = np.zeros((10, 4, 5))
+        out = eval_flux1(phi, axis=0)
+        assert out.shape == (7, 4, 5)
+
+    def test_too_few_cells(self):
+        with pytest.raises(ValueError):
+            eval_flux1(np.zeros((3, 4)), axis=0)
+
+    def test_constant_preserved(self):
+        phi = np.full((8,), 3.0)
+        faces = eval_flux1(phi, axis=0)
+        assert np.allclose(faces, 3.0)
+
+    def test_exact_for_cubic_cell_averages(self):
+        i = np.arange(-2.0, 10.0)
+        k = 3
+        cell_avg = ((i + 1) ** (k + 1) - i ** (k + 1)) / (k + 1)
+        faces = eval_flux1(cell_avg, axis=0)
+        # Face j of the output corresponds to coordinate i[j+2] = j.
+        expect = np.arange(0.0, 9.0) ** k
+        assert np.allclose(faces, expect)
+
+    def test_out_parameter(self):
+        phi = np.random.default_rng(0).random((8, 3))
+        out = np.empty((5, 3))
+        r = eval_flux1(phi, axis=0, out=out)
+        assert r is out
+        assert np.array_equal(out, eval_flux1(phi, axis=0))
+
+    def test_matches_documented_expression(self):
+        rng = np.random.default_rng(3)
+        phi = rng.random(12)
+        faces = eval_flux1(phi, axis=0)
+        for f in range(len(faces)):
+            c = f + 2  # cell index of the face's high-side cell
+            expect = (7.0 / 12.0) * (phi[c - 1] + phi[c]) - (1.0 / 12.0) * (
+                phi[c + 1] + phi[c - 2]
+            )
+            assert faces[f] == expect  # bitwise
+
+
+class TestEvalFlux2:
+    def test_broadcast_component_axis(self):
+        face = np.ones((4, 4, 5))
+        vel = np.full((4, 4), 2.0)
+        out = eval_flux2(face, vel)
+        assert out.shape == (4, 4, 5)
+        assert np.all(out == 2.0)
+
+    def test_same_rank(self):
+        face = np.full((4,), 3.0)
+        vel = np.full((4,), 2.0)
+        assert np.all(eval_flux2(face, vel) == 6.0)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            eval_flux2(np.ones((4, 4, 5)), np.ones(4))
+
+    def test_out_parameter_in_place(self):
+        face = np.full((4, 2), 3.0)
+        vel = np.full((4,), 2.0)
+        r = eval_flux2(face, vel[:, None], out=face)
+        assert r is face
+        assert np.all(face == 6.0)
+
+
+class TestAccumulateDivergence:
+    def test_telescoping(self):
+        rng = np.random.default_rng(2)
+        flux = rng.random((9, 4))
+        phi1 = np.zeros((8, 4))
+        accumulate_divergence(phi1, flux, axis=0)
+        assert np.allclose(phi1.sum(axis=0), flux[-1] - flux[0])
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            accumulate_divergence(np.zeros(8), np.zeros(8), axis=0)
+
+    def test_accumulates_not_overwrites(self):
+        flux = np.arange(3.0)
+        phi1 = np.full(2, 10.0)
+        accumulate_divergence(phi1, flux, axis=0)
+        assert np.array_equal(phi1, [11.0, 11.0])
+
+
+class TestVelocityComponent:
+    def test_mapping(self):
+        assert [velocity_component(d) for d in range(3)] == [1, 2, 3]
+
+    def test_higher_dimensions_allowed(self):
+        # Fig. 1 includes 4-D boxes; direction d uses component d+1.
+        assert velocity_component(3) == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            velocity_component(-1)

@@ -1,0 +1,71 @@
+"""Tests of the experiment definitions module itself."""
+
+import pytest
+
+from repro.bench import (
+    FIG2_TO_4,
+    FIG10_TO_12,
+    fig1_ghost_ratio,
+    scaling_figure,
+    schedule_figure,
+    table1,
+)
+from repro.bench.experiments import SeriesData
+from repro.machine import IVY_BRIDGE, MAGNY_COURS, SANDY_BRIDGE
+
+
+class TestFigureRegistry:
+    def test_fig2_to_4_machines(self):
+        assert FIG2_TO_4["fig2"][0] is MAGNY_COURS
+        assert FIG2_TO_4["fig3"][0] is IVY_BRIDGE
+        assert FIG2_TO_4["fig4"][0] is SANDY_BRIDGE
+
+    def test_fig2_to_4_ot_lines_match_captions(self):
+        # The best-OT line of each figure caption (tile size and
+        # granularity as printed in the paper).
+        v2 = FIG2_TO_4["fig2"][1]
+        assert (v2.tile_size, v2.granularity) == (16, "P>=Box")
+        v3 = FIG2_TO_4["fig3"][1]
+        assert (v3.tile_size, v3.granularity) == (8, "P<Box")
+        v4 = FIG2_TO_4["fig4"][1]
+        assert (v4.tile_size, v4.granularity) == (16, "P<Box")
+
+    def test_fig10_to_12_machines(self):
+        assert FIG10_TO_12["fig10"] is MAGNY_COURS
+        assert FIG10_TO_12["fig12"] is SANDY_BRIDGE
+
+
+class TestExperimentOutputs:
+    def test_scaling_figure_line_set(self):
+        d = scaling_figure("fig4")
+        assert len(d.lines) == 4
+        assert d.x[-1] == 16
+        labels = list(d.lines)
+        assert labels[0] == "Baseline: P>=Box, N=16"
+        assert "OT" in labels[-1]
+
+    def test_schedule_figure_thread_axis(self):
+        d = schedule_figure("fig11")
+        assert d.x == [1, 2, 4, 8, 16, 20, 40]
+        assert len(d.lines) == 7
+
+    def test_unknown_figures(self):
+        with pytest.raises(KeyError):
+            scaling_figure("fig7")
+        with pytest.raises(KeyError):
+            schedule_figure("fig7")
+
+    def test_table1_shape(self):
+        rows = table1(n=64, tile=8, threads=4)
+        assert len(rows) == 4
+        assert all({"schedule", "flux", "velocity", "total_mb"} <= set(r) for r in rows)
+
+    def test_fig1_custom_sizes(self):
+        d = fig1_ghost_ratio((8, 16))
+        assert d.x == [8, 16]
+        assert all(len(ys) == 2 for ys in d.lines.values())
+
+    def test_series_data_positive_times(self):
+        d = scaling_figure("fig2")
+        for label, ys in d.lines.items():
+            assert all(y > 0 for y in ys), label

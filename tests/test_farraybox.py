@@ -1,0 +1,120 @@
+"""Unit tests for FArrayBox windowed data access."""
+
+import numpy as np
+import pytest
+
+from repro.box import Box, FArrayBox
+
+
+class TestAllocation:
+    def test_shape_and_order(self):
+        fab = FArrayBox(Box.cube(4, 3), ncomp=5)
+        assert fab.data.shape == (4, 4, 4, 5)
+        assert fab.data.flags.f_contiguous
+        assert fab.data.dtype == np.float64
+
+    def test_zero_initialized(self):
+        fab = FArrayBox(Box.cube(2, 2), 1)
+        assert np.all(fab.data == 0)
+
+    def test_empty_box_rejected(self):
+        with pytest.raises(ValueError):
+            FArrayBox(Box.empty(3), 1)
+
+    def test_bad_ncomp(self):
+        with pytest.raises(ValueError):
+            FArrayBox(Box.cube(2, 2), 0)
+
+    def test_alias_data(self):
+        arr = np.ones((2, 2, 3), order="F")
+        fab = FArrayBox(Box.cube(2, 2), 3, data=arr)
+        fab.data[0, 0, 0] = 7
+        assert arr[0, 0, 0] == 7
+
+    def test_alias_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            FArrayBox(Box.cube(2, 2), 3, data=np.ones((2, 2, 2)))
+
+
+class TestWindow:
+    def test_window_is_view(self):
+        fab = FArrayBox(Box.cube(8, 2).grow(2), 1)
+        w = fab.window(Box.cube(8, 2))
+        w[...] = 3.0
+        assert fab.window(Box.cube(2, 2)).sum() == 4 * 3.0
+        # ghost ring untouched
+        assert fab.data.sum() == 64 * 3.0
+
+    def test_window_component(self):
+        fab = FArrayBox(Box.cube(4, 2), 3)
+        fab.set_val(2.0, comp=1)
+        assert fab.window(Box.cube(4, 2), comp=1).sum() == 32.0
+        assert fab.window(Box.cube(4, 2), comp=0).sum() == 0.0
+
+    def test_window_outside_raises(self):
+        fab = FArrayBox(Box.cube(4, 2), 1)
+        with pytest.raises(ValueError):
+            fab.window(Box.cube(4, 2, lo=2))
+
+    def test_getitem(self):
+        fab = FArrayBox(Box.cube(4, 2), 2)
+        assert fab[Box.cube(2, 2)].shape == (2, 2, 2)
+
+
+class TestCopyFrom:
+    def test_intersection_copy(self):
+        a = FArrayBox(Box.cube(4, 2), 1)
+        b = FArrayBox(Box.cube(4, 2, lo=2), 1)
+        b.set_val(5.0)
+        a.copy_from(b)
+        assert a.window(Box.from_extents((2, 2), (2, 2))).sum() == 4 * 5.0
+        assert a.window(Box.cube(2, 2)).sum() == 0.0
+
+    def test_offset_copy(self):
+        a = FArrayBox(Box.cube(4, 2), 1)
+        b = FArrayBox(Box.cube(4, 2), 1)
+        b.window(Box.cube(2, 2))[...] = 1.0
+        a.copy_from(
+            b,
+            region=Box.cube(2, 2, lo=2),
+            src_region=Box.cube(2, 2),
+        )
+        assert a.window(Box.cube(2, 2, lo=2)).sum() == 4.0
+
+    def test_shape_mismatch(self):
+        a = FArrayBox(Box.cube(4, 2), 1)
+        with pytest.raises(ValueError):
+            a.copy_from(a, region=Box.cube(2, 2), src_region=Box.cube(3, 2))
+
+    def test_ncomp_mismatch(self):
+        a = FArrayBox(Box.cube(2, 2), 1)
+        b = FArrayBox(Box.cube(2, 2), 2)
+        with pytest.raises(ValueError):
+            a.copy_from(b, region=Box.cube(2, 2), src_region=Box.cube(2, 2))
+
+    def test_partial_args_rejected(self):
+        a = FArrayBox(Box.cube(2, 2), 1)
+        with pytest.raises(ValueError):
+            a.copy_from(a, region=Box.cube(2, 2))
+
+
+class TestReductions:
+    def test_norms(self):
+        fab = FArrayBox(Box.cube(2, 2), 1)
+        fab.data[...] = -3.0
+        assert fab.norm(0) == 3.0
+        assert fab.norm(2) == pytest.approx(np.sqrt(4 * 9.0))
+        assert fab.norm(1) == pytest.approx(12.0)
+
+    def test_min_max_region(self):
+        fab = FArrayBox(Box.cube(4, 2), 1)
+        fab.window(Box.cube(2, 2))[...] = 9.0
+        assert fab.max() == 9.0
+        assert fab.max(Box.cube(2, 2, lo=2)) == 0.0
+        assert fab.min(Box.cube(2, 2)) == 9.0
+
+    def test_copy_independent(self):
+        fab = FArrayBox(Box.cube(2, 2), 1)
+        cp = fab.copy()
+        cp.data[...] = 1.0
+        assert fab.data.sum() == 0.0

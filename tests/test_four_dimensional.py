@@ -1,0 +1,71 @@
+"""4-D support: the paper motivates boxes of up to six dimensions for
+kinetic phase-space calculations (§I, Fig. 1's 4-D lines).  The
+reference kernel, the series executors, the box substrate, and the
+ghost-ratio model are dimension-general; this module exercises them in
+4-D end to end."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ghost_ratio, measured_ghost_ratio
+from repro.box import Box, LevelData, ProblemDomain, decompose_domain
+from repro.exemplar import random_initial_data, reference_kernel
+from repro.schedules import Variant, make_executor
+
+
+class TestKernel4D:
+    def test_reference_shape(self):
+        phi = random_initial_data((8, 8, 8, 8), ncomp=6, seed=0)
+        out = reference_kernel(phi)
+        assert out.shape == (4, 4, 4, 4, 6)
+
+    def test_series_bitwise_4d(self):
+        phi = random_initial_data((9, 8, 8, 9), ncomp=6, seed=1)
+        ref = reference_kernel(phi)
+        for cl in ("CLO", "CLI"):
+            ex = make_executor(Variant("series", "P>=Box", cl), dim=4, ncomp=6)
+            assert np.array_equal(ex.run_fresh(phi), ref), cl
+
+    def test_fused_unsupported_dim(self):
+        with pytest.raises(NotImplementedError):
+            make_executor(Variant("shift_fuse"), dim=4, ncomp=6)
+
+    def test_conservation_4d(self):
+        phi = random_initial_data((9, 9, 9, 9), ncomp=6, seed=2)
+        out = reference_kernel(phi)
+        # Telescoping still holds per direction on the interior...
+        # but boundary fluxes don't cancel on a single ghosted box, so
+        # assert only determinism + finiteness here; the periodic-level
+        # conservation test below covers 4-D exchange.
+        assert np.isfinite(out).all()
+        assert np.array_equal(out, reference_kernel(phi))
+
+
+class TestSubstrate4D:
+    def test_exchange_and_conservation(self):
+        domain = ProblemDomain(Box.cube(6, 4))
+        layout = decompose_domain(domain, 3)
+        assert len(layout) == 16
+        ld = LevelData(layout, ncomp=6, ghost=2)
+        rng = np.random.default_rng(3)
+        ld.fill_from_function(
+            lambda x, y, z, w, c: np.sin(0.7 * x + 0.3 * y)
+            * np.cos(0.2 * z - 0.5 * w + c)
+        )
+        ld.exchange()
+        # Per-box kernel on the exchanged level conserves globally.
+        total_before = ld.to_global_array().sum(axis=(0, 1, 2, 3))
+        out = np.zeros_like(ld.to_global_array())
+        for i in layout:
+            box = layout.box(i)
+            phi_g = np.asarray(ld[i].window(box.grow(2)))
+            dom = layout.domain.box
+            out[box.slices_within(dom)] = reference_kernel(phi_g)
+        drift = np.abs(out.sum(axis=(0, 1, 2, 3)) - total_before)
+        assert drift.max() < 1e-10 * out.size
+
+    def test_ghost_ratio_4d_measured(self):
+        domain = ProblemDomain(Box.cube(8, 4))
+        layout = decompose_domain(domain, 4)
+        measured = measured_ghost_ratio(layout, 2)
+        assert measured == pytest.approx(ghost_ratio(4, 4, 2), rel=1e-12)

@@ -1,0 +1,67 @@
+"""Cross-machine, cross-box-size invariants of the whole study.
+
+One sweep over (machine x box size x key schedules) asserting the
+global claims the paper makes everywhere at once.
+"""
+
+import pytest
+
+from repro.bench import time_variant
+from repro.machine import IVY_BRIDGE, MAGNY_COURS, SANDY_BRIDGE
+from repro.schedules import Variant
+
+MACHINES = (MAGNY_COURS, IVY_BRIDGE, SANDY_BRIDGE)
+BASE = Variant("series", "P>=Box", "CLO")
+OT = Variant("overlapped", "P<Box", "CLO", tile_size=8, intra_tile="shift_fuse")
+SF = Variant("shift_fuse", "P>=Box", "CLO")
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    out = {}
+    for m in MACHINES:
+        for n in (16, 32, 64, 128):
+            for name, v in (("base", BASE), ("sf", SF), ("ot", OT)):
+                if not v.applicable_to_box(n):
+                    continue
+                out[(m.name, n, name)] = time_variant(
+                    v, m, m.cores, n
+                ).time_s
+    return out
+
+
+class TestGlobalInvariants:
+    @pytest.mark.parametrize("machine", [m.name for m in MACHINES])
+    def test_baseline_degrades_with_box_size(self, matrix, machine):
+        times = [matrix[(machine, n, "base")] for n in (16, 32, 64, 128)]
+        assert times[-1] > 1.5 * times[0]
+        # Near-monotone: N=32 may dip slightly below N=16 (less ghost
+        # overhead while both still fit in cache — the Fig. 9 dip).
+        assert all(b >= a * 0.95 for a, b in zip(times, times[1:]))
+
+    @pytest.mark.parametrize("machine", [m.name for m in MACHINES])
+    def test_ot_restores_all_large_boxes(self, matrix, machine):
+        base16 = matrix[(machine, 16, "base")]
+        for n in (32, 64, 128):
+            # 1.5x covers the N=32 tile-remainder effect (64 tiles on
+            # 20 threads leaves the last round 20% occupied).
+            assert matrix[(machine, n, "ot")] <= 1.5 * base16, (machine, n)
+        assert matrix[(machine, 128, "ot")] <= 1.35 * base16
+
+    @pytest.mark.parametrize("machine", [m.name for m in MACHINES])
+    def test_schedule_ladder_at_128(self, matrix, machine):
+        assert (
+            matrix[(machine, 128, "ot")]
+            < matrix[(machine, 128, "sf")]
+            <= matrix[(machine, 128, "base")] * 1.001
+        )
+
+    @pytest.mark.parametrize("machine", [m.name for m in MACHINES])
+    def test_shift_fuse_never_hurts(self, matrix, machine):
+        for n in (16, 32, 64, 128):
+            assert matrix[(machine, n, "sf")] <= matrix[(machine, n, "base")] * 1.02
+
+    def test_magny_headline_factor(self, matrix):
+        # Fig. 10: ~5x between the baseline and the best OT at N=128.
+        ratio = matrix[("magny_cours", 128, "base")] / matrix[("magny_cours", 128, "ot")]
+        assert 3.0 < ratio < 10.0

@@ -1,0 +1,80 @@
+"""Hierarchical overlapped tiling — the §V extension (Zhou et al. [50]).
+
+Outer overlapped tiles are fully independent; each runs an inner
+blocked wavefront over sub-tiles, avoiding redundant work inside the
+outer tile.  Must stay bitwise-equal to the reference like every other
+schedule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exemplar import random_initial_data, reference_kernel
+from repro.machine import MAGNY_COURS, build_workload, estimate_workload
+from repro.schedules import Variant, make_executor
+
+
+def hier(outer=8, inner=4, granularity="P<Box", cl="CLO"):
+    return Variant(
+        "overlapped", granularity, cl,
+        tile_size=outer, intra_tile="wavefront", inner_tile_size=inner,
+    )
+
+
+class TestDescriptor:
+    def test_label(self):
+        assert hier().label == "Hier-WF4 OT-8: P<Box"
+
+    def test_short_name(self):
+        assert hier().short_name.endswith("t8-wavefront-i4")
+
+    def test_inner_must_be_smaller(self):
+        with pytest.raises(ValueError):
+            hier(outer=8, inner=8)
+        with pytest.raises(ValueError):
+            Variant("overlapped", "P<Box", "CLO", tile_size=8,
+                    intra_tile="wavefront")
+
+    def test_inner_requires_wavefront_intra(self):
+        with pytest.raises(ValueError):
+            Variant("overlapped", "P<Box", "CLO", tile_size=8,
+                    intra_tile="basic", inner_tile_size=4)
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("n", [10, 13])
+    @pytest.mark.parametrize("cl", ["CLO", "CLI"])
+    def test_bitwise_3d(self, n, cl):
+        phi_g = random_initial_data((n + 4,) * 3, seed=n)
+        ref = reference_kernel(phi_g)
+        ex = make_executor(hier(8, 4, cl=cl), dim=3, ncomp=5)
+        assert np.array_equal(ex.run_fresh(phi_g), ref)
+
+    def test_bitwise_2d(self):
+        phi_g = random_initial_data((14, 14), ncomp=4, seed=9)
+        ref = reference_kernel(phi_g)
+        ex = make_executor(hier(8, 4), dim=2, ncomp=4)
+        assert np.array_equal(ex.run_fresh(phi_g), ref)
+
+    def test_logical_temporaries_tile_scale(self):
+        ex = make_executor(hier(16, 8), dim=3, ncomp=5)
+        decl = ex.logical_temporaries(128)
+        # Per-thread scratch is outer-tile sized, independent of N.
+        assert decl == ex.logical_temporaries(64)
+
+
+class TestPerformanceModel:
+    def test_competitive_with_plain_ot(self):
+        """Hierarchical OT should land in the OT performance class —
+        far from the baseline, near plain overlapped tiles."""
+        h = build_workload(hier(16, 8), 128)
+        plain = build_workload(
+            Variant("overlapped", "P<Box", "CLO", tile_size=16,
+                    intra_tile="shift_fuse"), 128
+        )
+        base = build_workload(Variant("series", "P>=Box", "CLO"), 128)
+        t_h = estimate_workload(h, MAGNY_COURS, 24).time_s
+        t_p = estimate_workload(plain, MAGNY_COURS, 24).time_s
+        t_b = estimate_workload(base, MAGNY_COURS, 24).time_s
+        assert t_h < 0.5 * t_b
+        assert t_h < 2.0 * t_p

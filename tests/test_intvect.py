@@ -1,0 +1,103 @@
+"""Unit tests for IntVect arithmetic and comparisons."""
+
+import pytest
+
+from repro.box import IntVect, ones_vector, unit_vector, zero_vector
+
+
+class TestConstruction:
+    def test_basic(self):
+        iv = IntVect((1, 2, 3))
+        assert iv.dim == 3
+        assert tuple(iv) == (1, 2, 3)
+        assert iv[1] == 2
+        assert len(iv) == 3
+
+    def test_coerces_to_int(self):
+        iv = IntVect((1.0, 2.0))
+        assert iv.to_tuple() == (1, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IntVect(())
+
+    def test_immutable(self):
+        iv = IntVect((1, 2))
+        with pytest.raises(AttributeError):
+            iv._v = (3, 4)
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a, b = IntVect((1, 2, 3)), IntVect((4, 5, 6))
+        assert a + b == IntVect((5, 7, 9))
+        assert b - a == IntVect((3, 3, 3))
+
+    def test_scalar_broadcast(self):
+        a = IntVect((1, 2, 3))
+        assert a + 1 == IntVect((2, 3, 4))
+        assert a * 2 == IntVect((2, 4, 6))
+        assert 10 - a == IntVect((9, 8, 7))
+
+    def test_floordiv(self):
+        assert IntVect((7, 8, 9)) // 4 == IntVect((1, 2, 2))
+
+    def test_neg(self):
+        assert -IntVect((1, -2)) == IntVect((-1, 2))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            IntVect((1, 2)) + IntVect((1, 2, 3))
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            IntVect((1, 2)) + "x"
+
+
+class TestComparisons:
+    def test_le_lt_ge_gt(self):
+        a, b = IntVect((1, 2)), IntVect((2, 3))
+        assert a.le(b) and a.lt(b)
+        assert b.ge(a) and b.gt(a)
+        assert a.le(a) and not a.lt(a)
+
+    def test_mixed_not_ordered(self):
+        a, b = IntVect((1, 5)), IntVect((2, 3))
+        assert not a.le(b) and not a.ge(b)
+
+    def test_eq_with_tuple(self):
+        assert IntVect((1, 2)) == (1, 2)
+        assert IntVect((1, 2)) != (2, 1)
+
+    def test_hashable(self):
+        s = {IntVect((1, 2)), IntVect((1, 2)), IntVect((2, 1))}
+        assert len(s) == 2
+
+
+class TestHelpers:
+    def test_shift(self):
+        assert IntVect((0, 0, 0)).shift(1, 3) == IntVect((0, 3, 0))
+
+    def test_shift_out_of_range(self):
+        with pytest.raises(IndexError):
+            IntVect((0, 0)).shift(2, 1)
+
+    def test_with_component(self):
+        assert IntVect((1, 2, 3)).with_component(0, 9) == IntVect((9, 2, 3))
+
+    def test_min_max(self):
+        a, b = IntVect((1, 5)), IntVect((2, 3))
+        assert a.max_with(b) == IntVect((2, 5))
+        assert a.min_with(b) == IntVect((1, 3))
+
+    def test_sum_product(self):
+        iv = IntVect((2, 3, 4))
+        assert iv.sum() == 9
+        assert iv.product() == 24
+
+    def test_factories(self):
+        assert zero_vector(3) == IntVect((0, 0, 0))
+        assert ones_vector(2) == IntVect((1, 1))
+        assert unit_vector(1, 3) == IntVect((0, 1, 0))
+        with pytest.raises(IndexError):
+            unit_vector(3, 3)

@@ -1,0 +1,101 @@
+"""Tests of real threaded execution: bitwise equality under concurrency."""
+
+import numpy as np
+import pytest
+
+from repro.exemplar import ExemplarProblem
+from repro.parallel import build_plan, run_plan, run_schedule_parallel
+from repro.schedules import Variant, prepare_phi1, run_schedule_on_level
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return ExemplarProblem(domain_cells=(16, 16, 16), box_size=8)
+
+
+@pytest.fixture(scope="module")
+def phi0(problem):
+    return problem.make_phi0()
+
+
+@pytest.fixture(scope="module")
+def reference(phi0):
+    return run_schedule_on_level(
+        Variant("series", "P>=Box", "CLO"), phi0
+    ).to_global_array()
+
+
+ALL_KINDS = [
+    Variant("series", "P>=Box", "CLO"),
+    Variant("series", "P<Box", "CLO"),
+    Variant("series", "P<Box", "CLI"),
+    Variant("shift_fuse", "P>=Box", "CLI"),
+    Variant("shift_fuse", "P<Box", "CLO"),
+    Variant("blocked_wavefront", "P<Box", "CLO", tile_size=4),
+    Variant("blocked_wavefront", "P<Box", "CLI", tile_size=4),
+    Variant("overlapped", "P<Box", "CLO", tile_size=4, intra_tile="basic"),
+    Variant("overlapped", "P<Box", "CLO", tile_size=4, intra_tile="shift_fuse"),
+    Variant("overlapped", "P>=Box", "CLO", tile_size=4, intra_tile="shift_fuse"),
+]
+
+
+class TestBitwiseUnderThreads:
+    @pytest.mark.parametrize("variant", ALL_KINDS, ids=lambda v: v.short_name)
+    @pytest.mark.parametrize("threads", [1, 4])
+    def test_parallel_equals_serial(self, variant, threads, phi0, reference):
+        r = run_schedule_parallel(variant, phi0, threads)
+        assert np.array_equal(r.phi1.to_global_array(), reference)
+
+    def test_repeated_runs_identical(self, phi0):
+        v = Variant("overlapped", "P<Box", "CLO", tile_size=4, intra_tile="basic")
+        a = run_schedule_parallel(v, phi0, 4).phi1.to_global_array()
+        b = run_schedule_parallel(v, phi0, 4).phi1.to_global_array()
+        assert np.array_equal(a, b)
+
+
+class TestPlanStructure:
+    def test_box_plan(self, phi0):
+        phi1 = prepare_phi1(phi0)
+        plan = build_plan(Variant("series", "P>=Box", "CLO"), phi0, phi1)
+        assert len(plan.groups) == 1
+        assert plan.num_tasks == 8
+
+    def test_wavefront_barriers(self, phi0):
+        phi1 = prepare_phi1(phi0)
+        v = Variant("blocked_wavefront", "P<Box", "CLO", tile_size=4)
+        plan = build_plan(v, phi0, phi1)
+        # Per box: 1 velocity group + 5 comps x 4 wavefronts = 21.
+        assert len(plan.groups) == 8 * 21
+        assert plan.max_group_width() == 3
+
+    def test_slab_override(self, phi0):
+        phi1 = prepare_phi1(phi0)
+        plan = build_plan(
+            Variant("series", "P<Box", "CLO"), phi0, phi1, slabs_per_box=2
+        )
+        assert all(len(g.tasks) == 2 for g in plan.groups)
+
+    def test_result_metadata(self, phi0):
+        v = Variant("series", "P<Box", "CLO")
+        r = run_schedule_parallel(v, phi0, 2)
+        assert r.threads == 2
+        # Paper-faithful series P<Box: per box, 3 directions x 3 loop
+        # groups (flux1/flux2/accum), each split into 8 z-chunks.
+        assert r.num_barriers == 8 * 9
+        assert r.num_tasks == 8 * 9 * 8
+        assert r.elapsed_s > 0
+
+
+class TestValidation:
+    def test_ghost_requirement(self, problem):
+        shallow = ExemplarProblem(domain_cells=(8, 8, 8), box_size=8, ghost=1)
+        with pytest.raises(ValueError):
+            run_schedule_parallel(
+                Variant("series"), shallow.make_phi0(exchange=False), 2
+            )
+
+    def test_threads_positive(self, phi0):
+        phi1 = prepare_phi1(phi0)
+        plan = build_plan(Variant("series"), phi0, phi1)
+        with pytest.raises(ValueError):
+            run_plan(plan, 0)

@@ -1,0 +1,64 @@
+"""Unit tests for ProblemDomain periodicity."""
+
+import pytest
+
+from repro.box import Box, IntVect, ProblemDomain
+
+
+class TestBasics:
+    def test_default_fully_periodic(self):
+        d = ProblemDomain(Box.cube(8, 3))
+        assert all(d.is_periodic(i) for i in range(3))
+
+    def test_flag_mismatch(self):
+        with pytest.raises(ValueError):
+            ProblemDomain(Box.cube(8, 3), periodic=(True, False))
+
+    def test_contains(self):
+        d = ProblemDomain(Box.cube(8, 2))
+        assert d.contains(IntVect((7, 7)))
+        assert not d.contains(IntVect((8, 0)))
+
+
+class TestPeriodicShifts:
+    def test_interior_region_no_shift(self):
+        d = ProblemDomain(Box.cube(8, 2))
+        shifts = d.periodic_shifts(Box.cube(2, 2, lo=3))
+        assert [s.to_tuple() for s in shifts] == [(0, 0)]
+
+    def test_low_edge_region(self):
+        d = ProblemDomain(Box.cube(8, 2))
+        region = Box.from_extents((-2, 0), (4, 4))
+        tuples = {s.to_tuple() for s in d.periodic_shifts(region)}
+        assert (0, 0) in tuples and (8, 0) in tuples
+        assert len(tuples) == 2
+
+    def test_corner_region(self):
+        d = ProblemDomain(Box.cube(8, 2))
+        region = Box.from_extents((-2, -2), (4, 4))
+        tuples = {s.to_tuple() for s in d.periodic_shifts(region)}
+        assert tuples == {(0, 0), (8, 0), (0, 8), (8, 8)}
+
+    def test_non_periodic_direction_excluded(self):
+        d = ProblemDomain(Box.cube(8, 2), periodic=(False, True))
+        region = Box.from_extents((-2, -2), (4, 4))
+        tuples = {s.to_tuple() for s in d.periodic_shifts(region)}
+        assert tuples == {(0, 0), (0, 8)}
+
+    def test_empty_region(self):
+        d = ProblemDomain(Box.cube(8, 2))
+        assert d.periodic_shifts(Box.empty(2)) == []
+
+
+class TestImageOf:
+    def test_wraps_periodic(self):
+        d = ProblemDomain(Box.cube(8, 2))
+        assert d.image_of(IntVect((-1, 9))) == IntVect((7, 1))
+
+    def test_identity_inside(self):
+        d = ProblemDomain(Box.cube(8, 2))
+        assert d.image_of(IntVect((3, 4))) == IntVect((3, 4))
+
+    def test_non_periodic_passthrough(self):
+        d = ProblemDomain(Box.cube(8, 2), periodic=(False, True))
+        assert d.image_of(IntVect((-1, -1))) == IntVect((-1, 7))

@@ -1,0 +1,68 @@
+"""Property-based tests of the ghost exchange (hypothesis).
+
+Every ghost cell of a periodic level must equal the valid cell at its
+wrapped image, for arbitrary divisible (domain, box, ghost) triples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.box import Box, LevelData, ProblemDomain, decompose_domain
+
+
+@st.composite
+def exchange_configs(draw):
+    dim = draw(st.integers(2, 3))
+    boxes_per_dim = draw(st.integers(1, 3))
+    box_size = draw(st.integers(2, 5))
+    ghost = draw(st.integers(1, min(2, box_size)))
+    n = boxes_per_dim * box_size
+    return dim, n, box_size, ghost
+
+
+@settings(max_examples=25, deadline=None)
+@given(exchange_configs())
+def test_every_ghost_matches_wrapped_image(cfg):
+    dim, n, box_size, ghost = cfg
+    domain = ProblemDomain(Box.cube(n, dim))
+    layout = decompose_domain(domain, box_size)
+    ld = LevelData(layout, ncomp=1, ghost=ghost)
+    weights = [1, n + 3, (n + 3) ** 2][:dim]
+
+    def fn(*grids_and_comp):
+        *grids, _ = grids_and_comp
+        acc = 0
+        for g, w in zip(grids, weights):
+            acc = acc + g * w
+        return acc
+
+    ld.fill_from_function(fn)
+    ld.exchange()
+
+    for i in layout:
+        box = layout.box(i)
+        grown = box.grow(ghost)
+        data = np.asarray(ld[i].window(grown, comp=0))
+        grids = np.meshgrid(
+            *[np.arange(grown.lo[d], grown.hi[d] + 1) for d in range(dim)],
+            indexing="ij",
+        )
+        expect = sum(((g % n) * w) for g, w in zip(grids, weights))
+        assert np.array_equal(data, expect)
+
+
+@settings(max_examples=15, deadline=None)
+@given(exchange_configs(), st.integers(0, 2**16))
+def test_exchange_never_alters_valid_cells(cfg, seed):
+    dim, n, box_size, ghost = cfg
+    domain = ProblemDomain(Box.cube(n, dim))
+    layout = decompose_domain(domain, box_size)
+    ld = LevelData(layout, ncomp=2, ghost=ghost)
+    rng = np.random.default_rng(seed)
+    for fab in ld.fabs:
+        fab.data[...] = rng.random(fab.data.shape)
+    before = ld.to_global_array()
+    ld.exchange()
+    assert np.array_equal(ld.to_global_array(), before)

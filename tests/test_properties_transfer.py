@@ -1,0 +1,77 @@
+"""Property-based tests of the inter-level transfer operators and
+refinement calculus (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.box import Box
+from repro.stencil import prolong_constant, prolong_linear, restrict_average
+
+
+class TestRefinementProperties:
+    @given(
+        st.integers(2, 4),
+        st.tuples(st.integers(-6, 6), st.integers(-6, 6)),
+        st.tuples(st.integers(1, 8), st.integers(1, 8)),
+    )
+    def test_refine_coarsen_roundtrip(self, ratio, lo, size):
+        b = Box.from_extents(lo, size)
+        assert b.refine(ratio).coarsen(ratio) == b
+
+    @given(st.integers(2, 4), st.integers(1, 6))
+    def test_refined_volume(self, ratio, n):
+        b = Box.cube(n, 3)
+        assert b.refine(ratio).num_points() == ratio**3 * b.num_points()
+
+    @given(
+        st.integers(2, 4),
+        st.tuples(st.integers(-6, 6), st.integers(-6, 6)),
+        st.tuples(st.integers(1, 8), st.integers(1, 8)),
+    )
+    def test_coarsen_contains_image(self, ratio, lo, size):
+        # Every cell of the original box maps into the coarsened box.
+        b = Box.from_extents(lo, size)
+        c = b.coarsen(ratio)
+        for corner in b.corners():
+            coarse_pt = corner // ratio
+            assert c.contains(coarse_pt)
+
+
+@st.composite
+def fine_arrays(draw):
+    ratio = draw(st.integers(2, 3))
+    nx = draw(st.integers(1, 4)) * ratio
+    ny = draw(st.integers(1, 4)) * ratio
+    comps = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-5, 5, size=(nx, ny, comps)), ratio
+
+
+class TestTransferProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(fine_arrays())
+    def test_restriction_conserves(self, fine_ratio):
+        fine, ratio = fine_ratio
+        coarse = restrict_average(fine, ratio)
+        assert coarse.sum() * ratio**2 == pytest.approx(fine.sum(), rel=1e-10)
+
+    @settings(max_examples=40, deadline=None)
+    @given(fine_arrays())
+    def test_prolong_restrict_identity(self, fine_ratio):
+        fine, ratio = fine_ratio
+        coarse = restrict_average(fine, ratio)
+        for prolong in (prolong_constant, prolong_linear):
+            back = restrict_average(prolong(coarse, ratio), ratio)
+            assert np.allclose(back, coarse, atol=1e-10), prolong.__name__
+
+    @settings(max_examples=40, deadline=None)
+    @given(fine_arrays())
+    def test_prolong_preserves_bounds_constant(self, fine_ratio):
+        fine, ratio = fine_ratio
+        coarse = restrict_average(fine, ratio)
+        out = prolong_constant(coarse, ratio)
+        assert out.min() >= coarse.min() - 1e-12
+        assert out.max() <= coarse.max() + 1e-12

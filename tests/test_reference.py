@@ -1,0 +1,99 @@
+"""Tests of the reference kernel: conservation, decomposition independence."""
+
+import numpy as np
+import pytest
+
+from repro.exemplar import (
+    ExemplarProblem,
+    random_initial_data,
+    reference_kernel,
+    reference_on_level,
+    required_ghost,
+)
+
+
+class TestReferenceKernel:
+    def test_required_ghost(self):
+        assert required_ghost() == 2
+
+    def test_shape(self):
+        phi = random_initial_data((10, 10, 10), seed=0)
+        out = reference_kernel(phi)
+        assert out.shape == (6, 6, 6, 5)
+
+    def test_too_few_components(self):
+        with pytest.raises(ValueError):
+            reference_kernel(np.zeros((8, 8, 8, 3)))
+
+    def test_too_small_box(self):
+        with pytest.raises(ValueError):
+            reference_kernel(np.zeros((4, 8, 8, 5)))
+
+    def test_constant_state_fixed_point_structure(self):
+        # For spatially-constant phi, every face flux equals v*phi and
+        # the divergence vanishes: phi1 == phi0.
+        phi = np.ones((10, 10, 10, 5), order="F")
+        phi[..., 1] = 2.0
+        out = reference_kernel(phi)
+        assert np.allclose(out, phi[2:-2, 2:-2, 2:-2, :])
+
+    def test_2d_supported(self):
+        phi = random_initial_data((9, 9), ncomp=4, seed=1)
+        out = reference_kernel(phi)
+        assert out.shape == (5, 5, 4)
+
+    def test_deterministic(self):
+        phi = random_initial_data((9, 9, 9), seed=5)
+        assert np.array_equal(reference_kernel(phi), reference_kernel(phi))
+
+
+class TestConservation:
+    """The finite-volume telescoping property (§II): on a periodic
+    domain the total of each component is exactly conserved."""
+
+    @pytest.mark.parametrize("box_size", [4, 8])
+    def test_global_conservation(self, box_size):
+        p = ExemplarProblem(domain_cells=(8, 8, 8), box_size=box_size)
+        phi0 = p.make_phi0()
+        phi1 = reference_on_level(phi0)
+        g0 = phi0.to_global_array()
+        g1 = phi1.to_global_array()
+        drift = np.abs((g1 - g0).sum(axis=(0, 1, 2)))
+        assert drift.max() < 1e-10 * g0.size
+
+
+class TestDecompositionIndependence:
+    def test_box_size_invariance_bitwise(self):
+        a = ExemplarProblem(domain_cells=(8, 8, 8), box_size=4)
+        b = ExemplarProblem(domain_cells=(8, 8, 8), box_size=8)
+        ga = reference_on_level(a.make_phi0()).to_global_array()
+        gb = reference_on_level(b.make_phi0()).to_global_array()
+        assert np.array_equal(ga, gb)
+
+    def test_anisotropic_domain(self):
+        a = ExemplarProblem(domain_cells=(8, 4, 4), box_size=4)
+        g = reference_on_level(a.make_phi0()).to_global_array()
+        assert g.shape == (8, 4, 4, 5)
+
+    def test_ghost_width_enforced(self):
+        p = ExemplarProblem(domain_cells=(4, 4, 4), box_size=4, ghost=1)
+        phi0 = p.make_phi0()
+        with pytest.raises(ValueError):
+            reference_on_level(phi0)
+
+
+class TestProblemSetup:
+    def test_paper_instance_counts(self):
+        for box, nboxes in ((16, 12288), (32, 1536), (64, 192), (128, 24)):
+            p = ExemplarProblem.paper_instance(box)
+            dom = np.prod(p.domain_cells)
+            assert dom == 50_331_648
+            assert dom // box**3 == nboxes
+
+    def test_paper_instance_rejects_odd_size(self):
+        with pytest.raises(ValueError):
+            ExemplarProblem.paper_instance(48)
+
+    def test_ncomp_check(self):
+        with pytest.raises(ValueError):
+            ExemplarProblem(domain_cells=(4, 4, 4), box_size=4, ncomp=3)

@@ -1,0 +1,60 @@
+"""Tests of the ASCII plot renderer and report edge cases."""
+
+import pytest
+
+from repro.bench import SeriesData, ascii_plot, format_series
+
+
+def make_data():
+    d = SeriesData("T", "threads", "time", x=[1, 2, 4, 8])
+    d.add_line("ideal", [8.0, 4.0, 2.0, 1.0])
+    d.add_line("flat", [8.0, 8.0, 8.0, 8.0])
+    return d
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        text = ascii_plot(make_data())
+        assert "a = ideal" in text and "b = flat" in text
+        assert "threads: 1 .. 8" in text
+
+    def test_ideal_line_descends(self):
+        text = ascii_plot(make_data(), height=10, width=40)
+        rows = [l.split("|")[1] for l in text.splitlines() if "|" in l]
+        # 'a' marker appears in multiple distinct rows (a sloped line);
+        # 'b' stays on one row.
+        a_rows = [i for i, r in enumerate(rows) if "a" in r]
+        b_rows = [i for i, r in enumerate(rows) if "b" in r and "a" not in r.replace("a", "")]
+        assert len(set(a_rows)) >= 3
+        flat_rows = [i for i, r in enumerate(rows) if "b" in r]
+        assert len(set(flat_rows)) == 1
+
+    def test_log_axis_bounds_printed(self):
+        text = ascii_plot(make_data())
+        assert "8" in text and "1" in text
+
+    def test_empty_series(self):
+        d = SeriesData("E", "x", "y", x=[1, 2])
+        assert "(no data)" in ascii_plot(d)
+
+    def test_nonpositive_filtered(self):
+        d = SeriesData("Z", "x", "y", x=[1, 2])
+        d.add_line("zeros", [0.0, 0.0])
+        assert "(no positive data)" in ascii_plot(d)
+
+    def test_linear_mode(self):
+        text = ascii_plot(make_data(), logy=False)
+        assert "a = ideal" in text
+
+    def test_degenerate_single_value(self):
+        d = SeriesData("S", "x", "y", x=[1])
+        d.add_line("one", [5.0])
+        text = ascii_plot(d)
+        assert "a = one" in text
+
+
+class TestFormatSeriesEdge:
+    def test_no_lines(self):
+        d = SeriesData("T", "x", "y", x=[1])
+        text = format_series(d)
+        assert "T" in text

@@ -1,0 +1,162 @@
+"""Tests of the What/When/Where specification layer."""
+
+import pytest
+
+from repro.analysis import table1_for_variant
+from repro.box import IntVect, unit_vector, zero_vector
+from repro.schedules import Variant, practical_variants
+from repro.schedules.spec import (
+    Band,
+    FusedStatement,
+    ScheduleLegalityError,
+    ScheduleSpec,
+    dependence_edges,
+    exemplar_statements,
+    schedule_spec,
+    storage_mapping,
+    validate_schedule,
+)
+
+
+class TestWhat:
+    def test_statement_inventory(self):
+        stmts = exemplar_statements(3)
+        assert len(stmts) == 9
+        names = {s.name for s in stmts}
+        assert "flux1_0" in names and "accum_2" in names
+
+    def test_centerings(self):
+        stmts = {s.name: s for s in exemplar_statements(3)}
+        assert stmts["flux1_1"].centering == 1  # faces normal to y
+        assert stmts["accum_1"].centering == -1  # cells
+
+    def test_dependences(self):
+        edges = dependence_edges(3)
+        assert len(edges) == 9
+        # The only nonzero distance: cells read their high-side face.
+        nonzero = [e for e in edges if e.distance != zero_vector(3)]
+        assert len(nonzero) == 3
+        assert all(e.consumer.startswith("accum") for e in nonzero)
+
+
+class TestWhen:
+    @pytest.mark.parametrize(
+        "variant", practical_variants(), ids=lambda v: v.short_name
+    )
+    def test_all_practical_schedules_legal(self, variant):
+        validate_schedule(schedule_spec(variant, dim=3))
+
+    def test_series_band_count(self):
+        spec = schedule_spec(Variant("series"), 3)
+        assert len(spec.bands) == 9
+
+    def test_fused_band_count(self):
+        spec = schedule_spec(Variant("shift_fuse"), 3)
+        assert len(spec.bands) == 1
+        assert len(spec.bands[0].statements) == 9
+
+    def test_overlapped_basic_uses_series_bands(self):
+        v = Variant("overlapped", "P<Box", "CLO", tile_size=8, intra_tile="basic")
+        spec = schedule_spec(v, 3)
+        assert len(spec.bands) == 9
+        assert all(b.tile_size == 8 for b in spec.bands)
+
+    def test_wavefront_flag(self):
+        v = Variant("blocked_wavefront", "P<Box", "CLO", tile_size=8)
+        spec = schedule_spec(v, 3)
+        assert spec.bands[0].wavefront
+
+    def test_band_queries(self):
+        spec = schedule_spec(Variant("series"), 3)
+        assert spec.band_of("flux1_0") < spec.band_of("accum_0")
+        with pytest.raises(KeyError):
+            spec.band_of("nope")
+        with pytest.raises(KeyError):
+            spec.placement("nope")
+
+
+class TestLegalityChecker:
+    """The checker must actually catch broken schedules."""
+
+    def _fused_band(self, shifts, stages):
+        stmts = []
+        for d in range(1):
+            for i, name in enumerate(("flux1_0", "flux2_0", "accum_0")):
+                stmts.append(FusedStatement(name, shifts[i], stages[i]))
+        return stmts
+
+    def test_fusion_without_shift_illegal(self):
+        # Fusing with zero shifts: accum at i needs the face at i+e_0
+        # which has not been computed yet.
+        zero = zero_vector(3)
+        spec = ScheduleSpec(Variant("shift_fuse"), 3)
+        spec.bands = [
+            Band("bad", self._fused_band([zero, zero, zero], [0, 1, 2]))
+        ]
+        # Other statements must be scheduled somewhere for validation.
+        for d in (1, 2):
+            for i, s in enumerate((f"flux1_{d}", f"flux2_{d}", f"accum_{d}")):
+                spec.bands.append(Band(f"p{d}{i}", [FusedStatement(s, zero, i)]))
+        with pytest.raises(ScheduleLegalityError, match="does not cover"):
+            validate_schedule(spec)
+
+    def test_consumer_before_producer_illegal(self):
+        zero = zero_vector(3)
+        spec = ScheduleSpec(Variant("series"), 3)
+        order = []
+        for d in range(3):
+            order += [f"accum_{d}", f"flux2_{d}", f"flux1_{d}"]  # reversed!
+        spec.bands = [
+            Band(s, [FusedStatement(s, zero, 0)]) for s in order
+        ]
+        with pytest.raises(ScheduleLegalityError, match="before its producer"):
+            validate_schedule(spec)
+
+    def test_same_iteration_needs_stage_order(self):
+        zero = zero_vector(3)
+        e0 = unit_vector(0, 3)
+        spec = ScheduleSpec(Variant("shift_fuse"), 3)
+        # Correct shifts but flux2 staged after accum.
+        stmts = [
+            FusedStatement("flux1_0", -e0, 2),
+            FusedStatement("flux2_0", -e0, 1),
+            FusedStatement("accum_0", zero, 0),
+        ]
+        spec.bands = [Band("bad-stages", stmts)]
+        for d in (1, 2):
+            for i, s in enumerate((f"flux1_{d}", f"flux2_{d}", f"accum_{d}")):
+                spec.bands.append(Band(f"p{d}{i}", [FusedStatement(s, zero, i)]))
+        with pytest.raises(ScheduleLegalityError, match="stages"):
+            validate_schedule(spec)
+
+
+class TestWhere:
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            Variant("series", "P>=Box", "CLI"),
+            Variant("shift_fuse", "P>=Box", "CLO"),
+            Variant("blocked_wavefront", "P<Box", "CLI", tile_size=16),
+            Variant("overlapped", "P<Box", "CLO", tile_size=16, intra_tile="shift_fuse"),
+        ],
+        ids=lambda v: v.category,
+    )
+    def test_storage_matches_table1(self, variant):
+        decls = {d.array: d for d in storage_mapping(variant, 128, 5)}
+        table = table1_for_variant(variant, 128, threads=1)
+        assert decls["flux"].elements == table.flux
+        assert decls["velocity"].elements == table.velocity
+
+    def test_series_clo_velocity_none(self):
+        decls = {d.array: d for d in storage_mapping(Variant("series"), 16)}
+        assert decls["velocity"].kind == "none"
+        assert decls["velocity"].elements == 0
+
+    def test_kinds(self):
+        kinds = {
+            "series": "full-array",
+            "shift_fuse": "rolling",
+        }
+        for cat, kind in kinds.items():
+            decls = storage_mapping(Variant(cat), 16)
+            assert decls[0].kind == kind

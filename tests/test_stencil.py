@@ -1,0 +1,131 @@
+"""Unit tests for stencil algebra and standard operators."""
+
+import numpy as np
+import pytest
+
+from repro.box import Box
+from repro.stencil import (
+    Stencil,
+    centered_gradient_stencil,
+    divergence_stencil,
+    face_interp_stencil,
+    identity_stencil,
+    laplacian_stencil,
+    upwind_stencil,
+)
+
+
+class TestFootprint:
+    def test_extents(self):
+        s = face_interp_stencil(0, dim=1)
+        assert s.lo_extent().to_tuple() == (-2,)
+        assert s.hi_extent().to_tuple() == (1,)
+        assert s.ghost_width() == 2
+
+    def test_required_input_box(self):
+        s = face_interp_stencil(0, dim=2)
+        out = Box.from_extents((0, 0), (5, 4))  # 5 faces (4 cells + 1)
+        need = s.required_input_box(out)
+        assert need.lo.to_tuple() == (-2, 0)
+        assert need.hi.to_tuple() == (5, 3)
+
+    def test_valid_output_inverse(self):
+        s = laplacian_stencil(dim=2)
+        inp = Box.cube(8, 2)
+        out = s.valid_output_box(inp)
+        assert s.required_input_box(out) == inp
+
+    def test_flops(self):
+        assert laplacian_stencil(dim=3).num_taps == 7
+        assert laplacian_stencil(dim=3).flops_per_point() == 13
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Stencil({}, 2)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            Stencil({(1, 0): 1.0}, 3)
+
+    def test_insufficient_input_rejected(self):
+        s = laplacian_stencil(dim=2)
+        data = np.zeros((4, 4))
+        with pytest.raises(ValueError):
+            s.apply(data, Box.cube(4, 2), Box.cube(4, 2))
+
+
+class TestApply:
+    def test_identity(self):
+        s = identity_stencil(dim=2)
+        data = np.arange(16.0).reshape(4, 4)
+        out = s.apply(data, Box.cube(4, 2), Box.cube(4, 2))
+        assert np.array_equal(out, data)
+
+    def test_laplacian_of_linear_is_zero(self):
+        s = laplacian_stencil(dim=2)
+        x, y = np.mgrid[0:8, 0:8]
+        data = 3.0 * x + 2.0 * y
+        out = s.apply(data, Box.cube(8, 2), Box.cube(6, 2, lo=1))
+        assert np.allclose(out, 0.0)
+
+    def test_gradient_of_linear(self):
+        s = centered_gradient_stencil(0, dim=2, dx=0.5)
+        x, _ = np.mgrid[0:8, 0:8]
+        data = 3.0 * x
+        out = s.apply(data, Box.cube(8, 2), Box.cube(6, 2, lo=1))
+        assert np.allclose(out, 6.0)
+
+    def test_upwind_sign(self):
+        pos = upwind_stencil(0, dim=1, velocity=1.0)
+        neg = upwind_stencil(0, dim=1, velocity=-1.0)
+        assert pos.lo_extent().to_tuple() == (-1,)
+        assert neg.hi_extent().to_tuple() == (1,)
+
+    def test_apply_with_component_axis(self):
+        s = identity_stencil(dim=2)
+        data = np.random.default_rng(0).random((4, 4, 3))
+        out = s.apply(data, Box.cube(4, 2), Box.cube(2, 2, lo=1))
+        assert out.shape == (2, 2, 3)
+        assert np.array_equal(out, data[1:3, 1:3, :])
+
+    def test_apply_into_output_accumulate(self):
+        s = identity_stencil(dim=1)
+        data = np.ones(4)
+        out = np.full(6, 10.0)
+        s.apply(data, Box.cube(4, 1), Box.cube(4, 1), out=out,
+                out_container=Box.cube(6, 1, lo=-1), accumulate=True)
+        assert np.array_equal(out, [10, 11, 11, 11, 11, 10])
+
+    def test_accumulate_without_out_rejected(self):
+        s = identity_stencil(dim=1)
+        with pytest.raises(ValueError):
+            s.apply(np.ones(4), Box.cube(4, 1), Box.cube(4, 1), accumulate=True)
+
+
+class TestFaceInterpOrder:
+    """Eq. 6 must be 4th-order accurate: exact for cubic polynomials."""
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_exact_on_cell_averaged_monomials(self, k):
+        # Cell averages of x^k over [i, i+1]: integral/(1) =
+        # ((i+1)^(k+1) - i^(k+1))/(k+1).  The 4th-order face formula
+        # recovers the point value at the face exactly for k <= 3.
+        s = face_interp_stencil(0, dim=1)
+        i = np.arange(-2, 12, dtype=float)
+        cell_avg = ((i + 1) ** (k + 1) - i ** (k + 1)) / (k + 1)
+        inp_box = Box.from_extents((-2,), (14,))
+        out_box = Box.from_extents((0,), (11,))  # faces 0..10
+        faces = s.apply(cell_avg, inp_box, out_box)
+        # Face f sits at coordinate f (low face of cell f).
+        expect = np.arange(0, 11, dtype=float) ** k
+        assert np.allclose(faces, expect, atol=1e-12)
+
+    def test_divergence_telescopes(self):
+        s = divergence_stencil(0, dim=1)
+        flux = np.random.default_rng(1).random(9)  # 9 faces for 8 cells
+        inp_box = Box.from_extents((0,), (9,))
+        out_box = Box.from_extents((0,), (8,))
+        div = s.apply(flux, inp_box, out_box)
+        assert np.allclose(div.sum(), flux[-1] - flux[0])

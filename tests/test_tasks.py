@@ -1,0 +1,70 @@
+"""Tests of the task-graph primitives."""
+
+import pytest
+
+from repro.schedules import Access, Task, TaskGraph
+
+
+class TestAccess:
+    def test_bytes(self):
+        a = Access("phi0", points=100, comps=5, mode="r")
+        assert a.elements == 500
+        assert a.bytes == 4000
+
+    def test_rw_double(self):
+        a = Access("phi1", points=10, comps=1, mode="rw")
+        assert a.bytes == 160
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Access("x", points=1, mode="x")
+        with pytest.raises(ValueError):
+            Access("x", points=-1)
+        with pytest.raises(ValueError):
+            Access("x", points=1, comps=0)
+
+
+class TestTaskGraph:
+    def _diamond(self):
+        g = TaskGraph()
+        a = g.add("a", 1.0)
+        b = g.add("b", 1.0, deps=[a.tid])
+        c = g.add("c", 1.0, deps=[a.tid])
+        g.add("d", 1.0, deps=[b.tid, c.tid])
+        return g
+
+    def test_add_and_query(self):
+        g = self._diamond()
+        assert len(g) == 4
+        assert g.total_flops() == 4.0
+        assert g[3].deps == [1, 2]
+
+    def test_future_dep_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add("bad", 1.0, deps=[0])
+
+    def test_critical_path(self):
+        g = self._diamond()
+        assert g.critical_path_length() == 3
+        assert g.max_width() == 2
+
+    def test_successors(self):
+        g = self._diamond()
+        succ = g.successors()
+        assert succ[0] == [1, 2]
+        assert succ[3] == []
+
+    def test_stream_vs_scratch_bytes(self):
+        g = TaskGraph()
+        t = g.add(
+            "t",
+            10.0,
+            accesses=[
+                Access("phi0", 10, 5, "r"),
+                Access("flux", 10, 5, "rw", scratch=True),
+            ],
+        )
+        assert t.stream_bytes() == 400
+        assert t.scratch_traffic_bytes() == 800
+        assert g.total_stream_bytes() == 400

@@ -1,0 +1,85 @@
+"""Tests of tile grids and wavefront ordering."""
+
+import pytest
+
+from repro.box import Box
+from repro.schedules import TileGrid, wavefront_schedule_depth
+
+
+class TestTileGrid:
+    def test_even_decomposition(self):
+        g = TileGrid(Box.cube(16, 3), 8)
+        assert len(g) == 8
+        assert g.counts == (2, 2, 2)
+        assert all(t.size() == (8, 8, 8) for t in g)
+
+    def test_ragged(self):
+        g = TileGrid(Box.cube(10, 2), 4)
+        assert g.counts == (3, 3)
+        assert sum(t.num_points() for t in g) == 100
+
+    def test_covers_disjointly(self):
+        g = TileGrid(Box.cube(12, 3), 5)
+        tiles = list(g)
+        assert sum(t.num_points() for t in tiles) == 12**3
+        for i, a in enumerate(tiles):
+            for b in tiles[i + 1:]:
+                assert not a.intersects(b)
+
+    def test_offset_box(self):
+        g = TileGrid(Box.cube(8, 2, lo=10), 4)
+        assert g.tile_box(0).lo.to_tuple() == (10, 10)
+
+    def test_anisotropic_tiles(self):
+        g = TileGrid(Box.cube(8, 2), (4, 2))
+        assert g.counts == (2, 4)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TileGrid(Box.empty(2), 4)
+        with pytest.raises(ValueError):
+            TileGrid(Box.cube(8, 2), 0)
+
+    def test_index_of(self):
+        g = TileGrid(Box.cube(16, 3), 8)
+        for i in range(len(g)):
+            assert g.index_of(g.tile_coords(i)) == i
+        assert g.index_of((5, 0, 0)) is None
+
+
+class TestWavefronts:
+    def test_numbering(self):
+        g = TileGrid(Box.cube(16, 3), 8)
+        assert g.num_wavefronts == 4  # coords sums 0..3
+        sizes = g.wavefront_sizes()
+        assert sizes == [1, 3, 3, 1]
+        assert sum(sizes) == 8
+
+    def test_wavefront_order_respects_dependencies(self):
+        g = TileGrid(Box.cube(32, 3), 8)
+        for i in range(len(g)):
+            for up in g.upstream_neighbors(i):
+                assert g.wavefront_of(up) == g.wavefront_of(i) - 1
+
+    def test_upstream_count(self):
+        g = TileGrid(Box.cube(16, 3), 8)
+        corner = g.index_of((0, 0, 0))
+        inner = g.index_of((1, 1, 1))
+        assert g.upstream_neighbors(corner) == []
+        assert len(g.upstream_neighbors(inner)) == 3
+
+    def test_depth_helper(self):
+        assert wavefront_schedule_depth(Box.cube(128, 3), 16) == 22
+        assert wavefront_schedule_depth(Box.cube(128, 3), 4) == 94
+
+
+class TestOverlapAccounting:
+    def test_interior_shared_faces(self):
+        g = TileGrid(Box.cube(16, 3), 8)
+        # One interior plane per direction, 16x16 faces each.
+        assert g.interior_shared_faces() == 3 * 16 * 16
+        assert g.interior_shared_faces(ncomp=5) == 5 * 3 * 16 * 16
+
+    def test_single_tile_no_sharing(self):
+        g = TileGrid(Box.cube(8, 3), 8)
+        assert g.interior_shared_faces() == 0

@@ -1,0 +1,99 @@
+"""Cross-validation: the analytic miss-fraction model vs the LRU cache
+simulator on traces with the schedules' access structure."""
+
+import pytest
+
+from repro.analysis import miss_fraction
+from repro.machine import SetAssociativeCache
+from repro.machine.trace import (
+    ArrayLayout,
+    measure_dram_bytes,
+    replay,
+    scratch_write_read_trace,
+    stencil_sweep_trace,
+    stream_trace,
+)
+
+LINE = 64
+
+
+def cache(kb):
+    return SetAssociativeCache(kb * 1024, LINE, ways=8)
+
+
+class TestStreaming:
+    def test_stream_is_compulsory_only(self):
+        layout = ArrayLayout(0, (64, 64))
+        c = cache(16)
+        replay(stream_trace(layout), c)
+        # One miss per line regardless of cache size.
+        assert c.stats.misses == layout.nbytes // LINE
+
+    def test_second_pass_hits_if_fits(self):
+        layout = ArrayLayout(0, (32, 32))  # 8 KB
+        c = cache(16)
+        replay(stream_trace(layout), c)
+        before = c.stats.misses
+        replay(stream_trace(layout), c)
+        assert c.stats.misses == before
+
+    def test_second_pass_misses_if_too_big(self):
+        layout = ArrayLayout(0, (128, 128))  # 128 KB
+        c = cache(16)
+        replay(stream_trace(layout), c)
+        before = c.stats.misses
+        replay(stream_trace(layout), c)
+        extra = c.stats.misses - before
+        # Analytic model: full reread misses ~ (1 - cache/ws).
+        predicted = miss_fraction(layout.nbytes, 16 * 1024)
+        measured = extra / (layout.nbytes // LINE)
+        assert measured == pytest.approx(predicted, abs=0.15)
+
+
+class TestStencilWindow:
+    """The Eq. 6 pattern: planes reread at a 3-plane distance hit or
+    miss depending on whether the 4-plane window fits."""
+
+    def _miss_per_plane(self, shape, axis, kb):
+        layout = ArrayLayout(0, shape)
+        c = cache(kb)
+        replay(stencil_sweep_trace(layout, axis), c)
+        planes = shape[axis] - 3
+        lines_per_plane = (layout.nbytes // shape[axis]) // LINE
+        return c.stats.misses / (4 * planes * lines_per_plane)
+
+    def test_window_fits_mostly_hits(self):
+        # 4 planes of 32x32 doubles = 32 KB <= 64 KB cache.
+        rate = self._miss_per_plane((32, 32, 16), 2, 64)
+        # Compulsory misses only: each plane fetched ~once per 4 touches.
+        assert rate < 0.35
+
+    def test_window_spills_mostly_misses(self):
+        # 4 planes of 64x64 doubles = 128 KB >> 16 KB cache.
+        rate = self._miss_per_plane((64, 64, 12), 2, 16)
+        assert rate > 0.8
+
+    def test_analytic_window_boundary(self):
+        # The analytic window for axis 2 of a (28,28,...) ghosted array
+        # is 4*(32)*(32)*8 using ghosted extents; here we use the raw
+        # shape directly so compare against 4*shape[0]*shape[1]*8.
+        shape = (48, 48, 12)
+        window = 4 * shape[0] * shape[1] * 8
+        hit_kb = (window // 1024) * 2
+        miss_kb = max(4, (window // 1024) // 8)
+        assert self._miss_per_plane(shape, 2, hit_kb) < 0.35
+        assert self._miss_per_plane(shape, 2, miss_kb) > 0.6
+
+
+class TestScratchSpill:
+    def test_scratch_fits_cheap(self):
+        layout = ArrayLayout(0, (32, 32))  # 8 KB
+        dram = measure_dram_bytes(scratch_write_read_trace(layout), cache(64))
+        # Write-allocate fill + final flush writeback: ~2x the array.
+        assert dram <= 2.5 * layout.nbytes
+
+    def test_scratch_spills_expensive(self):
+        layout = ArrayLayout(0, (256, 64))  # 128 KB
+        dram = measure_dram_bytes(scratch_write_read_trace(layout), cache(8))
+        # Fill, writeback, reread fill, (clean) flush: ~3x.
+        assert dram > 2.8 * layout.nbytes

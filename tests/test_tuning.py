@@ -1,0 +1,80 @@
+"""Tests of the model-driven autotuner."""
+
+import pytest
+
+from repro.machine import IVY_BRIDGE, MAGNY_COURS, SANDY_BRIDGE
+from repro.schedules import Variant
+from repro.tuning import Autotuner, TuningResult
+
+SMALL = (64, 64, 64)
+
+
+class TestTuning:
+    def test_best_beats_baseline_at_128(self):
+        tuner = Autotuner(MAGNY_COURS)
+        result = tuner.tune(128)
+        assert result.best.variant.category == "overlapped"
+        assert result.speedup_over_baseline() > 3.0
+
+    def test_recommend_small_box_over_boxes(self):
+        tuner = Autotuner(MAGNY_COURS)
+        v = tuner.recommend(16)
+        assert v.granularity == "P>=Box"
+
+    def test_pruning_reduces_evaluations(self):
+        with_prune = Autotuner(SANDY_BRIDGE, SMALL, prune=True).tune(32)
+        without = Autotuner(SANDY_BRIDGE, SMALL, prune=False).tune(32)
+        assert len(with_prune.pruned) > 0
+        assert len(without.pruned) == 0
+        assert len(with_prune.entries) == len(without.entries)
+
+    def test_pruning_never_drops_winner(self):
+        # The analytic pre-filters must keep whatever full search finds.
+        for machine in (MAGNY_COURS, IVY_BRIDGE):
+            for n in (16, 128):
+                full = Autotuner(machine, prune=False).tune(n)
+                pruned = Autotuner(machine, prune=True).tune(n)
+                assert pruned.best.time_s == pytest.approx(
+                    full.best.time_s, rel=1e-9
+                ), (machine.name, n)
+
+    def test_prune_reasons_recorded(self):
+        result = Autotuner(MAGNY_COURS).tune(128)
+        assert all(e.prune_reason for e in result.pruned)
+
+    def test_ranked_order(self):
+        result = Autotuner(SANDY_BRIDGE, SMALL).tune(16)
+        times = [e.time_s for e in result.evaluated]
+        assert times == sorted(times)
+
+    def test_tile_sweep_prefers_8_or_16(self):
+        # The paper: "in general tile sizes of 8 and 16 were the most
+        # efficient."
+        tuner = Autotuner(MAGNY_COURS)
+        best = tuner.recommend(128)
+        assert best.tile_size in (8, 16)
+
+    def test_tune_box_sizes(self):
+        out = Autotuner(SANDY_BRIDGE, SMALL).tune_box_sizes((16, 32))
+        assert set(out) == {16, 32}
+        assert all(isinstance(r, TuningResult) for r in out.values())
+
+    def test_no_applicable_variants(self):
+        tuner = Autotuner(SANDY_BRIDGE, SMALL)
+        with pytest.raises(ValueError):
+            tuner.tune(16, variants=[
+                Variant("overlapped", "P<Box", "CLO", tile_size=16,
+                        intra_tile="basic")
+            ])
+
+    def test_custom_variant_pool(self):
+        tuner = Autotuner(SANDY_BRIDGE, SMALL, prune=False)
+        pool = [Variant("series", "P>=Box", "CLO"),
+                Variant("shift_fuse", "P>=Box", "CLO")]
+        result = tuner.tune(32, variants=pool)
+        assert len(result.entries) == 2
+
+    def test_best_raises_when_all_pruned(self):
+        r = TuningResult("m", 16, 4)
+        with pytest.raises(ValueError):
+            r.best

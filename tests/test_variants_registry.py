@@ -1,0 +1,109 @@
+"""Tests of the variant registry: naming, enumeration, figure line sets."""
+
+import pytest
+
+from repro.schedules import (
+    Variant,
+    baseline_variant,
+    enumerate_design_space,
+    figure_variants,
+    practical_variants,
+    shift_fuse_variant,
+    variant_by_label,
+)
+
+
+class TestVariantDescriptor:
+    def test_labels(self):
+        assert Variant("series", "P>=Box", "CLO").label == "Baseline: P>=Box"
+        assert (
+            Variant("blocked_wavefront", "P<Box", "CLI", tile_size=4).label
+            == "Blocked WF-CLI-4: P<Box"
+        )
+        assert (
+            Variant("overlapped", "P>=Box", "CLO", tile_size=16,
+                    intra_tile="shift_fuse").label
+            == "Shift-Fuse OT-16: P>=Box"
+        )
+
+    def test_short_name_roundtrip_unique(self):
+        names = [v.short_name for v in enumerate_design_space()]
+        assert len(names) == len(set(names))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Variant("nope")
+        with pytest.raises(ValueError):
+            Variant("series", tile_size=8)
+        with pytest.raises(ValueError):
+            Variant("series", intra_tile="basic")
+        with pytest.raises(ValueError):
+            Variant("overlapped", tile_size=8)  # missing intra_tile
+        with pytest.raises(ValueError):
+            Variant("blocked_wavefront", tile_size=5)
+        with pytest.raises(ValueError):
+            Variant("series", "sideways")
+        with pytest.raises(ValueError):
+            Variant("series", component_loop="CLX")
+
+    def test_applicability(self):
+        v = Variant("overlapped", "P<Box", "CLO", tile_size=16, intra_tile="basic")
+        assert v.applicable_to_box(32)
+        assert not v.applicable_to_box(16)  # strictly larger only
+        assert Variant("series").applicable_to_box(16)
+
+    def test_is_tiled(self):
+        assert not Variant("shift_fuse").is_tiled
+        assert Variant("blocked_wavefront", tile_size=8).is_tiled
+
+
+class TestRegistry:
+    def test_practical_count_about_30(self):
+        vs = practical_variants()
+        assert len(vs) == 32  # the paper's "approximately 30"
+        assert len(set(vs)) == 32
+
+    def test_practical_respects_paper_pruning(self):
+        for v in practical_variants():
+            if v.category == "overlapped":
+                # §IV-E: overlapped tiles only with CLO.
+                assert v.component_loop == "CLO"
+            if v.category == "blocked_wavefront":
+                # The figures parallelize wavefronts over tiles.
+                assert v.granularity == "P<Box"
+
+    def test_design_space_superset(self):
+        space = set(enumerate_design_space())
+        assert set(practical_variants()) <= space
+        assert len(space) == 56
+
+    def test_named_anchors(self):
+        assert baseline_variant().category == "series"
+        assert shift_fuse_variant("P<Box").granularity == "P<Box"
+
+    def test_lookup_by_label(self):
+        v = variant_by_label("Blocked WF-CLO-16: P<Box")
+        assert v.tile_size == 16
+        with pytest.raises(KeyError):
+            variant_by_label("Nope: P<Box")
+
+
+class TestFigureVariants:
+    @pytest.mark.parametrize("fig", ["fig10", "fig11", "fig12"])
+    def test_seven_lines_each(self, fig):
+        lines = figure_variants(fig)
+        assert len(lines) == 7
+        # The two common lines appear in every figure.
+        assert "Baseline: P>=Box" in lines
+        assert "Shift-Fuse: P>=Box" in lines
+        # Labels are consistent with the variants' own labels.
+        for label, v in lines.items():
+            assert v.label == label
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            figure_variants("fig13")
+
+    def test_fig11_has_hyperthreading_relevant_lines(self):
+        lines = figure_variants("fig11")
+        assert "Blocked WF-CLI-4: P<Box" in lines

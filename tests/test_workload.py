@@ -1,0 +1,81 @@
+"""Tests of workload construction (phases and items per variant)."""
+
+import pytest
+
+from repro.analysis import variant_box_flops
+from repro.machine import build_workload
+from repro.schedules import Variant
+
+DOMAIN = (32, 32, 32)
+
+
+class TestGranularity:
+    def test_p_ge_box_single_phase(self):
+        wl = build_workload(Variant("series", "P>=Box", "CLO"), 16, DOMAIN)
+        assert len(wl.phases) == 1
+        assert wl.num_boxes == 8
+        assert wl.phases[0].num_items == 8
+
+    def test_p_lt_box_series_slices(self):
+        wl = build_workload(Variant("series", "P<Box", "CLO"), 16, DOMAIN)
+        assert len(wl.phases) == 8  # boxes sequential
+        assert all(p.num_items == 16 for p in wl.phases)
+
+    def test_p_lt_box_overlapped_tiles(self):
+        v = Variant("overlapped", "P<Box", "CLO", tile_size=8, intra_tile="basic")
+        wl = build_workload(v, 16, DOMAIN)
+        assert len(wl.phases) == 8
+        assert all(p.num_items == 8 for p in wl.phases)  # 2^3 tiles
+
+    def test_p_lt_box_wavefront_phases(self):
+        v = Variant("blocked_wavefront", "P<Box", "CLO", tile_size=8)
+        wl = build_workload(v, 16, DOMAIN)
+        # 4 wavefronts per box x 8 boxes.
+        assert len(wl.phases) == 32
+        widths = [p.num_items for p in wl.phases[:4]]
+        assert widths == [1, 3, 3, 1]
+
+
+class TestAccounting:
+    def test_flops_match_analysis(self):
+        for v in (
+            Variant("series", "P>=Box", "CLO"),
+            Variant("series", "P<Box", "CLI"),
+            Variant("shift_fuse", "P<Box", "CLO"),
+            Variant("blocked_wavefront", "P<Box", "CLO", tile_size=8),
+            Variant("overlapped", "P>=Box", "CLO", tile_size=8, intra_tile="basic"),
+        ):
+            wl = build_workload(v, 16, DOMAIN)
+            per_box = variant_box_flops(v, 16).total
+            assert wl.total_flops() == pytest.approx(8 * per_box, rel=1e-9), v.label
+
+    def test_total_cells(self):
+        wl = build_workload(Variant("series"), 16, DOMAIN)
+        assert wl.total_cells == 32**3
+
+    def test_paper_default_domain(self):
+        wl = build_workload(Variant("series"), 128)
+        assert wl.num_boxes == 24
+
+
+class TestValidation:
+    def test_tile_not_smaller_rejected(self):
+        v = Variant("overlapped", "P<Box", "CLO", tile_size=16, intra_tile="basic")
+        with pytest.raises(ValueError):
+            build_workload(v, 16, DOMAIN)
+
+    def test_indivisible_domain_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload(Variant("series"), 24, DOMAIN)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            build_workload(Variant("series"), 16, (32, 32), dim=3)
+
+    def test_phase_count_validation(self):
+        from repro.machine.workload import Phase, WorkItem
+        from repro.analysis.traffic import TrafficModel
+
+        p = Phase("x")
+        with pytest.raises(ValueError):
+            p.add(WorkItem("i", 1.0, TrafficModel(1.0)), count=0)

@@ -1,0 +1,57 @@
+"""Phase-structure subtleties: repetition sharing, memoization, timing."""
+
+import pytest
+
+from repro.analysis.traffic import TrafficModel
+from repro.machine import SANDY_BRIDGE, build_workload, estimate_workload
+from repro.machine.workload import Phase, WorkItem, _repeat_phase
+from repro.schedules import Variant
+
+
+class TestRepeatPhase:
+    def test_groups_shared_but_lists_independent(self):
+        base = Phase("p")
+        base.add(WorkItem("i", 1.0, TrafficModel(8.0)), 4)
+        copies = _repeat_phase(base, 3)
+        # The (item, count) tuples are shared (enables memoization)...
+        assert copies[0].groups[0] is copies[1].groups[0]
+        # ...but the group lists are independent.
+        copies[0].add(WorkItem("extra", 1.0, TrafficModel(8.0)))
+        assert copies[0].num_items == 5
+        assert copies[1].num_items == 4
+
+
+class TestMemoization:
+    def test_repeated_phases_get_identical_times(self):
+        wl = build_workload(Variant("series", "P<Box", "CLO"), 16, (32, 32, 32))
+        r = estimate_workload(wl, SANDY_BRIDGE, 4)
+        # 8 per-box phases, all structurally identical.
+        assert len(set(round(t, 15) for t in r.phase_times)) == 1
+
+    def test_memo_matches_unmemoized_total(self):
+        # Total time equals per-phase time x phase count.
+        wl = build_workload(Variant("series", "P<Box", "CLO"), 16, (32, 32, 32))
+        r = estimate_workload(wl, SANDY_BRIDGE, 4)
+        assert r.time_s == pytest.approx(r.phase_times[0] * len(wl.phases), rel=1e-12)
+
+    def test_wavefront_phase_cycle(self):
+        v = Variant("blocked_wavefront", "P<Box", "CLO", tile_size=8)
+        wl = build_workload(v, 16, (32, 32, 32))
+        r = estimate_workload(wl, SANDY_BRIDGE, 4)
+        # Per box: wavefronts of width 1,3,3,1 -> a repeating 4-phase
+        # time pattern across the 8 boxes.
+        first_box = r.phase_times[:4]
+        for b in range(1, 8):
+            assert r.phase_times[4 * b: 4 * b + 4] == pytest.approx(first_box)
+
+
+class TestPhaseAccounting:
+    def test_workload_width_and_items(self):
+        v = Variant("overlapped", "P<Box", "CLO", tile_size=8, intra_tile="basic")
+        wl = build_workload(v, 16, (32, 32, 32))
+        assert wl.max_phase_width() == 8
+        assert wl.total_items() == 8 * 8
+
+    def test_flops_positive_every_phase(self):
+        wl = build_workload(Variant("shift_fuse", "P<Box", "CLI"), 16, (32, 32, 32))
+        assert all(p.total_flops() > 0 for p in wl.phases)
