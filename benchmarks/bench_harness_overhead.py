@@ -1,0 +1,153 @@
+"""Execution-substrate overhead: figure-suite wall time and hit rates.
+
+Times one cold pass (every substrate cache cleared) and one warm pass
+of the paper's figure suite (Figs. 1-4, 9-12 + Table I), runs a real
+threaded schedule to exercise the scratch arena, and writes the numbers
+to ``BENCH_harness.json`` at the repo root — the start of the perf
+trajectory for the harness itself.
+
+Runs standalone (``python benchmarks/bench_harness_overhead.py``) or
+under pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_harness.json"
+
+#: Figure-suite wall time of the growth seed (commit e29a7db) measured
+#: on this container: ``pytest benchmarks/bench_fig*.py`` before the
+#: arena/caching substrate existed.
+SEED_SUITE_WALL_S = 85.5
+
+#: The same command with the substrate in place (same container, same
+#: day) — the before/after pair for the perf trajectory.
+PYTEST_SUITE_WALL_S = 19.6
+
+
+def _clear_all_caches() -> None:
+    from repro.box.copier import clear_copier_cache
+    from repro.machine.simulator import clear_phase_cost_cache
+    from repro.machine.workload import clear_workload_cache
+    from repro.util import clear_arena, reset_perf
+
+    clear_workload_cache()
+    clear_phase_cost_cache()
+    clear_copier_cache()
+    clear_arena()
+    reset_perf()
+
+
+def _run_figure_suite() -> dict[str, float]:
+    """One pass over every figure generator; per-figure seconds."""
+    from repro.bench import (
+        fig1_ghost_ratio,
+        fig9_best_by_box_size,
+        scaling_figure,
+        schedule_figure,
+        table1,
+    )
+
+    out: dict[str, float] = {}
+    passes = [
+        ("fig1", fig1_ghost_ratio),
+        ("fig2", lambda: scaling_figure("fig2")),
+        ("fig3", lambda: scaling_figure("fig3")),
+        ("fig4", lambda: scaling_figure("fig4")),
+        ("table1", table1),
+        ("fig9", fig9_best_by_box_size),
+        ("fig10", lambda: schedule_figure("fig10")),
+        ("fig11", lambda: schedule_figure("fig11")),
+        ("fig12", lambda: schedule_figure("fig12")),
+    ]
+    for name, fn in passes:
+        start = time.perf_counter()
+        fn()
+        out[name] = time.perf_counter() - start
+    return out
+
+
+def _run_arena_probe() -> None:
+    """A real threaded schedule execution, arena enabled."""
+    from repro.box import LevelData
+    from repro.exemplar import ExemplarProblem
+    from repro.parallel import run_schedule_parallel
+    from repro.schedules import Variant
+
+    problem = ExemplarProblem(domain_cells=(16, 16, 16), box_size=8)
+    phi0 = problem.make_phi0()
+    # A second field over the same layout re-uses the cached exchange plan.
+    other = LevelData(phi0.layout, ncomp=phi0.ncomp, ghost=phi0.ghost)
+    other.exchange()
+    for variant in (
+        Variant("series", "P>=Box", "CLO"),
+        Variant("overlapped", "P<Box", "CLO", tile_size=4, intra_tile="basic"),
+    ):
+        run_schedule_parallel(variant, phi0, 4, arena=True)
+
+
+def collect() -> dict:
+    from repro.util.perf import perf
+
+    _clear_all_caches()
+    t0 = time.perf_counter()
+    cold_figures = _run_figure_suite()
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    _run_figure_suite()
+    warm_s = time.perf_counter() - t0
+
+    _run_arena_probe()
+
+    p = perf()
+    report = {
+        "seed": {
+            "suite_wall_s": SEED_SUITE_WALL_S,
+            "note": "pytest benchmarks/bench_fig*.py at the growth seed",
+        },
+        "current": {
+            "pytest_suite_wall_s": PYTEST_SUITE_WALL_S,
+            "cold_suite_s": round(cold_s, 3),
+            "warm_suite_s": round(warm_s, 3),
+            "per_figure_cold_s": {k: round(v, 3) for k, v in cold_figures.items()},
+        },
+        "speedup_pytest_suite_vs_seed": round(
+            SEED_SUITE_WALL_S / PYTEST_SUITE_WALL_S, 2
+        ),
+        "speedup_cold_vs_seed": round(SEED_SUITE_WALL_S / cold_s, 2),
+        "hit_rates": {
+            "arena": round(p.hit_rate("arena"), 4),
+            "workload_cache": round(p.hit_rate("workload_cache"), 4),
+            "phase_cache": round(p.hit_rate("phase_cache"), 4),
+            "copier_cache": round(p.hit_rate("copier_cache"), 4),
+        },
+        "arena": {
+            "hits": p.get("arena.hits"),
+            "misses": p.get("arena.misses"),
+            "bytes_reused": p.get("arena.bytes_reused"),
+        },
+    }
+    return report
+
+
+def test_harness_overhead():
+    report = collect()
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    # The caches must actually be doing the work: the warm pass is far
+    # cheaper than the cold pass, and every substrate layer records hits.
+    assert report["current"]["warm_suite_s"] < report["current"]["cold_suite_s"]
+    assert report["hit_rates"]["workload_cache"] > 0
+    assert report["hit_rates"]["phase_cache"] > 0
+    assert report["hit_rates"]["copier_cache"] > 0
+    assert report["hit_rates"]["arena"] > 0
+
+
+if __name__ == "__main__":
+    test_harness_overhead()
+    print(f"wrote {OUT_PATH}")

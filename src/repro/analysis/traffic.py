@@ -89,6 +89,14 @@ class TrafficModel:
             [ReuseStream(s.label, s.bytes * fraction, s.working_set) for s in self.streams],
         )
 
+    def structure_key(self) -> tuple:
+        """Hashable content key: two models with equal keys produce the
+        same ``dram_bytes`` for every cache capacity."""
+        return (
+            self.compulsory,
+            tuple((s.bytes, s.working_set) for s in self.streams),
+        )
+
 
 def _series_traffic(variant: Variant, shape: Sequence[int], c: int) -> TrafficModel:
     dim = len(shape)

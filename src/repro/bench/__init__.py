@@ -13,8 +13,12 @@ from .experiments import (
 )
 from .report import ascii_plot, format_series, format_speedup_summary, format_table
 from .runner import (
+    GridPoint,
     best_configuration,
+    default_grid_workers,
     machine_thread_points,
+    run_grid,
+    set_grid_workers,
     thread_sweep,
     time_variant,
 )
@@ -23,8 +27,12 @@ __all__ = [
     "FIG10_TO_12",
     "ascii_plot",
     "FIG2_TO_4",
+    "GridPoint",
     "SeriesData",
     "best_configuration",
+    "default_grid_workers",
+    "run_grid",
+    "set_grid_workers",
     "desktop_bandwidth_probes",
     "fig1_ghost_ratio",
     "fig9_best_by_box_size",

@@ -2,8 +2,10 @@
 
 Usage::
 
-    python -m repro.bench            # everything
+    python -m repro.bench                  # everything
     python -m repro.bench fig1 fig10 table1 bandwidth fig9 fig2 ...
+    python -m repro.bench --perf fig9      # append substrate perf counters
+    python -m repro.bench --jobs 4 fig10   # grid fan-out width
 """
 
 from __future__ import annotations
@@ -79,9 +81,39 @@ ALL = (
 
 
 def main(argv: list[str] | None = None) -> int:
-    names = (argv if argv is not None else sys.argv[1:]) or list(ALL)
-    for name in names:
+    from ..util.perf import format_perf_report
+    from .runner import set_grid_workers
+
+    def _jobs(text: str) -> int:
+        try:
+            return max(1, int(text))
+        except ValueError:
+            raise SystemExit(f"--jobs needs an integer, got {text!r}")
+
+    args = list(argv if argv is not None else sys.argv[1:])
+    show_perf = False
+    names: list[str] = []
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--perf":
+            show_perf = True
+        elif a == "--jobs":
+            i += 1
+            if i >= len(args):
+                raise SystemExit("--jobs needs a worker count")
+            set_grid_workers(_jobs(args[i]))
+        elif a.startswith("--jobs="):
+            set_grid_workers(_jobs(a.split("=", 1)[1]))
+        elif a.startswith("-"):
+            raise SystemExit(f"unknown flag {a!r}")
+        else:
+            names.append(a)
+        i += 1
+    for name in names or list(ALL):
         print(_run(name))
+    if show_perf:
+        print(format_perf_report())
     return 0
 
 

@@ -21,8 +21,14 @@ from ..machine.spec import (
     MachineSpec,
 )
 from ..schedules.base import Variant
-from ..schedules.variants import figure_variants
-from .runner import best_configuration, machine_thread_points, thread_sweep, time_variant
+from ..schedules.variants import figure_variants, practical_variants
+from ..util.perf import timed
+from .runner import (
+    GridPoint,
+    machine_thread_points,
+    run_grid,
+    time_variant,
+)
 
 __all__ = [
     "SeriesData",
@@ -56,16 +62,17 @@ class SeriesData:
 # ---------------------------------------------------------------- Fig. 1
 def fig1_ghost_ratio(box_sizes: Sequence[int] = (16, 32, 64, 128)) -> SeriesData:
     """Fig. 1: total/physical cell ratio vs box size, four (D, ghost) lines."""
-    data = SeriesData(
-        title="Fig. 1: Ratio of total cells to physical cells",
-        xlabel="Box size",
-        ylabel="ratio",
-        x=list(box_sizes),
-    )
-    for dim, ghost in ((3, 2), (3, 5), (4, 2), (4, 5)):
-        series = ghost_ratio_series(box_sizes, dim=dim, nghost=ghost)
-        data.add_line(f"{dim}D, {ghost} ghost", [r for _, r in series])
-    return data
+    with timed("figure.fig1"):
+        data = SeriesData(
+            title="Fig. 1: Ratio of total cells to physical cells",
+            xlabel="Box size",
+            ylabel="ratio",
+            x=list(box_sizes),
+        )
+        for dim, ghost in ((3, 2), (3, 5), (4, 2), (4, 5)):
+            series = ghost_ratio_series(box_sizes, dim=dim, nghost=ghost)
+            data.add_line(f"{dim}D, {ghost} ghost", [r for _, r in series])
+        return data
 
 
 # ------------------------------------------------------------ Figs. 2-4
@@ -92,29 +99,37 @@ FIG2_TO_4: dict[str, tuple[MachineSpec, Variant, str]] = {
 def scaling_figure(figure: str) -> SeriesData:
     """Figs. 2-4: baseline/shift-fuse at N=16 and N=128 vs thread count."""
     machine, ot_variant, ot_label = FIG2_TO_4[figure]
-    threads = machine_thread_points(machine)
-    data = SeriesData(
-        title=f"{figure}: Performance on {machine.name} (execution time, s)",
-        xlabel="Thread count",
-        ylabel="time (s)",
-        x=threads,
-    )
-    lines = [
-        ("Baseline: P>=Box, N=16", Variant("series", "P>=Box", "CLO"), 16),
-        ("Shift-Fuse: P>=Box, N=16", Variant("shift_fuse", "P>=Box", "CLO"), 16),
-        ("Baseline: P>=Box, N=128", Variant("series", "P>=Box", "CLO"), 128),
-        (ot_label, ot_variant, 128),
-    ]
-    for label, variant, n in lines:
-        results = thread_sweep(variant, machine, threads, n)
-        data.add_line(label, [r.time_s for r in results])
-    return data
+    with timed(f"figure.{figure}"):
+        threads = machine_thread_points(machine)
+        data = SeriesData(
+            title=f"{figure}: Performance on {machine.name} (execution time, s)",
+            xlabel="Thread count",
+            ylabel="time (s)",
+            x=threads,
+        )
+        lines = [
+            ("Baseline: P>=Box, N=16", Variant("series", "P>=Box", "CLO"), 16),
+            ("Shift-Fuse: P>=Box, N=16", Variant("shift_fuse", "P>=Box", "CLO"), 16),
+            ("Baseline: P>=Box, N=128", Variant("series", "P>=Box", "CLO"), 128),
+            (ot_label, ot_variant, 128),
+        ]
+        # The whole figure is one grid: lines x thread counts.
+        results = run_grid(
+            GridPoint(variant, machine, t, n)
+            for label, variant, n in lines
+            for t in threads
+        )
+        for li, (label, _, _) in enumerate(lines):
+            chunk = results[li * len(threads): (li + 1) * len(threads)]
+            data.add_line(label, [r.time_s for r in chunk])
+        return data
 
 
 # ------------------------------------------------------------- Table I
 def table1(n: int = 128, tile: int = 16, threads: int = 1) -> list[dict]:
     """Table I rows for one configuration."""
-    return table1_rows(n, c=5, tile=tile, threads=threads)
+    with timed("figure.table1"):
+        return table1_rows(n, c=5, tile=tile, threads=threads)
 
 
 # -------------------------------------------------------------- Fig. 9
@@ -124,22 +139,44 @@ def fig9_best_by_box_size(
 ) -> SeriesData:
     """Fig. 9: fastest time over all configurations per box size,
     split by parallelization granularity, at the full core count."""
-    data = SeriesData(
-        title="Fig. 9: Best performance with box size",
-        xlabel="Box size",
-        ylabel="time (s)",
-        x=list(box_sizes),
-    )
-    for machine in machines:
-        for granularity in ("P>=Box", "P<Box"):
-            ys = []
-            for n in box_sizes:
-                _, result = best_configuration(
-                    machine, n, machine.cores, granularity=granularity
-                )
-                ys.append(result.time_s)
-            data.add_line(f"{machine.name} {granularity}", ys)
-    return data
+    with timed("figure.fig9"):
+        data = SeriesData(
+            title="Fig. 9: Best performance with box size",
+            xlabel="Box size",
+            ylabel="time (s)",
+            x=list(box_sizes),
+        )
+        # One flat grid over every (machine, granularity, box, variant)
+        # candidate; the per-point minimization happens on the results.
+        cells: list[tuple[str, int]] = []
+        points: list[GridPoint] = []
+        for machine in machines:
+            for granularity in ("P>=Box", "P<Box"):
+                label = f"{machine.name} {granularity}"
+                for n in box_sizes:
+                    pool = [
+                        v for v in practical_variants()
+                        if v.granularity == granularity and v.applicable_to_box(n)
+                    ]
+                    if not pool:
+                        raise ValueError(
+                            f"no applicable variants for box size {n} "
+                            f"(granularity={granularity!r})"
+                        )
+                    for v in pool:
+                        cells.append((label, n))
+                        points.append(GridPoint(v, machine, machine.cores, n))
+        results = run_grid(points)
+        best: dict[tuple[str, int], float] = {}
+        for cell, result in zip(cells, results):
+            t = best.get(cell)
+            if t is None or result.time_s < t:
+                best[cell] = result.time_s
+        for machine in machines:
+            for granularity in ("P>=Box", "P<Box"):
+                label = f"{machine.name} {granularity}"
+                data.add_line(label, [best[(label, n)] for n in box_sizes])
+        return data
 
 
 # ---------------------------------------------------------- Figs. 10-12
@@ -153,17 +190,24 @@ FIG10_TO_12: dict[str, MachineSpec] = {
 def schedule_figure(figure: str, box_size: int = 128) -> SeriesData:
     """Figs. 10-12: the seven labelled schedules at N=128 vs threads."""
     machine = FIG10_TO_12[figure]
-    threads = machine_thread_points(machine)
-    data = SeriesData(
-        title=f"{figure}: Performance on {machine.name} (N={box_size})",
-        xlabel="Thread count",
-        ylabel="time (s)",
-        x=threads,
-    )
-    for label, variant in figure_variants(figure).items():
-        results = thread_sweep(variant, machine, threads, box_size)
-        data.add_line(label, [r.time_s for r in results])
-    return data
+    with timed(f"figure.{figure}"):
+        threads = machine_thread_points(machine)
+        data = SeriesData(
+            title=f"{figure}: Performance on {machine.name} (N={box_size})",
+            xlabel="Thread count",
+            ylabel="time (s)",
+            x=threads,
+        )
+        lines = list(figure_variants(figure).items())
+        results = run_grid(
+            GridPoint(variant, machine, t, box_size)
+            for _, variant in lines
+            for t in threads
+        )
+        for li, (label, _) in enumerate(lines):
+            chunk = results[li * len(threads): (li + 1) * len(threads)]
+            data.add_line(label, [r.time_s for r in chunk])
+        return data
 
 
 # ------------------------------------------------- §VI-B bandwidth text
@@ -182,15 +226,16 @@ def desktop_bandwidth_probes() -> list[dict]:
         ("shift-fuse N=16, 1 thread", Variant("shift_fuse", "P>=Box", "CLO"), 16, 1, 3.9),
         ("shift-fuse N=128, 1 thread", Variant("shift_fuse", "P>=Box", "CLO"), 128, 1, 9.4),
     ]
-    rows = []
-    for label, variant, n, t, paper_gbs in probes:
-        r = time_variant(variant, IVY_DESKTOP, t, n)
-        rows.append(
-            {
-                "probe": label,
-                "paper_gbs": paper_gbs,
-                "model_gbs": r.bandwidth_gbs,
-                "time_s": r.time_s,
-            }
-        )
-    return rows
+    with timed("figure.bandwidth"):
+        rows = []
+        for label, variant, n, t, paper_gbs in probes:
+            r = time_variant(variant, IVY_DESKTOP, t, n)
+            rows.append(
+                {
+                    "probe": label,
+                    "paper_gbs": paper_gbs,
+                    "model_gbs": r.bandwidth_gbs,
+                    "time_s": r.time_s,
+                }
+            )
+        return rows

@@ -1,7 +1,25 @@
-"""Experiment runner: time schedule variants on simulated machines."""
+"""Experiment runner: time schedule variants on simulated machines.
+
+Two layers:
+
+* single-point helpers (:func:`time_variant`, :func:`thread_sweep`,
+  :func:`best_configuration`) — the original sequential API;
+* a parallel grid runner (:func:`run_grid`) that fans a
+  (variant x machine x threads x box size) grid out over the shared
+  thread pool.  The estimator is pure (workloads are built through the
+  process-wide cache, phase costs through the phase-cost cache), so
+  grid points are independent; results come back in input order.
+
+Figure generators submit their whole grid at once, so one figure's
+lines share every cached workload and phase cost instead of rebuilding
+them per line.
+"""
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import Future
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..exemplar.problem import PAPER_DOMAIN_CELLS
@@ -16,6 +34,10 @@ __all__ = [
     "thread_sweep",
     "best_configuration",
     "machine_thread_points",
+    "GridPoint",
+    "run_grid",
+    "default_grid_workers",
+    "set_grid_workers",
 ]
 
 
@@ -82,12 +104,13 @@ def best_configuration(
             f"no applicable variants for box size {box_size} "
             f"(granularity={granularity!r})"
         )
-    best: tuple[Variant, SimResult] | None = None
-    for v in pool:
-        r = time_variant(v, machine, threads, box_size, domain_cells)
-        if best is None or r.time_s < best[1].time_s:
-            best = (v, r)
-    return best
+    points = [
+        GridPoint(v, machine, threads, box_size, tuple(domain_cells))
+        for v in pool
+    ]
+    results = run_grid(points)
+    best_i = min(range(len(results)), key=lambda i: results[i].time_s)
+    return pool[best_i], results[best_i]
 
 
 def machine_thread_points(machine: MachineSpec) -> list[int]:
@@ -102,3 +125,91 @@ def machine_thread_points(machine: MachineSpec) -> list[int]:
         return points[machine.name]
     except KeyError:
         raise KeyError(f"no paper thread points for machine {machine.name!r}")
+
+
+# ------------------------------------------------------------ grid runner
+@dataclass(frozen=True)
+class GridPoint:
+    """One experiment-grid configuration."""
+
+    variant: Variant
+    machine: MachineSpec
+    threads: int
+    box_size: int
+    domain_cells: tuple[int, ...] = PAPER_DOMAIN_CELLS
+    ncomp: int = 5
+    engine: str = "estimate"
+
+    def evaluate(self) -> SimResult:
+        return time_variant(
+            self.variant,
+            self.machine,
+            self.threads,
+            self.box_size,
+            domain_cells=self.domain_cells,
+            ncomp=self.ncomp,
+            engine=self.engine,
+        )
+
+
+#: Fan-out width for run_grid; overridable via REPRO_BENCH_JOBS or the
+#: ``repro.bench`` CLI ``--jobs`` flag.  0/1 disables fan-out.
+_GRID_WORKERS: int | None = None
+
+
+def default_grid_workers() -> int:
+    """Resolved grid fan-out width."""
+    if _GRID_WORKERS is not None:
+        return _GRID_WORKERS
+    env = os.environ.get("REPRO_BENCH_JOBS")
+    if env:
+        return max(1, int(env))
+    return min(8, os.cpu_count() or 1)
+
+
+def set_grid_workers(workers: int | None) -> None:
+    """Override the fan-out width (None restores the default)."""
+    global _GRID_WORKERS
+    _GRID_WORKERS = workers
+
+
+def run_grid(
+    points: Iterable[GridPoint], max_workers: int | None = None
+) -> list[SimResult]:
+    """Evaluate a grid of configurations, fanned out over threads.
+
+    The estimator is pure, so points run concurrently on the shared
+    pool; each point's workload comes from the process-wide cache, so
+    a cold workload is built once no matter how many grid points (or
+    concurrent figures) need it.  To avoid a thundering herd of threads
+    all cold-building the same workload, distinct (variant, box,
+    domain, ncomp) keys are pre-built sequentially first — a cache
+    lookup when warm, the honest build cost when cold.
+
+    Results are returned in input order.  ``max_workers`` defaults to
+    :func:`default_grid_workers`; 1 means run sequentially.
+    """
+    from ..parallel.pool import get_shared_pool
+
+    points = list(points)
+    if not points:
+        return []
+    workers = max_workers if max_workers is not None else default_grid_workers()
+    workers = min(workers, len(points))
+
+    # Pre-warm the workload cache once per distinct build key.
+    seen: set[tuple] = set()
+    for p in points:
+        key = (p.variant, p.box_size, p.domain_cells, p.ncomp)
+        if key not in seen:
+            seen.add(key)
+            build_workload(
+                p.variant, p.box_size, domain_cells=p.domain_cells,
+                ncomp=p.ncomp, dim=len(p.domain_cells),
+            )
+
+    if workers <= 1:
+        return [p.evaluate() for p in points]
+    pool = get_shared_pool(workers)
+    futures: list[Future] = [pool.submit(p.evaluate) for p in points]
+    return [f.result() for f in futures]

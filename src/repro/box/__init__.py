@@ -7,7 +7,7 @@ relies on (§II–III): ``IntVect``/``Box`` index calculus, Fortran-ordered
 """
 
 from .box import Box, CellCentering
-from .copier import CopyItem, ExchangeCopier
+from .copier import CopyItem, ExchangeCopier, shared_copier
 from .farraybox import FArrayBox
 from .intvect import IntVect, ones_vector, unit_vector, zero_vector
 from .layout import DisjointBoxLayout, decompose_domain
@@ -20,6 +20,7 @@ __all__ = [
     "CopyItem",
     "DisjointBoxLayout",
     "ExchangeCopier",
+    "shared_copier",
     "ExchangeStats",
     "FArrayBox",
     "IntVect",

@@ -13,13 +13,16 @@ on the same rank are local, copies between ranks would be MPI messages.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass
 
+from ..util.perf import perf
 from .box import Box
 from .intvect import IntVect
 from .layout import DisjointBoxLayout
 
-__all__ = ["CopyItem", "ExchangeCopier"]
+__all__ = ["CopyItem", "ExchangeCopier", "shared_copier", "clear_copier_cache"]
 
 
 @dataclass(frozen=True)
@@ -103,3 +106,33 @@ class ExchangeCopier:
             f"ExchangeCopier[{len(self.items)} copies, ghost={self.ghost}, "
             f"{self.total_ghost_points()} pts]"
         )
+
+
+# Process-wide plan cache keyed by (layout identity, ghost width).  The
+# plan is pure box calculus on an immutable layout, so every LevelData
+# over the same layout can replay one shared plan instead of rebuilding
+# it.  Keyed weakly on the layout: dropping the layout drops its plans.
+_PLAN_CACHE: "weakref.WeakKeyDictionary[DisjointBoxLayout, dict[int, ExchangeCopier]]" = (
+    weakref.WeakKeyDictionary()
+)
+_PLAN_LOCK = threading.Lock()
+
+
+def shared_copier(layout: DisjointBoxLayout, ghost: int) -> ExchangeCopier:
+    """The process-wide cached exchange plan for (layout, ghost)."""
+    with _PLAN_LOCK:
+        per_layout = _PLAN_CACHE.get(layout)
+        if per_layout is not None and ghost in per_layout:
+            perf().inc("copier_cache.hits")
+            return per_layout[ghost]
+    perf().inc("copier_cache.misses")
+    copier = ExchangeCopier(layout, ghost)
+    with _PLAN_LOCK:
+        per_layout = _PLAN_CACHE.setdefault(layout, {})
+        return per_layout.setdefault(ghost, copier)
+
+
+def clear_copier_cache() -> None:
+    """Drop every cached exchange plan."""
+    with _PLAN_LOCK:
+        _PLAN_CACHE.clear()

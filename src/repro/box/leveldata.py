@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .box import Box
-from .copier import ExchangeCopier
+from .copier import ExchangeCopier, shared_copier
 from .farraybox import FArrayBox
 from .layout import DisjointBoxLayout
 
@@ -76,9 +76,10 @@ class LevelData:
         return self.layout.box(index)
 
     def copier(self) -> ExchangeCopier:
-        """The (lazily built, cached) exchange plan."""
+        """The (lazily fetched) exchange plan, shared across all
+        LevelData over the same (layout, ghost)."""
         if self._copier is None:
-            self._copier = ExchangeCopier(self.layout, self.ghost)
+            self._copier = shared_copier(self.layout, self.ghost)
         return self._copier
 
     # -- whole-level operations ----------------------------------------------------------

@@ -21,12 +21,21 @@ from __future__ import annotations
 
 import heapq
 import math
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..util.perf import perf
 from .spec import MachineSpec
 from .workload import Phase, Workload
 
-__all__ = ["SimResult", "estimate_workload", "simulate_workload", "achieved_bandwidth"]
+__all__ = [
+    "SimResult",
+    "estimate_workload",
+    "simulate_workload",
+    "achieved_bandwidth",
+    "clear_phase_cost_cache",
+]
 
 
 @dataclass
@@ -100,6 +109,22 @@ def _estimate_phase(phase: Phase, machine: MachineSpec, threads: int) -> tuple[f
     return t, flops, total_bytes
 
 
+# Process-wide phase-cost cache: (machine, threads, phase structure) ->
+# (time, flops, bytes).  A phase's structural key determines its cost
+# exactly, so costs survive across estimate_workload calls — a thread
+# sweep over one workload, or the same per-box phase appearing in other
+# workloads, recompute nothing.  Bounded FIFO; cleared by tests.
+_PHASE_COST_CACHE: OrderedDict[tuple, tuple[float, float, float]] = OrderedDict()
+_PHASE_COST_CACHE_MAX = 8192
+_PHASE_COST_LOCK = threading.Lock()
+
+
+def clear_phase_cost_cache() -> None:
+    """Drop every memoized phase cost."""
+    with _PHASE_COST_LOCK:
+        _PHASE_COST_CACHE.clear()
+
+
 def estimate_workload(
     workload: Workload, machine: MachineSpec, threads: int
 ) -> SimResult:
@@ -112,16 +137,32 @@ def estimate_workload(
     flops = 0.0
     total_bytes = 0.0
     phase_times: list[float] = []
-    # Repeated per-box phases share their (item, count) group tuples, so
-    # their cost can be computed once and replayed.
-    memo: dict[tuple[int, ...], tuple[float, float, float]] = {}
+    # Repeated per-box phases are structurally identical, so their cost
+    # is computed once and replayed.  Keys are *structural* (content),
+    # not id()-based: recycled object ids can never alias two distinct
+    # phases, and results are shared process-wide across calls.
+    local: dict[tuple, tuple[float, float, float]] = {}
+    p = perf()
     for phase in workload.phases:
-        key = tuple(id(g) for g in phase.groups)
-        if key in memo:
-            t, f, b = memo[key]
-        else:
-            t, f, b = _estimate_phase(phase, machine, threads)
-            memo[key] = (t, f, b)
+        skey = phase.structure_key()
+        cost = local.get(skey)
+        if cost is None:
+            key = (machine, threads, skey)
+            with _PHASE_COST_LOCK:
+                cost = _PHASE_COST_CACHE.get(key)
+                if cost is not None:
+                    _PHASE_COST_CACHE.move_to_end(key)
+            if cost is None:
+                p.inc("phase_cache.misses")
+                cost = _estimate_phase(phase, machine, threads)
+                with _PHASE_COST_LOCK:
+                    _PHASE_COST_CACHE[key] = cost
+                    while len(_PHASE_COST_CACHE) > _PHASE_COST_CACHE_MAX:
+                        _PHASE_COST_CACHE.popitem(last=False)
+            else:
+                p.inc("phase_cache.hits")
+            local[skey] = cost
+        t, f, b = cost
         if threads > 1:
             t += machine.barrier_seconds(threads)
         time += t

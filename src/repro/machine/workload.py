@@ -16,7 +16,10 @@ items are stored as (item, count) groups so paper-scale workloads
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Sequence
 
 from ..analysis.flops import region_flops, variant_box_flops
@@ -25,8 +28,15 @@ from ..box.box import Box
 from ..exemplar.problem import PAPER_DOMAIN_CELLS
 from ..schedules.base import Variant
 from ..schedules.tiling import TileGrid
+from ..util.perf import perf
 
-__all__ = ["WorkItem", "Phase", "Workload", "build_workload"]
+__all__ = [
+    "WorkItem",
+    "Phase",
+    "Workload",
+    "build_workload",
+    "clear_workload_cache",
+]
 
 
 @dataclass(frozen=True)
@@ -36,6 +46,18 @@ class WorkItem:
     label: str
     flops: float
     traffic: TrafficModel
+
+    @cached_property
+    def structure_key(self) -> tuple:
+        """Hashable content key determining this item's cost exactly.
+
+        Two items with equal keys get identical (compute time, DRAM
+        bytes) on any machine at any thread count — the basis for the
+        phase-cost memoization in the simulator.  Computed once; the
+        traffic model must not be mutated afterwards (workload items
+        never are).
+        """
+        return (self.flops, self.traffic.structure_key())
 
 
 @dataclass
@@ -49,6 +71,22 @@ class Phase:
         if count <= 0:
             raise ValueError("count must be positive")
         self.groups.append((item, count))
+        self.__dict__.pop("_skey", None)
+
+    def structure_key(self) -> tuple:
+        """Content key for the phase: ((item key, count), ...).
+
+        Structural, not identity-based: two phases with equal keys have
+        identical cost regardless of which objects realize them, and a
+        recycled ``id()`` can never cause a false hit (the bug the old
+        ``tuple(id(g) for g in groups)`` memo key had).  Cached until
+        the next :meth:`add`.
+        """
+        sk = self.__dict__.get("_skey")
+        if sk is None:
+            sk = tuple((item.structure_key, count) for item, count in self.groups)
+            self.__dict__["_skey"] = sk
+        return sk
 
     @property
     def num_items(self) -> int:
@@ -101,6 +139,22 @@ def _num_boxes(domain_cells: Sequence[int], box_size: int) -> int:
     return n
 
 
+#: Memoized workloads.  Building one is pure geometry — (variant, box
+#: size, domain, ncomp, dim) determines every phase and item — but for
+#: tiled variants it walks the full tile grid, which dominated the
+#: figure-suite profile.  Callers receive a shared instance and must
+#: treat it as immutable (every in-tree consumer does).
+_WORKLOAD_CACHE: OrderedDict[tuple, Workload] = OrderedDict()
+_WORKLOAD_CACHE_MAX = 512
+_WORKLOAD_LOCK = threading.Lock()
+
+
+def clear_workload_cache() -> None:
+    """Drop every memoized workload (tests, memory pressure)."""
+    with _WORKLOAD_LOCK:
+        _WORKLOAD_CACHE.clear()
+
+
 def build_workload(
     variant: Variant,
     box_size: int,
@@ -108,7 +162,40 @@ def build_workload(
     ncomp: int = 5,
     dim: int = 3,
 ) -> Workload:
-    """Phases + items for running ``variant`` over the whole level."""
+    """Phases + items for running ``variant`` over the whole level.
+
+    Results are memoized process-wide; the returned workload is shared
+    and must not be mutated.
+    """
+    key = (
+        variant,
+        int(box_size),
+        tuple(int(c) for c in domain_cells),
+        int(ncomp),
+        int(dim),
+    )
+    with _WORKLOAD_LOCK:
+        wl = _WORKLOAD_CACHE.get(key)
+        if wl is not None:
+            _WORKLOAD_CACHE.move_to_end(key)
+            perf().inc("workload_cache.hits")
+            return wl
+    perf().inc("workload_cache.misses")
+    wl = _build_workload(variant, box_size, domain_cells, ncomp, dim)
+    with _WORKLOAD_LOCK:
+        wl = _WORKLOAD_CACHE.setdefault(key, wl)
+        while len(_WORKLOAD_CACHE) > _WORKLOAD_CACHE_MAX:
+            _WORKLOAD_CACHE.popitem(last=False)
+    return wl
+
+
+def _build_workload(
+    variant: Variant,
+    box_size: int,
+    domain_cells: Sequence[int],
+    ncomp: int,
+    dim: int,
+) -> Workload:
     if not variant.applicable_to_box(box_size):
         raise ValueError(
             f"{variant.label} not applicable to box size {box_size} "

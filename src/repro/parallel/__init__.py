@@ -1,13 +1,21 @@
 """Real shared-memory execution of the schedules (the OpenMP analogue)."""
 
 from .partition import ParallelPlan, TaskGroup, build_plan
-from .pool import ParallelResult, run_plan, run_schedule_parallel
+from .pool import (
+    ParallelResult,
+    get_shared_pool,
+    run_plan,
+    run_schedule_parallel,
+    shutdown_shared_pool,
+)
 
 __all__ = [
     "ParallelPlan",
     "ParallelResult",
     "TaskGroup",
     "build_plan",
+    "get_shared_pool",
     "run_plan",
     "run_schedule_parallel",
+    "shutdown_shared_pool",
 ]

@@ -4,21 +4,40 @@ NumPy kernels release the GIL for large array operations, so genuine
 overlap occurs for box-sized work; at container scale this is a sanity
 layer (results must stay bitwise identical under any interleaving), and
 the quantitative scaling study runs on :mod:`repro.machine`.
+
+The pool itself is a shared module-level executor, created once and
+grown to the largest thread count ever requested — repeated
+``run_plan`` calls measure the schedule, not ThreadPoolExecutor
+startup.  A run at ``threads=k`` keeps at most ``k`` tasks in flight
+(bounded-window submission), so the concurrency a caller asked for is
+the concurrency it gets even when the shared pool is larger.  The pool
+is shut down at interpreter exit.
 """
 
 from __future__ import annotations
 
+import atexit
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass
+from typing import Callable, Iterable
 
 from ..box.leveldata import LevelData
 from ..schedules.base import Variant
 from ..schedules.level import prepare_phi1
 from ..stencil.operators import FACE_INTERP_GHOST
+from ..util.arena import scratch_arena
 from .partition import ParallelPlan, build_plan
 
-__all__ = ["ParallelResult", "run_plan", "run_schedule_parallel"]
+__all__ = [
+    "ParallelResult",
+    "run_plan",
+    "run_schedule_parallel",
+    "get_shared_pool",
+    "shutdown_shared_pool",
+]
 
 
 @dataclass
@@ -32,29 +51,103 @@ class ParallelResult:
     num_barriers: int
 
 
-def run_plan(plan: ParallelPlan, threads: int) -> tuple[float, int]:
-    """Execute a plan's barrier groups on a thread pool.
+_POOL: ThreadPoolExecutor | None = None
+_POOL_SIZE = 0
+_POOL_LOCK = threading.Lock()
+_SHUTDOWN_REGISTERED = False
+
+
+def get_shared_pool(min_workers: int) -> ThreadPoolExecutor:
+    """The module-level pool, grown to at least ``min_workers``.
+
+    Growing replaces the executor (ThreadPoolExecutor cannot resize);
+    the old one is drained and shut down.  Callers must not cache the
+    returned pool across calls that could grow it.
+    """
+    global _POOL, _POOL_SIZE, _SHUTDOWN_REGISTERED
+    if min_workers <= 0:
+        raise ValueError("min_workers must be positive")
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_SIZE < min_workers:
+            old = _POOL
+            _POOL = ThreadPoolExecutor(
+                max_workers=min_workers, thread_name_prefix="repro-sched"
+            )
+            _POOL_SIZE = min_workers
+            if old is not None:
+                old.shutdown(wait=True)
+            if not _SHUTDOWN_REGISTERED:
+                atexit.register(shutdown_shared_pool)
+                _SHUTDOWN_REGISTERED = True
+        return _POOL
+
+
+def shutdown_shared_pool() -> None:
+    """Shut the shared pool down (idempotent; it is re-created on demand)."""
+    global _POOL, _POOL_SIZE
+    with _POOL_LOCK:
+        pool, _POOL, _POOL_SIZE = _POOL, None, 0
+    if pool is not None:
+        pool.shutdown(wait=True)
+
+
+def _run_group_windowed(
+    pool: ThreadPoolExecutor, tasks: Iterable[Callable[[], None]], width: int
+) -> int:
+    """Run one barrier group keeping at most ``width`` tasks in flight.
+
+    Joins fully before returning (the barrier).  The first task
+    exception propagates after the in-flight window drains.
+    """
+    it = iter(tasks)
+    pending = set()
+    executed = 0
+    error: BaseException | None = None
+    while True:
+        while error is None and len(pending) < width:
+            task = next(it, None)
+            if task is None:
+                break
+            pending.add(pool.submit(task))
+        if not pending:
+            break
+        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for f in done:
+            exc = f.exception()
+            if exc is not None:
+                error = error or exc
+            else:
+                executed += 1
+    if error is not None:
+        raise error
+    return executed
+
+
+def run_plan(plan: ParallelPlan, threads: int, arena: bool = True) -> tuple[float, int]:
+    """Execute a plan's barrier groups on the shared thread pool.
 
     Returns (elapsed seconds, tasks executed).  Each group joins fully
-    before the next starts (the barrier); exceptions propagate.
+    before the next starts (the barrier); exceptions propagate.  With
+    ``arena`` (default), executor scratch is pooled per worker thread
+    for the duration of the run — results are bitwise identical either
+    way.
     """
     if threads <= 0:
         raise ValueError("threads must be positive")
+    pool = get_shared_pool(threads) if threads > 1 else None
     executed = 0
-    start = time.perf_counter()
-    if threads == 1:
-        for group in plan.groups:
-            for task in group.tasks:
-                task()
-                executed += 1
-    else:
-        with ThreadPoolExecutor(max_workers=threads) as pool:
+    with scratch_arena() if arena else nullcontext():
+        start = time.perf_counter()
+        if pool is None:
             for group in plan.groups:
-                futures = [pool.submit(t) for t in group.tasks]
-                for f in futures:
-                    f.result()
-                executed += len(futures)
-    return time.perf_counter() - start, executed
+                for task in group.tasks:
+                    task()
+                    executed += 1
+        else:
+            for group in plan.groups:
+                executed += _run_group_windowed(pool, group.tasks, threads)
+        elapsed = time.perf_counter() - start
+    return elapsed, executed
 
 
 def run_schedule_parallel(
@@ -62,6 +155,7 @@ def run_schedule_parallel(
     phi0: LevelData,
     threads: int,
     slabs_per_box: int | None = None,
+    arena: bool = True,
 ) -> ParallelResult:
     """Run one schedule over a level with real threads.
 
@@ -74,7 +168,7 @@ def run_schedule_parallel(
         )
     phi1 = prepare_phi1(phi0)
     plan = build_plan(variant, phi0, phi1, slabs_per_box=slabs_per_box)
-    elapsed, executed = run_plan(plan, threads)
+    elapsed, executed = run_plan(plan, threads, arena=arena)
     return ParallelResult(
         phi1=phi1,
         elapsed_s=elapsed,

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..box.box import Box
 from ..stencil.operators import FACE_INTERP_GHOST
+from ..util.arena import scratch_scope
 from .base import BoxExecutor, Variant
 from .series import SeriesExecutor
 from .shift_fuse import ShiftFuseExecutor
@@ -60,6 +61,10 @@ class OverlappedTileExecutor(BoxExecutor):
             self._inner = SeriesExecutor(inner_variant, dim, ncomp)
 
     def run(self, phi_g: np.ndarray, phi1: np.ndarray) -> None:
+        with scratch_scope():
+            self._run(phi_g, phi1)
+
+    def _run(self, phi_g: np.ndarray, phi1: np.ndarray) -> None:
         g = FACE_INTERP_GHOST
         dim = self.dim
         local = Box.from_extents((0,) * dim, phi1.shape[:-1])

@@ -26,6 +26,7 @@ from ..exemplar.flux import accumulate_divergence, eval_flux1
 from ..exemplar.state import velocity_component
 from ..stencil.operators import FACE_INTERP_GHOST
 from ..util.alloc import alloc_scratch
+from ..util.arena import scratch_scope
 from .base import BoxExecutor, Variant
 
 __all__ = ["SeriesExecutor"]
@@ -35,6 +36,10 @@ class SeriesExecutor(BoxExecutor):
     """Baseline series-of-loops schedule; N-dimensional."""
 
     def run(self, phi_g: np.ndarray, phi1: np.ndarray) -> None:
+        with scratch_scope():
+            self._run(phi_g, phi1)
+
+    def _run(self, phi_g: np.ndarray, phi1: np.ndarray) -> None:
         g = FACE_INTERP_GHOST
         dim, ncomp = self.dim, self.ncomp
         if phi_g.ndim != dim + 1 or phi_g.shape[-1] != ncomp:

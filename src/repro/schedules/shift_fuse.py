@@ -24,6 +24,7 @@ from ..exemplar.flux import eval_flux1, eval_flux2
 from ..exemplar.state import velocity_component
 from ..stencil.operators import FACE_INTERP_GHOST
 from ..util.alloc import alloc_scratch
+from ..util.arena import scratch_scope
 from .base import BoxExecutor, Variant
 
 __all__ = ["ShiftFuseExecutor", "compute_velocities", "fused_sweep"]
@@ -137,12 +138,13 @@ class ShiftFuseExecutor(BoxExecutor):
         super().__init__(variant, dim=dim, ncomp=ncomp)
 
     def run(self, phi_g: np.ndarray, phi1: np.ndarray) -> None:
-        velocities = compute_velocities(phi_g, self.dim)
-        if self.variant.component_loop == "CLI":
-            fused_sweep(phi_g, phi1, velocities, slice(None), self.dim)
-        else:
-            for c in range(self.ncomp):
-                fused_sweep(phi_g, phi1, velocities, c, self.dim)
+        with scratch_scope():
+            velocities = compute_velocities(phi_g, self.dim)
+            if self.variant.component_loop == "CLI":
+                fused_sweep(phi_g, phi1, velocities, slice(None), self.dim)
+            else:
+                for c in range(self.ncomp):
+                    fused_sweep(phi_g, phi1, velocities, c, self.dim)
 
     def logical_temporaries(self, n: int) -> dict[str, int]:
         # Table I: flux 2 + 2N + 2N² (per component); velocity 3(N+1)³.

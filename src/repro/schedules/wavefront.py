@@ -21,6 +21,7 @@ from ..box.box import Box
 from ..exemplar.flux import accumulate_divergence, eval_flux1, eval_flux2
 from ..stencil.operators import FACE_INTERP_GHOST
 from ..util.alloc import alloc_scratch
+from ..util.arena import scratch_scope
 from .base import BoxExecutor, Variant
 from .shift_fuse import compute_velocities
 from .tiling import TileGrid
@@ -69,15 +70,19 @@ class BlockedWavefrontExecutor(BoxExecutor):
         super().__init__(variant, dim=dim, ncomp=ncomp)
 
     def run(self, phi_g: np.ndarray, phi1: np.ndarray) -> None:
-        dim = self.dim
-        velocities = compute_velocities(phi_g, dim)
-        local = Box.from_extents((0,) * dim, phi1.shape[:-1])
-        grid = TileGrid(local, self.variant.tile_size)
-        if self.variant.component_loop == "CLI":
-            self._traverse(phi_g, phi1, velocities, grid, slice(None))
-        else:
-            for c in range(self.ncomp):
-                self._traverse(phi_g, phi1, velocities, grid, c)
+        # One scratch scope for the whole box: frontier flux-cache
+        # planes live across tiles, so they may only be recycled once
+        # the full traversal is done.
+        with scratch_scope():
+            dim = self.dim
+            velocities = compute_velocities(phi_g, dim)
+            local = Box.from_extents((0,) * dim, phi1.shape[:-1])
+            grid = TileGrid(local, self.variant.tile_size)
+            if self.variant.component_loop == "CLI":
+                self._traverse(phi_g, phi1, velocities, grid, slice(None))
+            else:
+                for c in range(self.ncomp):
+                    self._traverse(phi_g, phi1, velocities, grid, c)
 
     def _traverse(self, phi_g, phi1, velocities, grid: TileGrid, comp_sel) -> None:
         # Frontier flux cache: (direction, consumer tile coords) -> plane.

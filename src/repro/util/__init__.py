@@ -1,6 +1,19 @@
-"""Shared utilities: allocation accounting, timers, small helpers."""
+"""Shared utilities: allocation accounting, scratch arena, perf counters, timers."""
 
 from .alloc import AllocationTracker, current_tracker, track_allocations
+from .arena import clear_arena, scratch_arena, scratch_scope
+from .perf import format_perf_report, perf, reset_perf
 from .timer import Timer
 
-__all__ = ["AllocationTracker", "current_tracker", "track_allocations", "Timer"]
+__all__ = [
+    "AllocationTracker",
+    "current_tracker",
+    "track_allocations",
+    "Timer",
+    "scratch_arena",
+    "scratch_scope",
+    "clear_arena",
+    "perf",
+    "reset_perf",
+    "format_perf_report",
+]

@@ -18,6 +18,8 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from .arena import arena_take
+
 __all__ = [
     "AllocationRecord",
     "AllocationTracker",
@@ -90,8 +92,19 @@ def track_allocations() -> Iterator[AllocationTracker]:
 
 
 def alloc_scratch(tag: str, shape: Sequence[int], dtype=np.float64, order: str = "F") -> np.ndarray:
-    """Allocate a scratch array, reporting it to the active tracker."""
+    """Allocate a scratch array, reporting it to the active tracker.
+
+    The *logical* allocation is always recorded (Table I accounting);
+    the *physical* array may be a pooled buffer re-issued by the scratch
+    arena (:mod:`repro.util.arena`) when one is active — same shape,
+    dtype and order, same uninitialized-contents contract as
+    ``np.empty``.
+    """
+    shape = tuple(int(s) for s in shape)
     tracker = current_tracker()
     if tracker is not None:
         tracker.add(tag, shape)
-    return np.empty(tuple(int(s) for s in shape), dtype=dtype, order=order)
+    arr = arena_take(tag, shape, dtype, order)
+    if arr is not None:
+        return arr
+    return np.empty(shape, dtype=dtype, order=order)

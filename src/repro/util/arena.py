@@ -1,0 +1,160 @@
+"""Thread-local scratch-buffer arena: pooled reuse of temporary arrays.
+
+The schedule executors allocate flux/velocity scratch through
+:func:`repro.util.alloc.alloc_scratch` once per box (or tile, or slab).
+A level run touches hundreds of boxes, so the same handful of array
+shapes is allocated and dropped over and over — pure allocator and
+page-fault churn that the paper's own measurements attribute to the
+execution substrate, not the schedule.
+
+The arena eliminates that churn without changing any semantics:
+
+* buffers are pooled per *thread* and keyed by
+  ``(tag, shape, dtype, order)`` — a buffer is only ever re-issued for
+  an identical request, and never to another thread, so reuse cannot
+  alias concurrent tasks;
+* lifetimes are *scoped*: an executor wraps each task in
+  :func:`scratch_scope`; buffers acquired inside a scope are live until
+  the scope exits, so two allocations of the same key within one task
+  always receive distinct arrays (no intra-task aliasing), and the
+  buffers return to the thread's free list only when the task is done;
+* the arena is **opt-in** (:func:`scratch_arena`): with it disabled —
+  the default, and the reference path — ``alloc_scratch`` behaves
+  exactly as before;
+* pooling is invisible to :class:`~repro.util.alloc.AllocationTracker`:
+  *logical* allocations are recorded identically whether a buffer was
+  pooled or fresh, so the Table I temporary-storage validation is
+  unaffected.
+
+Reuse hands back uninitialized (stale) memory — exactly the contract
+``np.empty`` already gives — so executors that fully overwrite their
+scratch (all of ours; the equivalence tests enforce it) remain bitwise
+identical to the reference.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from .perf import perf
+
+__all__ = [
+    "scratch_arena",
+    "scratch_scope",
+    "arena_enabled",
+    "arena_take",
+    "clear_arena",
+]
+
+_lock = threading.Lock()
+_enabled = 0  # depth of nested scratch_arena() contexts (process-wide)
+_tls = threading.local()
+_all_states: list["_ThreadState"] = []  # for clear_arena() across threads
+
+
+class _ThreadState:
+    """Per-thread free lists and the stack of open task scopes."""
+
+    __slots__ = ("free", "scopes")
+
+    def __init__(self) -> None:
+        self.free: dict[tuple, list[np.ndarray]] = {}
+        self.scopes: list[list[tuple[tuple, np.ndarray]]] = []
+
+
+def _state() -> _ThreadState:
+    st = getattr(_tls, "state", None)
+    if st is None:
+        st = _ThreadState()
+        _tls.state = st
+        with _lock:
+            _all_states.append(st)
+    return st
+
+
+def arena_enabled() -> bool:
+    """Whether any :func:`scratch_arena` context is active."""
+    return _enabled > 0
+
+
+@contextmanager
+def scratch_arena() -> Iterator[None]:
+    """Enable the arena process-wide for the duration of the block.
+
+    Nesting is fine; worker threads spawned inside the block pool their
+    own buffers (free lists are per-thread even though enablement is
+    global).
+    """
+    global _enabled
+    with _lock:
+        _enabled += 1
+    try:
+        yield
+    finally:
+        with _lock:
+            _enabled -= 1
+
+
+@contextmanager
+def scratch_scope() -> Iterator[None]:
+    """One task's scratch lifetime.
+
+    Buffers acquired inside the scope stay live (never re-issued) until
+    the scope exits, then return to this thread's free lists.  A no-op
+    when the arena is disabled.
+    """
+    if not arena_enabled():
+        yield
+        return
+    st = _state()
+    st.scopes.append([])
+    try:
+        yield
+    finally:
+        for key, arr in st.scopes.pop():
+            st.free.setdefault(key, []).append(arr)
+
+
+def arena_take(tag: str, shape: tuple[int, ...], dtype, order: str) -> np.ndarray | None:
+    """A pooled-or-fresh buffer, or None if the arena is not in charge.
+
+    Returns None when the arena is disabled or no task scope is open on
+    this thread (e.g. a plan task whose scratch outlives the task, like
+    the wavefront frontier planes in the threaded plan) — the caller
+    then allocates normally and the buffer is never pooled.
+    """
+    if not arena_enabled():
+        return None
+    st = _state()
+    if not st.scopes:
+        return None
+    key = (tag, shape, np.dtype(dtype).str, order)
+    stack = st.free.get(key)
+    if stack:
+        arr = stack.pop()
+        p = perf()
+        p.inc("arena.hits")
+        p.inc("arena.bytes_reused", arr.nbytes)
+    else:
+        arr = np.empty(shape, dtype=dtype, order=order)
+        p = perf()
+        p.inc("arena.misses")
+        p.inc("arena.bytes_allocated", arr.nbytes)
+    st.scopes[-1].append((key, arr))
+    return arr
+
+
+def clear_arena() -> None:
+    """Drop every thread's free lists (buffers become garbage).
+
+    Open scopes keep their live buffers; only idle pooled memory is
+    released.
+    """
+    with _lock:
+        states = list(_all_states)
+    for st in states:
+        st.free.clear()

@@ -1,0 +1,131 @@
+"""Process-wide performance counters for the execution substrate.
+
+The scratch arena (:mod:`repro.util.arena`), the workload/plan caches
+(:mod:`repro.machine.workload`, :mod:`repro.box.copier`,
+:mod:`repro.machine.simulator`) and the experiment runner all report
+into one global :class:`PerfCounters` instance, so a benchmark run can
+answer "how much re-allocation and re-planning did the substrate
+avoid?" with a single snapshot.
+
+Counters are plain monotonically increasing integers (``inc``) or
+accumulated wall-clock seconds (``add_time``); reads return a
+consistent snapshot.  All operations are thread-safe — the hot paths
+that report here (scratch allocation, cache lookups) run concurrently
+under the thread pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "PerfCounters",
+    "perf",
+    "reset_perf",
+    "timed",
+    "format_perf_report",
+]
+
+
+class PerfCounters:
+    """Named counters and timers with thread-safe updates."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = defaultdict(int)
+        self._times: dict[str, float] = defaultdict(float)
+
+    # -- updates ---------------------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += amount
+
+    def add_time(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._times[name] += seconds
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+            self._times.clear()
+
+    # -- reads -----------------------------------------------------------------------
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def get_time(self, name: str) -> float:
+        with self._lock:
+            return self._times.get(name, 0.0)
+
+    def hit_rate(self, prefix: str) -> float:
+        """hits / (hits + misses) for counters ``<prefix>.hits/misses``."""
+        with self._lock:
+            hits = self._counts.get(f"{prefix}.hits", 0)
+            misses = self._counts.get(f"{prefix}.misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """Copy of all counters and timers (for JSON reports)."""
+        with self._lock:
+            return {
+                "counts": dict(self._counts),
+                "times": dict(self._times),
+            }
+
+
+#: The process-wide instance every substrate layer reports into.
+_PERF = PerfCounters()
+
+
+def perf() -> PerfCounters:
+    """The global perf-counter instance."""
+    return _PERF
+
+
+def reset_perf() -> None:
+    """Zero every global counter and timer."""
+    _PERF.reset()
+
+
+@contextmanager
+def timed(name: str) -> Iterator[None]:
+    """Accumulate the wall time of the enclosed block under ``name``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        _PERF.add_time(name, time.perf_counter() - start)
+
+
+def format_perf_report() -> str:
+    """Human-readable summary of the substrate counters."""
+    snap = _PERF.snapshot()
+    counts, times = snap["counts"], snap["times"]
+    out = ["substrate perf counters:"]
+    for prefix, label in (
+        ("arena", "scratch arena"),
+        ("workload_cache", "workload cache"),
+        ("phase_cache", "phase-cost cache"),
+        ("copier_cache", "copier plan cache"),
+    ):
+        hits = counts.get(f"{prefix}.hits", 0)
+        misses = counts.get(f"{prefix}.misses", 0)
+        if hits + misses == 0:
+            continue
+        rate = hits / (hits + misses)
+        line = f"  {label}: {hits} hits / {misses} misses ({rate:.1%})"
+        reused = counts.get(f"{prefix}.bytes_reused", 0)
+        if reused:
+            line += f", {reused / 1e6:.1f} MB re-used"
+        out.append(line)
+    for name in sorted(times):
+        out.append(f"  {name}: {times[name]:.3f} s")
+    if len(out) == 1:
+        out.append("  (no activity recorded)")
+    return "\n".join(out)

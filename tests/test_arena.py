@@ -1,0 +1,172 @@
+"""Scratch-arena semantics: pooling, scoping, accounting, bitwise identity.
+
+The arena may only change *where* scratch memory comes from, never what
+any schedule computes or what the allocation tracker records.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exemplar import ExemplarProblem
+from repro.parallel import run_schedule_parallel
+from repro.schedules import Variant, run_schedule_on_level
+from repro.schedules.variants import practical_variants
+from repro.util import clear_arena, scratch_arena, scratch_scope, track_allocations
+from repro.util.alloc import alloc_scratch
+from repro.util.arena import arena_enabled, arena_take
+
+
+@pytest.fixture(autouse=True)
+def _fresh_arena():
+    clear_arena()
+    yield
+    clear_arena()
+
+
+class TestArenaCore:
+    def test_disabled_by_default(self):
+        assert not arena_enabled()
+        assert arena_take("t", (4,), np.float64, "F") is None
+        a = alloc_scratch("t", (4,))
+        b = alloc_scratch("t", (4,))
+        assert a is not b
+
+    def test_enable_is_scoped_and_nests(self):
+        with scratch_arena():
+            assert arena_enabled()
+            with scratch_arena():
+                assert arena_enabled()
+            assert arena_enabled()
+        assert not arena_enabled()
+
+    def test_no_pooling_without_task_scope(self):
+        # Scratch allocated outside any scratch_scope (e.g. plan tasks
+        # whose buffers outlive the task) must never enter the pool.
+        with scratch_arena():
+            assert arena_take("t", (4,), np.float64, "F") is None
+            a = alloc_scratch("t", (8,))
+            with scratch_scope():
+                b = alloc_scratch("t", (8,))
+            assert a is not b
+
+    def test_reuse_across_scopes(self):
+        with scratch_arena():
+            with scratch_scope():
+                a = alloc_scratch("flux", (5, 5))
+            with scratch_scope():
+                b = alloc_scratch("flux", (5, 5))
+        assert a is b
+
+    def test_no_alias_within_one_scope(self):
+        # Two live allocations of the identical key in one task must be
+        # distinct arrays.
+        with scratch_arena():
+            with scratch_scope():
+                arrs = [alloc_scratch("flux", (3, 3)) for _ in range(6)]
+                for i, arr in enumerate(arrs):
+                    arr[...] = i
+                for i, arr in enumerate(arrs):
+                    assert np.all(arr == i)
+                assert len({id(a) for a in arrs}) == len(arrs)
+
+    def test_key_includes_shape_dtype_order(self):
+        with scratch_arena():
+            with scratch_scope():
+                a = alloc_scratch("t", (4, 4))
+            with scratch_scope():
+                assert alloc_scratch("t", (4, 8)) is not a
+                assert alloc_scratch("t", (4, 4), dtype=np.float32) is not a
+                assert alloc_scratch("t", (4, 4), order="C") is not a
+                again = alloc_scratch("t", (4, 4))
+            assert again is a
+            assert again.flags.f_contiguous
+
+    def test_clear_arena_drops_pooled_buffers(self):
+        with scratch_arena():
+            with scratch_scope():
+                a = alloc_scratch("t", (4,))
+            clear_arena()
+            with scratch_scope():
+                b = alloc_scratch("t", (4,))
+        assert a is not b
+
+
+class TestAccounting:
+    def test_tracker_records_identical_with_arena(self):
+        """Logical allocation accounting (Table I) must not see pooling."""
+        problem = ExemplarProblem(domain_cells=(8, 8, 8), box_size=8)
+        v = Variant("overlapped", "P<Box", "CLO", tile_size=4, intra_tile="basic")
+
+        with track_allocations() as plain:
+            run_schedule_on_level(v, problem.make_phi0())
+        with scratch_arena():
+            with track_allocations() as pooled:
+                run_schedule_on_level(v, problem.make_phi0())
+
+        key = lambda t: [(r.tag, r.shape, r.elements) for r in t.records]
+        assert key(pooled) == key(plain)
+        assert pooled.total_elements() == plain.total_elements()
+        assert pooled.peak_elements_by_tag() == plain.peak_elements_by_tag()
+        assert pooled.count() == plain.count()
+
+
+class TestBitwiseWithArena:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return ExemplarProblem(domain_cells=(16, 16, 16), box_size=8)
+
+    @pytest.fixture(scope="class")
+    def phi0(self, problem):
+        return problem.make_phi0()
+
+    @pytest.fixture(scope="class")
+    def reference(self, phi0):
+        return run_schedule_on_level(
+            Variant("series", "P>=Box", "CLO"), phi0
+        ).to_global_array()
+
+    @pytest.mark.parametrize(
+        "variant",
+        [v for v in practical_variants() if v.applicable_to_box(8)],
+        ids=lambda v: v.short_name,
+    )
+    def test_all_practical_variants_bitwise(self, variant, phi0, reference):
+        r = run_schedule_parallel(variant, phi0, 4, arena=True)
+        assert np.array_equal(r.phi1.to_global_array(), reference)
+
+    def test_arena_off_matches_arena_on(self, phi0):
+        v = Variant("blocked_wavefront", "P<Box", "CLI", tile_size=4)
+        on = run_schedule_parallel(v, phi0, 4, arena=True).phi1.to_global_array()
+        off = run_schedule_parallel(v, phi0, 4, arena=False).phi1.to_global_array()
+        assert np.array_equal(on, off)
+
+
+# One variant per executor family, built around a drawn tile size.
+def _family_variants(tile):
+    return [
+        Variant("series", "P<Box", "CLO"),
+        Variant("shift_fuse", "P<Box", "CLI"),
+        Variant("blocked_wavefront", "P<Box", "CLO", tile_size=tile),
+        Variant("overlapped", "P<Box", "CLO", tile_size=tile, intra_tile="basic"),
+        Variant("overlapped", "P>=Box", "CLO", tile_size=tile, intra_tile="shift_fuse"),
+    ]
+
+
+class TestRandomizedGeometry:
+    @settings(max_examples=5, deadline=None)
+    @given(
+        geometry=st.sampled_from([(8, 4), (16, 4), (16, 8)]),
+        threads=st.integers(min_value=2, max_value=4),
+    )
+    def test_families_bitwise_random_box_tile(self, geometry, threads):
+        box_size, tile = geometry
+        problem = ExemplarProblem(domain_cells=(16, 16, 16), box_size=box_size)
+        phi0 = problem.make_phi0()
+        reference = run_schedule_on_level(
+            Variant("series", "P>=Box", "CLO"), phi0
+        ).to_global_array()
+        for v in _family_variants(tile):
+            r = run_schedule_parallel(v, phi0, threads, arena=True)
+            assert np.array_equal(r.phi1.to_global_array(), reference), v.label
