@@ -24,6 +24,7 @@ from . import (  # noqa: E402,F401  (re-exported subpackages)
     exemplar,
     machine,
     parallel,
+    resilience,
     schedules,
     solver,
     stencil,
@@ -38,6 +39,7 @@ __all__ = [
     "exemplar",
     "machine",
     "parallel",
+    "resilience",
     "schedules",
     "solver",
     "stencil",

@@ -14,10 +14,13 @@ from .experiments import (
 from .report import ascii_plot, format_series, format_speedup_summary, format_table
 from .runner import (
     GridPoint,
+    GridResult,
     best_configuration,
     default_grid_workers,
+    get_grid_journal,
     machine_thread_points,
     run_grid,
+    set_grid_journal,
     set_grid_workers,
     thread_sweep,
     time_variant,
@@ -28,10 +31,13 @@ __all__ = [
     "ascii_plot",
     "FIG2_TO_4",
     "GridPoint",
+    "GridResult",
     "SeriesData",
     "best_configuration",
     "default_grid_workers",
+    "get_grid_journal",
     "run_grid",
+    "set_grid_journal",
     "set_grid_workers",
     "desktop_bandwidth_probes",
     "fig1_ghost_ratio",

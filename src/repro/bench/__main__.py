@@ -6,6 +6,8 @@ Usage::
     python -m repro.bench fig1 fig10 table1 bandwidth fig9 fig2 ...
     python -m repro.bench --perf fig9      # append substrate perf counters
     python -m repro.bench --jobs 4 fig10   # grid fan-out width
+    python -m repro.bench --journal J.jsonl fig9           # checkpoint grids
+    python -m repro.bench --journal J.jsonl --resume fig9  # replay + remainder
 """
 
 from __future__ import annotations
@@ -82,7 +84,7 @@ ALL = (
 
 def main(argv: list[str] | None = None) -> int:
     from ..util.perf import format_perf_report
-    from .runner import set_grid_workers
+    from .runner import set_grid_journal, set_grid_workers
 
     def _jobs(text: str) -> int:
         try:
@@ -92,6 +94,8 @@ def main(argv: list[str] | None = None) -> int:
 
     args = list(argv if argv is not None else sys.argv[1:])
     show_perf = False
+    journal_path: str | None = None
+    resume = False
     names: list[str] = []
     i = 0
     while i < len(args):
@@ -105,13 +109,39 @@ def main(argv: list[str] | None = None) -> int:
             set_grid_workers(_jobs(args[i]))
         elif a.startswith("--jobs="):
             set_grid_workers(_jobs(a.split("=", 1)[1]))
+        elif a == "--journal":
+            i += 1
+            if i >= len(args):
+                raise SystemExit("--journal needs a file path")
+            journal_path = args[i]
+        elif a.startswith("--journal="):
+            journal_path = a.split("=", 1)[1]
+        elif a == "--resume":
+            resume = True
         elif a.startswith("-"):
             raise SystemExit(f"unknown flag {a!r}")
         else:
             names.append(a)
         i += 1
-    for name in names or list(ALL):
-        print(_run(name))
+    if resume and journal_path is None:
+        raise SystemExit("--resume requires --journal PATH")
+    journal = None
+    if journal_path is not None:
+        from ..resilience.journal import GridJournal
+
+        journal = GridJournal(journal_path, resume=resume)
+        set_grid_journal(journal)
+    try:
+        for name in names or list(ALL):
+            print(_run(name))
+    finally:
+        if journal is not None:
+            set_grid_journal(None)
+            print(
+                f"journal {journal.path}: {journal.hits} point(s) replayed, "
+                f"{journal.written} computed"
+            )
+            journal.close()
     if show_perf:
         print(format_perf_report())
     return 0

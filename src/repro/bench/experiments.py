@@ -52,11 +52,19 @@ class SeriesData:
     ylabel: str
     x: list = field(default_factory=list)
     lines: dict = field(default_factory=dict)
+    #: TaskFailure records from the grid run behind this figure (empty
+    #: on the happy path); permanently failed points plot as NaN.
+    failures: list = field(default_factory=list)
 
     def add_line(self, label: str, ys: Sequence[float]) -> None:
         if len(ys) != len(self.x):
             raise ValueError("series length must match the x axis")
         self.lines[label] = list(ys)
+
+
+def _times(chunk) -> list[float]:
+    """SimResult times, with NaN holding any permanently-failed slot."""
+    return [r.time_s if r is not None else float("nan") for r in chunk]
 
 
 # ---------------------------------------------------------------- Fig. 1
@@ -121,7 +129,8 @@ def scaling_figure(figure: str) -> SeriesData:
         )
         for li, (label, _, _) in enumerate(lines):
             chunk = results[li * len(threads): (li + 1) * len(threads)]
-            data.add_line(label, [r.time_s for r in chunk])
+            data.add_line(label, _times(chunk))
+        data.failures = list(getattr(results, "failures", []))
         return data
 
 
@@ -169,13 +178,19 @@ def fig9_best_by_box_size(
         results = run_grid(points)
         best: dict[tuple[str, int], float] = {}
         for cell, result in zip(cells, results):
+            if result is None:
+                continue  # permanently-failed candidate; the rest compete
             t = best.get(cell)
             if t is None or result.time_s < t:
                 best[cell] = result.time_s
         for machine in machines:
             for granularity in ("P>=Box", "P<Box"):
                 label = f"{machine.name} {granularity}"
-                data.add_line(label, [best[(label, n)] for n in box_sizes])
+                data.add_line(
+                    label,
+                    [best.get((label, n), float("nan")) for n in box_sizes],
+                )
+        data.failures = list(getattr(results, "failures", []))
         return data
 
 
@@ -206,7 +221,8 @@ def schedule_figure(figure: str, box_size: int = 128) -> SeriesData:
         )
         for li, (label, _) in enumerate(lines):
             chunk = results[li * len(threads): (li + 1) * len(threads)]
-            data.add_line(label, [r.time_s for r in chunk])
+            data.add_line(label, _times(chunk))
+        data.failures = list(getattr(results, "failures", []))
         return data
 
 

@@ -13,12 +13,25 @@ Two layers:
 Figure generators submit their whole grid at once, so one figure's
 lines share every cached workload and phase cost instead of rebuilding
 them per line.
+
+Failure handling (docs/architecture.md, "Failure handling"): when a
+retry policy, a checkpoint journal, or a fault plan is active,
+``run_grid`` runs each point under a retry budget with exponential
+backoff and per-point deadlines, degrades a failing ``simulate``
+engine to the closed-form estimator, quarantines non-finite results
+through a serial re-run, and returns a :class:`GridResult` — partial
+results plus a structured failure manifest — instead of raising.
+Completed points are checkpointed to the journal as they land, so an
+interrupted sweep resumes instead of recomputing.  With none of those
+active, the happy path is byte-for-byte the original fan-out.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutTimeout
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -26,6 +39,9 @@ from ..exemplar.problem import PAPER_DOMAIN_CELLS
 from ..machine.simulator import SimResult, estimate_workload, simulate_workload
 from ..machine.spec import MachineSpec
 from ..machine.workload import build_workload
+from ..resilience import faults as _faults
+from ..resilience.journal import GridJournal, grid_hash, point_key
+from ..resilience.retry import DEFAULT_POLICY, RetryPolicy, TaskFailure
 from ..schedules.base import Variant
 from ..schedules.variants import practical_variants
 
@@ -35,9 +51,12 @@ __all__ = [
     "best_configuration",
     "machine_thread_points",
     "GridPoint",
+    "GridResult",
     "run_grid",
     "default_grid_workers",
     "set_grid_workers",
+    "set_grid_journal",
+    "get_grid_journal",
 ]
 
 
@@ -109,8 +128,14 @@ def best_configuration(
         for v in pool
     ]
     results = run_grid(points)
-    best_i = min(range(len(results)), key=lambda i: results[i].time_s)
-    return pool[best_i], results[best_i]
+    survivors = [(i, r) for i, r in enumerate(results) if r is not None]
+    if not survivors:
+        raise RuntimeError(
+            f"every candidate failed for box size {box_size}: "
+            f"{[f.to_dict() for f in results.failures]}"
+        )
+    best_i, best_r = min(survivors, key=lambda ir: ir[1].time_s)
+    return pool[best_i], best_r
 
 
 def machine_thread_points(machine: MachineSpec) -> list[int]:
@@ -140,7 +165,7 @@ class GridPoint:
     ncomp: int = 5
     engine: str = "estimate"
 
-    def evaluate(self) -> SimResult:
+    def evaluate(self, engine: str | None = None) -> SimResult:
         return time_variant(
             self.variant,
             self.machine,
@@ -148,13 +173,63 @@ class GridPoint:
             self.box_size,
             domain_cells=self.domain_cells,
             ncomp=self.ncomp,
-            engine=self.engine,
+            engine=engine or self.engine,
         )
+
+
+class GridResult(list):
+    """``run_grid``'s return value: a result list plus a manifest.
+
+    A plain ``list`` of :class:`SimResult` in input order — existing
+    callers index it as before — with ``None`` holding the slot of any
+    point that permanently failed, and the bookkeeping the resilience
+    layer produced alongside: ``failures`` (structured
+    :class:`TaskFailure` records, including recovered ones),
+    ``journal_hits`` (points replayed from a checkpoint journal), and
+    ``degraded`` (the fan-out fell back to inline execution).
+    """
+
+    def __init__(
+        self,
+        results: Iterable[SimResult | None],
+        failures: Sequence[TaskFailure] = (),
+        journal_hits: int = 0,
+        degraded: bool = False,
+        grid_hash: str = "",
+    ):
+        super().__init__(results)
+        self.failures = list(failures)
+        self.journal_hits = journal_hits
+        self.degraded = degraded
+        self.grid_hash = grid_hash
+
+    @property
+    def ok(self) -> bool:
+        """Every point completed and no unrecovered failures."""
+        return all(r is not None for r in self) and all(
+            f.recovered for f in self.failures
+        )
+
+    def surviving(self) -> list[tuple[int, SimResult]]:
+        return [(i, r) for i, r in enumerate(self) if r is not None]
+
+    def manifest(self) -> dict:
+        return {
+            "grid": self.grid_hash,
+            "total": len(self),
+            "completed": sum(1 for r in self if r is not None),
+            "journal_hits": self.journal_hits,
+            "degraded": self.degraded,
+            "failures": [f.to_dict() for f in self.failures],
+        }
 
 
 #: Fan-out width for run_grid; overridable via REPRO_BENCH_JOBS or the
 #: ``repro.bench`` CLI ``--jobs`` flag.  0/1 disables fan-out.
 _GRID_WORKERS: int | None = None
+
+#: Process-default checkpoint journal (the CLI's --journal flag).
+_GRID_JOURNAL: GridJournal | None = None
 
 
 def default_grid_workers() -> int:
@@ -173,31 +248,19 @@ def set_grid_workers(workers: int | None) -> None:
     _GRID_WORKERS = workers
 
 
-def run_grid(
-    points: Iterable[GridPoint], max_workers: int | None = None
-) -> list[SimResult]:
-    """Evaluate a grid of configurations, fanned out over threads.
+def set_grid_journal(journal: GridJournal | None) -> GridJournal | None:
+    """Install (or clear) the default checkpoint journal; returns the old."""
+    global _GRID_JOURNAL
+    old, _GRID_JOURNAL = _GRID_JOURNAL, journal
+    return old
 
-    The estimator is pure, so points run concurrently on the shared
-    pool; each point's workload comes from the process-wide cache, so
-    a cold workload is built once no matter how many grid points (or
-    concurrent figures) need it.  To avoid a thundering herd of threads
-    all cold-building the same workload, distinct (variant, box,
-    domain, ncomp) keys are pre-built sequentially first — a cache
-    lookup when warm, the honest build cost when cold.
 
-    Results are returned in input order.  ``max_workers`` defaults to
-    :func:`default_grid_workers`; 1 means run sequentially.
-    """
-    from ..parallel.pool import get_shared_pool
+def get_grid_journal() -> GridJournal | None:
+    return _GRID_JOURNAL
 
-    points = list(points)
-    if not points:
-        return []
-    workers = max_workers if max_workers is not None else default_grid_workers()
-    workers = min(workers, len(points))
 
-    # Pre-warm the workload cache once per distinct build key.
+def _prewarm(points: Iterable[GridPoint]) -> None:
+    """Build each distinct workload once, sequentially, before fan-out."""
     seen: set[tuple] = set()
     for p in points:
         key = (p.variant, p.box_size, p.domain_cells, p.ncomp)
@@ -208,8 +271,207 @@ def run_grid(
                 ncomp=p.ncomp, dim=len(p.domain_cells),
             )
 
+
+def run_grid(
+    points: Iterable[GridPoint],
+    max_workers: int | None = None,
+    policy: RetryPolicy | None = None,
+    journal: GridJournal | None = None,
+) -> GridResult:
+    """Evaluate a grid of configurations, fanned out over threads.
+
+    The estimator is pure, so points run concurrently on the shared
+    pool; each point's workload comes from the process-wide cache, so
+    a cold workload is built once no matter how many grid points (or
+    concurrent figures) need it.  To avoid a thundering herd of threads
+    all cold-building the same workload, distinct (variant, box,
+    domain, ncomp) keys are pre-built sequentially first — a cache
+    lookup when warm, the honest build cost when cold.
+
+    Results are returned in input order as a :class:`GridResult` (a
+    ``list`` subclass).  ``max_workers`` defaults to
+    :func:`default_grid_workers`; 1 means run sequentially.
+
+    With ``policy``, ``journal`` (or the process default installed via
+    :func:`set_grid_journal`), or an active fault plan, execution runs
+    resilient: per-point retry/backoff/deadline, engine degradation,
+    watchdog quarantine, journal checkpoint/replay, and partial results
+    plus a failure manifest instead of a raise.
+    """
+    points = list(points)
+    if not points:
+        return GridResult([])
+    workers = max_workers if max_workers is not None else default_grid_workers()
+    workers = min(workers, len(points))
+
+    if journal is None:
+        journal = _GRID_JOURNAL
+    if policy is not None or journal is not None or _faults.plan_active():
+        return _run_grid_resilient(
+            points, workers, policy or DEFAULT_POLICY, journal
+        )
+
+    _prewarm(points)
     if workers <= 1:
-        return [p.evaluate() for p in points]
+        return GridResult([p.evaluate() for p in points])
+    from ..parallel.pool import get_shared_pool
+
     pool = get_shared_pool(workers)
     futures: list[Future] = [pool.submit(p.evaluate) for p in points]
-    return [f.result() for f in futures]
+    return GridResult([f.result() for f in futures])
+
+
+def _run_grid_resilient(
+    points: list[GridPoint],
+    workers: int,
+    policy: RetryPolicy,
+    journal: GridJournal | None,
+) -> GridResult:
+    """Retrying/journaled/quarantining grid evaluation (see run_grid)."""
+    from ..resilience.watchdog import is_finite_result
+
+    n = len(points)
+    keys = [point_key(p) for p in points]
+    ghash = grid_hash(points)
+    results: list[SimResult | None] = [None] * n
+    failures: list[TaskFailure] = []
+    hits = 0
+    degraded = False
+    engine = {i: p.engine for i, p in enumerate(points)}
+    attempts = {i: 0 for i in range(n)}
+
+    pending: list[int] = []
+    for i in range(n):
+        if journal is not None:
+            r = journal.lookup(ghash, i, keys[i])
+            if r is not None:
+                results[i] = r
+                hits += 1
+                continue
+        pending.append(i)
+    _prewarm(points[i] for i in pending)
+
+    def attempt(i: int) -> SimResult:
+        p = points[i]
+        _faults.perturb("grid", i, keys[i])
+        r = p.evaluate(engine=engine[i])
+        if _faults.take_corrupt("grid", i, keys[i]):
+            r.time_s = float("nan")
+            if r.phase_times:
+                r.phase_times[0] = float("nan")
+        return r
+
+    def settle(i: int, r: SimResult) -> None:
+        results[i] = r
+        if journal is not None:
+            journal.record(ghash, i, keys[i], r)
+
+    pool = None
+    if workers > 1 and len(pending) > 1:
+        try:
+            from ..parallel.pool import get_shared_pool
+
+            pool = get_shared_pool(min(workers, len(pending)))
+        except RuntimeError:
+            degraded = True
+
+    round_no = 0
+    while pending:
+        outcomes: dict[int, tuple[str, object]] = {}
+        if pool is not None:
+            futs: dict[int, Future] = {}
+            try:
+                for i in pending:
+                    futs[i] = pool.submit(attempt, i)
+            except RuntimeError:
+                # Pool shut down underneath us: degrade to inline and
+                # let already-submitted futures settle below.
+                degraded = True
+                pool = None
+            for i, f in futs.items():
+                try:
+                    outcomes[i] = ("ok", f.result(timeout=policy.deadline_s))
+                except (_FutTimeout, TimeoutError) as exc:
+                    outcomes[i] = ("err", exc)
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    outcomes[i] = ("err", exc)
+        for i in pending:
+            if i in outcomes:
+                continue
+            try:
+                outcomes[i] = ("ok", attempt(i))
+            except Exception as exc:  # noqa: BLE001 - recorded
+                outcomes[i] = ("err", exc)
+
+        nxt: list[int] = []
+        for i in pending:
+            status, val = outcomes[i]
+            attempts[i] += 1
+            if status == "ok":
+                r = val
+                if is_finite_result(r):
+                    settle(i, r)
+                    continue
+                # Numerical watchdog: quarantine and re-run serially,
+                # outside the pool and the fault wrapper.
+                try:
+                    r2 = points[i].evaluate(engine=engine[i])
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    r2, err = None, repr(exc)
+                else:
+                    err = "non-finite result; quarantined, re-run serially"
+                if r2 is not None and is_finite_result(r2):
+                    failures.append(
+                        TaskFailure(
+                            scope="grid", index=i, label=keys[i],
+                            kind="nonfinite", error=err,
+                            attempts=attempts[i] + 1, recovered=True,
+                            degraded_to="serial",
+                        )
+                    )
+                    settle(i, r2)
+                else:
+                    failures.append(
+                        TaskFailure(
+                            scope="grid", index=i, label=keys[i],
+                            kind="nonfinite", error=err,
+                            attempts=attempts[i] + 1,
+                        )
+                    )
+                continue
+            exc = val
+            if isinstance(exc, (_FutTimeout, TimeoutError)):
+                kind = "timeout"
+            elif isinstance(exc, _faults.FaultInjected):
+                kind = "injected"
+            else:
+                kind = "exception"
+            record = TaskFailure(
+                scope="grid", index=i, label=keys[i], kind=kind,
+                error=repr(exc), attempts=attempts[i],
+            )
+            if attempts[i] < policy.max_attempts:
+                record.recovered = True  # a retry follows
+                nxt.append(i)
+            elif engine[i] == "simulate":
+                # Fallback ladder: the event-driven engine is out of
+                # budget; degrade to the closed-form estimator.
+                record.recovered = True
+                record.degraded_to = "estimate"
+                engine[i] = "estimate"
+                attempts[i] = 0
+                nxt.append(i)
+            else:
+                pass  # permanent: recovered stays False
+            failures.append(record)
+        pending = nxt
+        if pending:
+            time.sleep(policy.delay_s(min(round_no, 8), salt=n))
+            round_no += 1
+    return GridResult(
+        results,
+        failures=failures,
+        journal_hits=hits,
+        degraded=degraded,
+        grid_hash=ghash,
+    )

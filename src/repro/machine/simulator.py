@@ -25,6 +25,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..resilience import faults as _faults
 from ..util.perf import perf
 from .spec import MachineSpec
 from .workload import Phase, Workload
@@ -125,6 +126,22 @@ def clear_phase_cost_cache() -> None:
         _PHASE_COST_CACHE.clear()
 
 
+def _fault_site(workload: Workload, machine: MachineSpec, threads: int) -> str | None:
+    """Fault-injection label for one engine call (None when inactive)."""
+    if not _faults.plan_active():
+        return None
+    return f"{machine.name}:{workload.variant.short_name}:{threads}"
+
+
+def _maybe_corrupt(result: SimResult, scope: str, label: str | None) -> SimResult:
+    """Apply an output-corruption fault: flip the time to NaN."""
+    if label is not None and _faults.take_corrupt(scope, None, label):
+        result.time_s = float("nan")
+        if result.phase_times:
+            result.phase_times[0] = float("nan")
+    return result
+
+
 def estimate_workload(
     workload: Workload, machine: MachineSpec, threads: int
 ) -> SimResult:
@@ -133,6 +150,9 @@ def estimate_workload(
         raise ValueError(
             f"{machine.name} supports at most {machine.max_threads} threads"
         )
+    fault_label = _fault_site(workload, machine, threads)
+    if fault_label is not None:
+        _faults.perturb("estimate", None, fault_label)
     time = 0.0
     flops = 0.0
     total_bytes = 0.0
@@ -169,7 +189,7 @@ def estimate_workload(
         flops += f
         total_bytes += b
         phase_times.append(t)
-    return SimResult(
+    result = SimResult(
         machine=machine.name,
         variant=workload.variant.label,
         threads=threads,
@@ -178,6 +198,7 @@ def estimate_workload(
         dram_bytes=total_bytes,
         phase_times=phase_times,
     )
+    return _maybe_corrupt(result, "estimate", fault_label)
 
 
 def simulate_workload(
@@ -194,6 +215,9 @@ def simulate_workload(
         raise ValueError(
             f"{machine.name} supports at most {machine.max_threads} threads"
         )
+    fault_label = _fault_site(workload, machine, threads)
+    if fault_label is not None:
+        _faults.perturb("simulate", None, fault_label)
     now = 0.0
     flops = 0.0
     total_bytes = 0.0
@@ -237,7 +261,7 @@ def simulate_workload(
         if threads > 1:
             now += machine.barrier_seconds(threads)
         phase_times.append(now - start)
-    return SimResult(
+    result = SimResult(
         machine=machine.name,
         variant=workload.variant.label,
         threads=threads,
@@ -246,6 +270,7 @@ def simulate_workload(
         dram_bytes=total_bytes,
         phase_times=phase_times,
     )
+    return _maybe_corrupt(result, "simulate", fault_label)
 
 
 def achieved_bandwidth(result: SimResult) -> float:

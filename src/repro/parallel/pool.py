@@ -11,7 +11,27 @@ grown to the largest thread count ever requested — repeated
 startup.  A run at ``threads=k`` keeps at most ``k`` tasks in flight
 (bounded-window submission), so the concurrency a caller asked for is
 the concurrency it gets even when the shared pool is larger.  The pool
-is shut down at interpreter exit.
+is shut down at interpreter exit and transparently rebuilt if someone
+shut it down mid-session.
+
+Failure handling (see docs/architecture.md, "Failure handling"):
+
+* every task site is a fault-injection point (:mod:`repro.resilience`),
+  checked only when a plan is active — the happy path pays one
+  ``is not None``;
+* a task that fails *before running* (an injected raise) is re-run
+  inline after its barrier group drains — safe because no mutation
+  happened;
+* a task that fails for real makes the group cancel its outstanding
+  futures, drain the in-flight window, and raise
+  :class:`PlanExecutionError` carrying structured
+  :class:`~repro.resilience.retry.TaskFailure` records — never a bare
+  exception, never leaked futures;
+* ``run_schedule_parallel`` catches that error and degrades: fresh
+  ``phi1``, fresh plan, serial execution (plan tasks mutate ``phi1``
+  in place, so recovery must restart from clean buffers);
+* with a fault plan active, a post-run NaN/Inf watchdog scan
+  quarantines corrupted results and triggers the same serial re-run.
 """
 
 from __future__ import annotations
@@ -20,11 +40,15 @@ import atexit
 import threading
 import time
 from contextlib import nullcontext
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
-from dataclasses import dataclass
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+import numpy as np
+
 from ..box.leveldata import LevelData
+from ..resilience import faults as _faults
+from ..resilience.retry import TaskFailure
 from ..schedules.base import Variant
 from ..schedules.level import prepare_phi1
 from ..stencil.operators import FACE_INTERP_GHOST
@@ -33,6 +57,7 @@ from .partition import ParallelPlan, build_plan
 
 __all__ = [
     "ParallelResult",
+    "PlanExecutionError",
     "run_plan",
     "run_schedule_parallel",
     "get_shared_pool",
@@ -49,105 +74,272 @@ class ParallelResult:
     threads: int
     num_tasks: int
     num_barriers: int
+    #: True when the pooled run failed and was re-run serially.
+    degraded: bool = False
+    #: Structured records of faults absorbed along the way.
+    failures: list[TaskFailure] = field(default_factory=list)
+
+
+class PlanExecutionError(RuntimeError):
+    """A plan could not complete; carries per-task failure records."""
+
+    def __init__(self, failures: list[TaskFailure]):
+        first = failures[0].error if failures else ""
+        super().__init__(f"{len(failures)} plan task(s) failed: {first}")
+        self.failures = failures
 
 
 _POOL: ThreadPoolExecutor | None = None
 _POOL_SIZE = 0
 _POOL_LOCK = threading.Lock()
-_SHUTDOWN_REGISTERED = False
+_ATEXIT_REGISTERED = False
+_INTERP_EXITING = False
 
 
 def get_shared_pool(min_workers: int) -> ThreadPoolExecutor:
     """The module-level pool, grown to at least ``min_workers``.
 
     Growing replaces the executor (ThreadPoolExecutor cannot resize);
-    the old one is drained and shut down.  Callers must not cache the
-    returned pool across calls that could grow it.
+    the old one is drained and shut down.  A pool that was shut down
+    mid-session (manually or by a test) is transparently rebuilt.
+    Callers must not cache the returned pool across calls that could
+    grow it.
     """
-    global _POOL, _POOL_SIZE, _SHUTDOWN_REGISTERED
+    global _POOL, _POOL_SIZE, _ATEXIT_REGISTERED
     if min_workers <= 0:
         raise ValueError("min_workers must be positive")
+    old: ThreadPoolExecutor | None = None
     with _POOL_LOCK:
+        if _INTERP_EXITING:
+            raise RuntimeError("interpreter is exiting; no shared pool")
         if _POOL is None or _POOL_SIZE < min_workers:
             old = _POOL
             _POOL = ThreadPoolExecutor(
                 max_workers=min_workers, thread_name_prefix="repro-sched"
             )
             _POOL_SIZE = min_workers
-            if old is not None:
-                old.shutdown(wait=True)
-            if not _SHUTDOWN_REGISTERED:
-                atexit.register(shutdown_shared_pool)
-                _SHUTDOWN_REGISTERED = True
-        return _POOL
+            if not _ATEXIT_REGISTERED:
+                atexit.register(_atexit_shutdown)
+                _ATEXIT_REGISTERED = True
+        pool = _POOL
+    if old is not None:
+        old.shutdown(wait=True)
+    return pool
 
 
 def shutdown_shared_pool() -> None:
-    """Shut the shared pool down (idempotent; it is re-created on demand)."""
+    """Shut the shared pool down (idempotent; re-created on demand).
+
+    Safe to call concurrently from several threads and from the
+    ``atexit`` hook: the executor is detached under the lock, so
+    exactly one caller joins it and the rest are no-ops — nothing
+    relies on double-``shutdown`` being tolerated by executor
+    internals.
+    """
     global _POOL, _POOL_SIZE
     with _POOL_LOCK:
         pool, _POOL, _POOL_SIZE = _POOL, None, 0
     if pool is not None:
-        pool.shutdown(wait=True)
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _atexit_shutdown() -> None:
+    global _INTERP_EXITING
+    with _POOL_LOCK:
+        _INTERP_EXITING = True
+    shutdown_shared_pool()
+
+
+def _wrap_faulty(task: Callable[[], None], index: int, label: str):
+    """Fault-injection shim: perturbs *before* the task body runs."""
+
+    def run() -> None:
+        _faults.perturb("pool", index, label)
+        task()
+
+    return run
 
 
 def _run_group_windowed(
-    pool: ThreadPoolExecutor, tasks: Iterable[Callable[[], None]], width: int
+    pool: ThreadPoolExecutor,
+    tasks: Iterable[Callable[[], None]],
+    width: int,
+    *,
+    label: str = "",
+    task_base: int = 0,
+    deadline_s: float | None = None,
+    inject: bool = False,
+    failures: list[TaskFailure] | None = None,
 ) -> int:
     """Run one barrier group keeping at most ``width`` tasks in flight.
 
-    Joins fully before returning (the barrier).  The first task
-    exception propagates after the in-flight window drains.
+    Joins fully before returning (the barrier).  On a task failure the
+    outstanding window is cancelled (queued futures never run) and the
+    started remainder drained — nothing leaks into the shared pool —
+    then :class:`PlanExecutionError` is raised with one
+    :class:`TaskFailure` per failed task.  Tasks that failed via an
+    injected fault (which fires before the task body) are re-run
+    inline after the drain; only real failures are fatal.  A task
+    exceeding ``deadline_s`` abandons the group the same way (the
+    wedged future cannot be interrupted, but its buffers are discarded
+    by the caller's degradation path).
     """
     it = iter(tasks)
-    pending = set()
+    pending: dict[Future, tuple[Callable[[], None], int, float]] = {}
     executed = 0
-    error: BaseException | None = None
+    index = task_base
+    fatal: list[TaskFailure] = []
+    retry_inline: list[tuple[Callable[[], None], int]] = []
+    timed_out = False
     while True:
-        while error is None and len(pending) < width:
+        while not fatal and not timed_out and len(pending) < width:
             task = next(it, None)
             if task is None:
                 break
-            pending.add(pool.submit(task))
+            submitted = _wrap_faulty(task, index, label) if inject else task
+            pending[pool.submit(submitted)] = (task, index, time.monotonic())
+            index += 1
         if not pending:
             break
-        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        done, _ = wait(set(pending), timeout=deadline_s, return_when=FIRST_COMPLETED)
+        now = time.monotonic()
         for f in done:
+            task, i, _start = pending.pop(f)
             exc = f.exception()
-            if exc is not None:
-                error = error or exc
-            else:
+            if exc is None:
                 executed += 1
-    if error is not None:
-        raise error
+            elif isinstance(exc, _faults.FaultInjected):
+                # Fired before the body: the task never ran, inline
+                # re-execution after the drain is safe.
+                retry_inline.append((task, i))
+            else:
+                fatal.append(
+                    TaskFailure(
+                        scope="pool", index=i, label=label,
+                        kind="exception", error=repr(exc),
+                    )
+                )
+        if deadline_s is not None and not done:
+            overdue = [
+                (task, i)
+                for task, i, start in pending.values()
+                if now - start > deadline_s
+            ]
+            if overdue:
+                timed_out = True
+                for task, i in overdue:
+                    fatal.append(
+                        TaskFailure(
+                            scope="pool", index=i, label=label,
+                            kind="timeout",
+                            error=f"task exceeded deadline of {deadline_s}s",
+                        )
+                    )
+        if fatal or timed_out:
+            # Cancel everything not yet started; queued work never runs.
+            for f in list(pending):
+                if f.cancel():
+                    pending.pop(f)
+            if timed_out:
+                # Wedged futures cannot be joined; abandon them (the
+                # caller rebuilds phi1 before any recovery run).
+                break
+    for task, i in retry_inline:
+        try:
+            task()
+            executed += 1
+            if failures is not None:
+                failures.append(
+                    TaskFailure(
+                        scope="pool", index=i, label=label, kind="injected",
+                        error="injected fault; re-run inline", attempts=2,
+                        recovered=True,
+                    )
+                )
+        except Exception as exc:  # noqa: BLE001 - recorded, not leaked
+            fatal.append(
+                TaskFailure(
+                    scope="pool", index=i, label=label,
+                    kind="exception", error=repr(exc), attempts=2,
+                )
+            )
+    if fatal:
+        raise PlanExecutionError(fatal)
     return executed
 
 
-def run_plan(plan: ParallelPlan, threads: int, arena: bool = True) -> tuple[float, int]:
+def run_plan(
+    plan: ParallelPlan,
+    threads: int,
+    arena: bool = True,
+    deadline_s: float | None = None,
+    failures: list[TaskFailure] | None = None,
+) -> tuple[float, int]:
     """Execute a plan's barrier groups on the shared thread pool.
 
     Returns (elapsed seconds, tasks executed).  Each group joins fully
-    before the next starts (the barrier); exceptions propagate.  With
+    before the next starts (the barrier).  Failures surface as
+    :class:`PlanExecutionError` with structured records (``failures``,
+    if given, additionally collects recovered injected faults).  With
     ``arena`` (default), executor scratch is pooled per worker thread
     for the duration of the run — results are bitwise identical either
-    way.
+    way.  ``deadline_s`` bounds each pooled task's wall time.
     """
     if threads <= 0:
         raise ValueError("threads must be positive")
+    inject = _faults.plan_active()
     pool = get_shared_pool(threads) if threads > 1 else None
     executed = 0
     with scratch_arena() if arena else nullcontext():
         start = time.perf_counter()
         if pool is None:
+            index = 0
             for group in plan.groups:
                 for task in group.tasks:
+                    if inject:
+                        fault = _faults.take(
+                            "pool", index, group.label, modes=("raise", "stall")
+                        )
+                        if fault is not None and fault.mode == "stall":
+                            time.sleep(fault.stall_s)
+                        elif fault is not None and failures is not None:
+                            # Serially an injected raise *is* its own
+                            # retry: nothing ran yet, so just run it.
+                            failures.append(
+                                TaskFailure(
+                                    scope="pool", index=index,
+                                    label=group.label, kind="injected",
+                                    error="injected fault; re-run inline",
+                                    attempts=2, recovered=True,
+                                )
+                            )
                     task()
                     executed += 1
+                    index += 1
         else:
+            base = 0
             for group in plan.groups:
-                executed += _run_group_windowed(pool, group.tasks, threads)
+                executed += _run_group_windowed(
+                    pool,
+                    group.tasks,
+                    threads,
+                    label=group.label,
+                    task_base=base,
+                    deadline_s=deadline_s,
+                    inject=inject,
+                    failures=failures,
+                )
+                base += len(group.tasks)
         elapsed = time.perf_counter() - start
     return elapsed, executed
+
+
+def _scan_finite(phi1: LevelData) -> bool:
+    for i in phi1.layout:
+        box = phi1.layout.box(i)
+        if not np.all(np.isfinite(phi1[i].window(box))):
+            return False
+    return True
 
 
 def run_schedule_parallel(
@@ -156,23 +348,93 @@ def run_schedule_parallel(
     threads: int,
     slabs_per_box: int | None = None,
     arena: bool = True,
+    fallback: bool = True,
+    watchdog: bool = True,
+    deadline_s: float | None = None,
 ) -> ParallelResult:
     """Run one schedule over a level with real threads.
 
     ``phi0`` needs the kernel's 2-ghost ring, exchanged.  The result is
     bitwise identical to :func:`repro.schedules.run_schedule_on_level`.
+
+    Degradation ladder (``fallback=True``): a pooled plan that fails —
+    task exceptions, deadline timeouts, an unobtainable pool — is
+    discarded wholesale and the schedule re-run serially on a fresh
+    ``phi1`` (plan tasks mutate in place, so recovery restarts from
+    clean buffers).  With a fault plan active and ``watchdog=True``,
+    the result is additionally scanned for NaN/Inf and a corrupted run
+    is quarantined and re-run the same way.  ``degraded``/``failures``
+    on the result record what happened.
     """
     if phi0.ghost < FACE_INTERP_GHOST:
         raise ValueError(
             f"level needs ghost >= {FACE_INTERP_GHOST}, has {phi0.ghost}"
         )
+    failures: list[TaskFailure] = []
+    degraded = False
+
+    def serial_rerun() -> tuple[LevelData, float, int, int]:
+        phi1 = prepare_phi1(phi0)
+        plan = build_plan(variant, phi0, phi1, slabs_per_box=slabs_per_box)
+        elapsed, executed = run_plan(plan, 1, arena=arena)
+        return phi1, elapsed, executed, len(plan.groups)
+
     phi1 = prepare_phi1(phi0)
     plan = build_plan(variant, phi0, phi1, slabs_per_box=slabs_per_box)
-    elapsed, executed = run_plan(plan, threads, arena=arena)
+    try:
+        elapsed, executed = run_plan(
+            plan, threads, arena=arena, deadline_s=deadline_s, failures=failures
+        )
+        barriers = len(plan.groups)
+    except (PlanExecutionError, RuntimeError) as exc:
+        if not fallback:
+            raise
+        if isinstance(exc, PlanExecutionError):
+            failures.extend(exc.failures)
+        else:
+            failures.append(
+                TaskFailure(
+                    scope="pool", index=None, label=variant.short_name,
+                    kind="exception", error=repr(exc),
+                )
+            )
+        for f in failures:
+            f.recovered = True
+            f.degraded_to = "serial"
+        phi1, elapsed, executed, barriers = serial_rerun()
+        degraded = True
+
+    if _faults.plan_active():
+        if _faults.take_corrupt("pool", None, variant.short_name):
+            # Output-side corruption: poison one value, as a bad kernel
+            # or a flipped bit would.  The watchdog below must catch it.
+            i0 = next(iter(phi1.layout))
+            phi1[i0].window(phi1.layout.box(i0)).flat[0] = np.nan
+        if watchdog and not _scan_finite(phi1):
+            failures.append(
+                TaskFailure(
+                    scope="pool", index=None, label=variant.short_name,
+                    kind="nonfinite", error="NaN/Inf in phi1; quarantined",
+                    recovered=False,
+                )
+            )
+            if fallback:
+                phi1, elapsed, executed, barriers = serial_rerun()
+                degraded = True
+                if _scan_finite(phi1):
+                    failures[-1].recovered = True
+                    failures[-1].degraded_to = "serial"
+                else:
+                    raise PlanExecutionError(failures)
+            else:
+                raise PlanExecutionError(failures)
+
     return ParallelResult(
         phi1=phi1,
         elapsed_s=elapsed,
         threads=threads,
         num_tasks=executed,
-        num_barriers=len(plan.groups),
+        num_barriers=barriers,
+        degraded=degraded,
+        failures=failures,
     )

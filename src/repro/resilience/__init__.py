@@ -1,0 +1,28 @@
+"""Fault tolerance for the execution layers.
+
+Four pieces, wired through :mod:`repro.parallel.pool`,
+:mod:`repro.bench.runner`, and :mod:`repro.machine.simulator`:
+
+* :mod:`repro.resilience.faults` — deterministic, seeded fault
+  injection (raise / stall / corrupt), addressable by execution scope
+  and task index, so every recovery path is testable on demand;
+* :mod:`repro.resilience.retry` — retry budgets, exponential backoff
+  with deterministic jitter, per-task deadlines, and structured
+  :class:`~repro.resilience.retry.TaskFailure` records;
+* :mod:`repro.resilience.journal` — JSONL checkpoints of completed
+  grid points keyed by a content hash of the grid spec, so interrupted
+  sweeps resume instead of recomputing;
+* :mod:`repro.resilience.watchdog` — post-task NaN/Inf scans and
+  cross-variant bitwise-identity checks with quarantine + serial
+  re-run.
+
+This ``__init__`` deliberately re-exports only the dependency-free
+leaves (``faults``, ``retry``): :mod:`repro.machine.simulator` imports
+``repro.resilience.faults``, while ``journal`` and ``watchdog`` import
+:mod:`repro.machine` / :mod:`repro.parallel` — importing them here
+would create a cycle.  Import those two by full path.
+"""
+
+from . import faults, retry  # noqa: F401
+
+__all__ = ["faults", "retry"]

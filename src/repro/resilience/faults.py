@@ -1,0 +1,274 @@
+"""Deterministic fault injection for the execution layers.
+
+A :class:`FaultPlan` decides, for a given execution *site* — an
+execution scope (``"pool"`` task, ``"grid"`` point, ``"estimate"`` /
+``"simulate"`` engine call) plus a task index and label — whether a
+fault fires there and what kind:
+
+* ``raise`` — the site raises :class:`FaultInjected` *before* any work
+  runs (so the site's own mutations never happen and an inline retry
+  is always safe);
+* ``stall`` — the site sleeps ``stall_s`` seconds before running,
+  exercising deadline/timeout paths;
+* ``corrupt`` — the site's *output* is poisoned (a value flipped to
+  NaN) after it completes, exercising the numerical watchdog.
+
+Plans are seeded and consumed site-by-site under a lock, so a test (or
+a CI run with ``REPRO_FAULT_SEED``) gets the same faults every time.
+Every ``take`` decrements a budget: a fault with ``count=1`` fires
+once and then the retry that follows sees a clean site.
+
+The active plan is process-global.  ``faults.plan_active()`` is a
+single attribute read, and every hook in the execution layers checks
+it first — with no plan installed the whole subsystem costs one
+``is not None`` per call site.
+
+Environment bootstrap: setting ``REPRO_FAULT_SEED=<int>`` installs a
+:class:`RandomFaultPlan` at import time (rate from
+``REPRO_FAULT_RATE``, default 0.02) over the recoverable scopes — CI
+uses this to sweep the retry/degradation paths under the normal test
+suite.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SCOPES",
+    "MODES",
+    "Fault",
+    "FaultInjected",
+    "FaultSpec",
+    "FaultPlan",
+    "RandomFaultPlan",
+    "plan_active",
+    "active_plan",
+    "set_fault_plan",
+    "inject_faults",
+    "take",
+    "perturb",
+    "take_corrupt",
+]
+
+#: Execution scopes faults can address.
+SCOPES = ("pool", "grid", "estimate", "simulate")
+#: Fault modes.
+MODES = ("raise", "stall", "corrupt")
+
+
+class FaultInjected(RuntimeError):
+    """Raised by an injected ``raise``-mode fault, before any work ran."""
+
+    def __init__(self, scope: str, index: int | None, label: str = ""):
+        super().__init__(f"injected fault at {scope}[{index}] {label!r}")
+        self.scope = scope
+        self.index = index
+        self.label = label
+
+
+@dataclass(frozen=True)
+class Fault:
+    """What a plan hands back when a site is faulted."""
+
+    mode: str
+    stall_s: float = 0.0
+
+
+@dataclass
+class FaultSpec:
+    """One addressable fault in an explicit plan.
+
+    ``index=None`` matches any task index; ``label`` (substring match)
+    narrows to sites whose label contains it.  ``count`` is the firing
+    budget — after it is spent the site behaves normally, which is what
+    makes retry ladders testable.
+    """
+
+    scope: str
+    mode: str
+    index: int | None = None
+    label: str | None = None
+    count: int = 1
+    stall_s: float = 0.05
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self):
+        if self.scope not in SCOPES:
+            raise ValueError(f"unknown fault scope {self.scope!r}")
+        if self.mode not in MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+
+    def matches(self, scope: str, index: int | None, label: str) -> bool:
+        if scope != self.scope:
+            return False
+        if self.index is not None and index != self.index:
+            return False
+        if self.label is not None and self.label not in label:
+            return False
+        return True
+
+
+class FaultPlan:
+    """An explicit, ordered set of :class:`FaultSpec`\\ s."""
+
+    def __init__(self, specs: list[FaultSpec] | tuple[FaultSpec, ...] = ()):
+        self.specs = list(specs)
+        self._lock = threading.Lock()
+
+    def take(
+        self,
+        scope: str,
+        index: int | None = None,
+        label: str = "",
+        modes: tuple[str, ...] = MODES,
+    ) -> Fault | None:
+        """Consume and return the fault at this site, if any."""
+        with self._lock:
+            for spec in self.specs:
+                if spec.mode not in modes:
+                    continue
+                if spec.fired >= spec.count:
+                    continue
+                if spec.matches(scope, index, label):
+                    spec.fired += 1
+                    return Fault(spec.mode, spec.stall_s)
+        return None
+
+
+class RandomFaultPlan(FaultPlan):
+    """Seeded pseudo-random faults at a given per-site rate.
+
+    Whether a site is faulted — and with which mode — is a pure
+    function of ``(seed, scope, index, label)``, so a re-run of the
+    same program sees the same faults.  Each site fires at most once
+    per process (the retry that follows must be able to succeed).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        rate: float = 0.02,
+        scopes: tuple[str, ...] = ("pool", "grid"),
+        modes: tuple[str, ...] = MODES,
+        stall_s: float = 0.01,
+    ):
+        super().__init__()
+        self.seed = int(seed)
+        self.rate = float(rate)
+        self.scopes = tuple(scopes)
+        self.modes = tuple(modes)
+        self.stall_s = float(stall_s)
+        self._spent: set[tuple] = set()
+
+    def _site_hash(self, scope: str, index: int | None, label: str) -> int:
+        text = f"{self.seed}:{scope}:{index}:{label}"
+        return zlib.crc32(text.encode())
+
+    def take(
+        self,
+        scope: str,
+        index: int | None = None,
+        label: str = "",
+        modes: tuple[str, ...] = MODES,
+    ) -> Fault | None:
+        if scope not in self.scopes:
+            return None
+        h = self._site_hash(scope, index, label)
+        if (h % 100_000) / 100_000.0 >= self.rate:
+            return None
+        mode = self.modes[(h >> 17) % len(self.modes)]
+        if mode not in modes:
+            return None
+        site = (scope, index, label)
+        with self._lock:
+            if site in self._spent:
+                return None
+            self._spent.add(site)
+        return Fault(mode, self.stall_s)
+
+
+# ------------------------------------------------------------ global plan
+_ACTIVE: FaultPlan | None = None
+_LOCK = threading.Lock()
+
+
+def plan_active() -> bool:
+    """Cheap hot-path check: is any fault plan installed?"""
+    return _ACTIVE is not None
+
+
+def active_plan() -> FaultPlan | None:
+    return _ACTIVE
+
+
+def set_fault_plan(plan: FaultPlan | None) -> FaultPlan | None:
+    """Install (or clear) the process-global plan; returns the old one."""
+    global _ACTIVE
+    with _LOCK:
+        old, _ACTIVE = _ACTIVE, plan
+    return old
+
+
+@contextmanager
+def inject_faults(plan: FaultPlan):
+    """Scope a fault plan to a ``with`` block (restores the previous)."""
+    old = set_fault_plan(plan)
+    try:
+        yield plan
+    finally:
+        set_fault_plan(old)
+
+
+def take(
+    scope: str,
+    index: int | None = None,
+    label: str = "",
+    modes: tuple[str, ...] = MODES,
+) -> Fault | None:
+    """Consume the active plan's fault at this site, if any."""
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    return plan.take(scope, index, label, modes=modes)
+
+
+def perturb(scope: str, index: int | None = None, label: str = "") -> None:
+    """Apply a raise/stall fault at this site (corrupt is output-side).
+
+    Raises :class:`FaultInjected` for ``raise`` mode — callers are
+    guaranteed no work ran yet — or sleeps for ``stall`` mode.
+    """
+    f = take(scope, index, label, modes=("raise", "stall"))
+    if f is None:
+        return
+    if f.mode == "stall":
+        time.sleep(f.stall_s)
+        return
+    raise FaultInjected(scope, index, label)
+
+
+def take_corrupt(scope: str, index: int | None = None, label: str = "") -> bool:
+    """True if a corrupt-mode fault fires at this site (consumed)."""
+    return take(scope, index, label, modes=("corrupt",)) is not None
+
+
+# ------------------------------------------------- environment bootstrap
+def _bootstrap_from_env() -> None:
+    seed = os.environ.get("REPRO_FAULT_SEED")
+    if not seed:
+        return
+    try:
+        seed_i = int(seed)
+    except ValueError:
+        return
+    rate = float(os.environ.get("REPRO_FAULT_RATE", "0.02"))
+    set_fault_plan(RandomFaultPlan(seed_i, rate=rate))
+
+
+_bootstrap_from_env()

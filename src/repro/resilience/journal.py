@@ -1,0 +1,167 @@
+"""Checkpoint journal for experiment grids.
+
+``run_grid`` appends one JSONL record per *completed* grid point:
+
+.. code-block:: text
+
+    {"kind": "header", "version": 1}
+    {"grid": "<hash>", "i": 3, "key": "<point key>", "r": {...SimResult...}}
+
+Points are keyed by ``(grid content hash, index)`` plus the point's own
+content key, so one journal file can hold many grids (a figure suite
+issues many ``run_grid`` calls) and a record is only ever replayed into
+the exact grid slot it came from.  Floats round-trip through JSON via
+``repr`` — shortest-roundtrip — so a replayed :class:`SimResult` is
+bitwise identical to the computed one.
+
+Failures are *not* journaled: a resumed sweep retries them.
+
+Opening a journal with ``resume=False`` truncates it (a fresh sweep);
+``resume=True`` loads every valid record and replays matches, which is
+what ``python -m repro.bench --journal PATH --resume`` does.  A
+truncated trailing line (the crash that motivated the resume) is
+skipped, not fatal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from typing import Iterable
+
+from ..machine.simulator import SimResult
+
+__all__ = [
+    "point_key",
+    "grid_hash",
+    "sim_result_to_dict",
+    "sim_result_from_dict",
+    "GridJournal",
+]
+
+_VERSION = 1
+
+
+def point_key(p) -> str:
+    """Content key of one grid point (any GridPoint-shaped object)."""
+    return "|".join(
+        (
+            p.variant.short_name,
+            p.machine.name,
+            str(p.threads),
+            str(p.box_size),
+            "x".join(str(c) for c in p.domain_cells),
+            str(p.ncomp),
+            p.engine,
+        )
+    )
+
+
+def grid_hash(points: Iterable) -> str:
+    """Content hash of a whole grid spec (order-sensitive)."""
+    h = hashlib.sha256()
+    for p in points:
+        h.update(point_key(p).encode())
+        h.update(b"\n")
+    return h.hexdigest()[:16]
+
+
+def sim_result_to_dict(r: SimResult) -> dict:
+    return {
+        "machine": r.machine,
+        "variant": r.variant,
+        "threads": r.threads,
+        "time_s": r.time_s,
+        "flops": r.flops,
+        "dram_bytes": r.dram_bytes,
+        "phase_times": list(r.phase_times),
+    }
+
+
+def sim_result_from_dict(d: dict) -> SimResult:
+    return SimResult(
+        machine=d["machine"],
+        variant=d["variant"],
+        threads=int(d["threads"]),
+        time_s=d["time_s"],
+        flops=d["flops"],
+        dram_bytes=d["dram_bytes"],
+        phase_times=[float(t) for t in d["phase_times"]],
+    )
+
+
+class GridJournal:
+    """Append-only JSONL checkpoint store for grid results."""
+
+    def __init__(self, path: str, resume: bool = False):
+        self.path = str(path)
+        self.hits = 0
+        self.written = 0
+        self._lock = threading.Lock()
+        self._entries: dict[tuple[str, int], tuple[str, dict]] = {}
+        if resume and os.path.exists(self.path):
+            self._load()
+        self._fh = open(self.path, "a" if resume else "w", encoding="utf-8")
+        if not self._entries and (not resume or os.path.getsize(self.path) == 0):
+            self._write({"kind": "header", "version": _VERSION})
+
+    def _load(self) -> None:
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue  # truncated tail from an interrupted run
+                if not isinstance(rec, dict) or "grid" not in rec:
+                    continue
+                if "r" in rec:
+                    self._entries[(rec["grid"], int(rec["i"]))] = (
+                        rec.get("key", ""),
+                        rec["r"],
+                    )
+
+    def _write(self, rec: dict) -> None:
+        self._fh.write(json.dumps(rec) + "\n")
+        self._fh.flush()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, ghash: str, index: int, key: str) -> SimResult | None:
+        """Replay a journaled result for this exact grid slot, if any."""
+        with self._lock:
+            entry = self._entries.get((ghash, index))
+            if entry is None or entry[0] != key:
+                return None
+            self.hits += 1
+            return sim_result_from_dict(entry[1])
+
+    def record(self, ghash: str, index: int, key: str, result: SimResult) -> None:
+        """Checkpoint one completed point (immediately durable)."""
+        d = sim_result_to_dict(result)
+        with self._lock:
+            self._entries[(ghash, index)] = (key, d)
+            self._write({"grid": ghash, "i": index, "key": key, "r": d})
+            self.written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "GridJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"GridJournal({self.path!r}, entries={len(self._entries)}, "
+            f"hits={self.hits}, written={self.written})"
+        )

@@ -1,0 +1,149 @@
+"""Retry budgets, backoff, deadlines, and structured failure records.
+
+:class:`RetryPolicy` is the knob bundle the execution layers share:
+attempt budget, exponential backoff with *deterministic* jitter (a
+pure function of the attempt number and a caller salt, so reruns sleep
+the same schedule), and an optional per-attempt deadline.
+
+Failures are never bare exceptions crossing layer boundaries: they are
+:class:`TaskFailure` records — scope, index, label, kind, attempts,
+whether the task eventually recovered and through which degradation —
+collected into manifests by :func:`repro.bench.runner.run_grid` and
+:class:`repro.parallel.pool.PlanExecutionError`.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import asdict, dataclass, field
+from typing import Callable
+
+__all__ = [
+    "RetryPolicy",
+    "DEFAULT_POLICY",
+    "NO_RETRY",
+    "TaskFailure",
+    "RetryExhausted",
+    "call_with_retry",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/deadline knobs for one execution layer."""
+
+    #: Total attempts (1 = no retry).
+    max_attempts: int = 3
+    #: First backoff sleep; doubles (``backoff``) each further attempt.
+    base_delay_s: float = 0.005
+    max_delay_s: float = 0.25
+    backoff: float = 2.0
+    #: Fraction of the delay randomized (deterministically) around 1.
+    jitter: float = 0.5
+    #: Per-attempt deadline; None disables timeout handling.
+    deadline_s: float | None = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay_s(self, attempt: int, salt: int = 0) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered.
+
+        Deterministic: the jitter factor is a hash of ``(attempt,
+        salt)``, so identical reruns sleep identically.
+        """
+        d = min(self.max_delay_s, self.base_delay_s * self.backoff ** attempt)
+        if self.jitter:
+            h = zlib.crc32(f"{salt}:{attempt}".encode()) % 10_000 / 10_000.0
+            d *= 1.0 - self.jitter / 2.0 + self.jitter * h
+        return d
+
+
+DEFAULT_POLICY = RetryPolicy()
+NO_RETRY = RetryPolicy(max_attempts=1, jitter=0.0)
+
+
+@dataclass
+class TaskFailure:
+    """One task's failure (or recovery), as data rather than a raise."""
+
+    scope: str
+    index: int | None
+    label: str
+    #: "exception" | "injected" | "timeout" | "nonfinite" | "divergent"
+    kind: str
+    error: str = ""
+    attempts: int = 1
+    #: True when a retry or a degradation eventually produced a result.
+    recovered: bool = False
+    #: How the work was degraded to recover: "serial", "estimate", None.
+    degraded_to: str | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class RetryExhausted(RuntimeError):
+    """A retried call ran out of attempts; carries the failure trail."""
+
+    def __init__(self, failures: list[TaskFailure]):
+        last = failures[-1].error if failures else ""
+        super().__init__(
+            f"retry budget exhausted after {len(failures)} attempt(s): {last}"
+        )
+        self.failures = failures
+
+
+def _classify(exc: BaseException) -> str:
+    from .faults import FaultInjected
+
+    if isinstance(exc, FaultInjected):
+        return "injected"
+    if isinstance(exc, TimeoutError):
+        return "timeout"
+    return "exception"
+
+
+def call_with_retry(
+    fn: Callable[[], object],
+    policy: RetryPolicy = DEFAULT_POLICY,
+    *,
+    scope: str = "task",
+    index: int | None = None,
+    label: str = "",
+    sleep: Callable[[float], None] = time.sleep,
+) -> tuple[object, list[TaskFailure]]:
+    """Call ``fn`` under the policy's attempt budget.
+
+    Returns ``(result, failures)`` where ``failures`` records the
+    attempts that had to be retried (marked ``recovered=True``).
+    Raises :class:`RetryExhausted` when the budget runs out.
+    """
+    failures: list[TaskFailure] = []
+    salt = index if index is not None else zlib.crc32(label.encode())
+    for attempt in range(policy.max_attempts):
+        try:
+            result = fn()
+        except Exception as exc:  # noqa: BLE001 - the whole point
+            failures.append(
+                TaskFailure(
+                    scope=scope,
+                    index=index,
+                    label=label,
+                    kind=_classify(exc),
+                    error=repr(exc),
+                    attempts=attempt + 1,
+                )
+            )
+            if attempt + 1 >= policy.max_attempts:
+                raise RetryExhausted(failures) from exc
+            sleep(policy.delay_s(attempt, salt=salt))
+            continue
+        for f in failures:
+            f.recovered = True
+        return result, failures
+    raise RetryExhausted(failures)  # pragma: no cover - loop always returns

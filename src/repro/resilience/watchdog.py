@@ -1,0 +1,145 @@
+"""Numerical watchdog: NaN/Inf scans and bitwise cross-variant checks.
+
+The paper's validation contract is that every schedule variant is a
+pure reordering — bitwise-identical output to the reference kernel.
+The watchdog enforces that contract at runtime:
+
+* :func:`is_finite_result` / :func:`scan_level` — post-task NaN/Inf
+  scans of simulator results and level data;
+* :func:`verify_variants_bitwise` — run a set of variants (threaded),
+  compare each against the reference schedule bitwise, *quarantine*
+  divergent variants, re-run each quarantined variant once serially,
+  and report what recovered.
+
+``run_schedule_parallel`` and ``run_grid`` consult the scan helpers
+directly (only when a fault plan is active or explicitly requested, so
+the happy path pays nothing).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..box.leveldata import LevelData
+from ..machine.simulator import SimResult
+from ..schedules.base import Variant
+from .retry import TaskFailure
+
+__all__ = [
+    "is_finite_result",
+    "scan_level",
+    "WatchdogReport",
+    "verify_variants_bitwise",
+]
+
+
+def is_finite_result(r: SimResult) -> bool:
+    """True when every numeric field of a simulator result is finite."""
+    scalars = (r.time_s, r.flops, r.dram_bytes)
+    return all(math.isfinite(x) for x in scalars) and all(
+        math.isfinite(t) for t in r.phase_times
+    )
+
+
+def scan_level(ld: LevelData) -> bool:
+    """True when every valid cell of a level is finite."""
+    for i in ld.layout:
+        box = ld.layout.box(i)
+        if not np.all(np.isfinite(ld[i].window(box))):
+            return False
+    return True
+
+
+@dataclass
+class WatchdogReport:
+    """Outcome of a cross-variant bitwise-identity sweep."""
+
+    reference: str
+    checked: list[str] = field(default_factory=list)
+    #: Variants whose threaded run diverged from the reference.
+    divergent: list[str] = field(default_factory=list)
+    #: Divergent variants re-run serially that then matched.
+    recovered: list[str] = field(default_factory=list)
+    failures: list[TaskFailure] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """No *unrecovered* failures (quarantine re-runs may have healed)."""
+        return all(f.recovered for f in self.failures)
+
+    def to_dict(self) -> dict:
+        return {
+            "reference": self.reference,
+            "checked": list(self.checked),
+            "divergent": list(self.divergent),
+            "recovered": list(self.recovered),
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+
+def verify_variants_bitwise(
+    variants,
+    phi0: LevelData,
+    threads: int = 2,
+    reference: Variant | None = None,
+) -> WatchdogReport:
+    """Check each variant's threaded output bitwise against the reference.
+
+    Divergent variants are quarantined and re-run once serially (via
+    the serial schedule executor); a quarantined variant that then
+    matches is reported as recovered, otherwise it lands in the
+    report's failure manifest.  The threaded runs go through
+    ``run_schedule_parallel`` with its own self-healing disabled, so
+    this function sees raw divergence.
+    """
+    from ..parallel.pool import run_schedule_parallel
+    from ..schedules.level import run_schedule_on_level
+
+    ref_variant = reference or Variant("series", "P>=Box", "CLO")
+    ref = run_schedule_on_level(ref_variant, phi0).to_global_array()
+    report = WatchdogReport(reference=ref_variant.short_name)
+    for variant in variants:
+        name = variant.short_name
+        report.checked.append(name)
+        try:
+            r = run_schedule_parallel(
+                variant, phi0, threads, watchdog=False, fallback=False
+            )
+            arr = r.phi1.to_global_array()
+        except Exception as exc:  # noqa: BLE001 - quarantine anything
+            arr = None
+            error = repr(exc)
+        if arr is not None and np.array_equal(arr, ref):
+            continue
+        # Quarantine: one serial re-run, then judge.
+        report.divergent.append(name)
+        serial = run_schedule_on_level(variant, phi0).to_global_array()
+        if np.array_equal(serial, ref):
+            report.recovered.append(name)
+            report.failures.append(
+                TaskFailure(
+                    scope="pool",
+                    index=None,
+                    label=name,
+                    kind="divergent",
+                    error="threaded run diverged from reference"
+                    if arr is not None
+                    else error,
+                    recovered=True,
+                    degraded_to="serial",
+                )
+            )
+        else:
+            report.failures.append(
+                TaskFailure(
+                    scope="pool",
+                    index=None,
+                    label=name,
+                    kind="divergent",
+                    error="variant diverges from reference even serially",
+                )
+            )
+    return report

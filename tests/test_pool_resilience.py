@@ -1,0 +1,197 @@
+"""Pool-level resilience: plan failure handling, fault recovery,
+degradation to serial, and shared-pool lifecycle."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exemplar import ExemplarProblem
+from repro.parallel.partition import ParallelPlan, TaskGroup
+from repro.parallel.pool import (
+    PlanExecutionError,
+    get_shared_pool,
+    run_plan,
+    run_schedule_parallel,
+    shutdown_shared_pool,
+)
+from repro.resilience.faults import FaultPlan, FaultSpec, inject_faults
+from repro.schedules import Variant, run_schedule_on_level
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return ExemplarProblem(domain_cells=(16, 16, 16), box_size=8)
+
+
+@pytest.fixture(scope="module")
+def phi0(problem):
+    return problem.make_phi0()
+
+
+@pytest.fixture(scope="module")
+def reference(phi0):
+    return run_schedule_on_level(
+        Variant("series", "P>=Box", "CLO"), phi0
+    ).to_global_array()
+
+
+def make_plan(tasks) -> ParallelPlan:
+    return ParallelPlan(
+        Variant("series"), groups=[TaskGroup("g", list(tasks))]
+    )
+
+
+# ------------------------------------------------- fault matrix: pool tasks
+class TestPoolFaultMatrix:
+    def test_injected_raise_rerun_inline_bitwise(self, phi0, reference):
+        v = Variant("series", "P>=Box", "CLO")
+        plan = FaultPlan([FaultSpec("pool", "raise", index=3, count=1)])
+        with inject_faults(plan):
+            r = run_schedule_parallel(v, phi0, 4)
+        assert np.array_equal(r.phi1.to_global_array(), reference)
+        assert not r.degraded  # inline re-run, no serial fallback needed
+        assert any(f.kind == "injected" and f.recovered for f in r.failures)
+
+    def test_stall_fault_just_delays(self, phi0, reference):
+        v = Variant("series", "P>=Box", "CLO")
+        plan = FaultPlan(
+            [FaultSpec("pool", "stall", index=0, count=1, stall_s=0.01)]
+        )
+        with inject_faults(plan):
+            r = run_schedule_parallel(v, phi0, 4)
+        assert np.array_equal(r.phi1.to_global_array(), reference)
+        assert not r.failures
+
+    def test_corrupt_quarantined_and_rerun_serially(self, phi0, reference):
+        v = Variant("series", "P>=Box", "CLO")
+        plan = FaultPlan([FaultSpec("pool", "corrupt", count=1)])
+        with inject_faults(plan):
+            r = run_schedule_parallel(v, phi0, 4)
+        assert np.array_equal(r.phi1.to_global_array(), reference)
+        assert r.degraded
+        nf = [f for f in r.failures if f.kind == "nonfinite"]
+        assert nf and nf[0].recovered and nf[0].degraded_to == "serial"
+
+    def test_serial_path_absorbs_injected_raise(self, phi0, reference):
+        v = Variant("series", "P>=Box", "CLO")
+        plan = FaultPlan([FaultSpec("pool", "raise", index=2, count=1)])
+        with inject_faults(plan):
+            r = run_schedule_parallel(v, phi0, 1)
+        assert np.array_equal(r.phi1.to_global_array(), reference)
+        assert any(f.kind == "injected" for f in r.failures)
+
+    def test_fallback_disabled_raises_structured(self, phi0):
+        v = Variant("series", "P>=Box", "CLO")
+        # A persistent real failure: corrupt with watchdog on and
+        # fallback off must raise, not return a poisoned level.
+        plan = FaultPlan([FaultSpec("pool", "corrupt", count=1)])
+        with inject_faults(plan):
+            with pytest.raises(PlanExecutionError) as e:
+                run_schedule_parallel(v, phi0, 4, fallback=False)
+        assert e.value.failures[0].kind == "nonfinite"
+
+
+# --------------------------------------------- run_plan failure handling
+class TestRunPlanFailures:
+    def test_real_exception_cancels_window_and_raises(self):
+        executed = []
+        lock = threading.Lock()
+
+        def good(i):
+            def run():
+                time.sleep(0.01)
+                with lock:
+                    executed.append(i)
+            return run
+
+        def bad():
+            raise ValueError("boom")
+
+        tasks = [bad] + [good(i) for i in range(20)]
+        with pytest.raises(PlanExecutionError) as e:
+            run_plan(make_plan(tasks), 2)
+        failures = e.value.failures
+        assert failures[0].kind == "exception"
+        assert failures[0].index == 0
+        assert "boom" in failures[0].error
+        # The window stopped submitting: queued tasks never ran.
+        assert len(executed) < 20
+
+    def test_deadline_abandons_wedged_task(self):
+        done = []
+
+        def wedged():
+            time.sleep(0.5)
+            done.append("late")
+
+        with pytest.raises(PlanExecutionError) as e:
+            run_plan(make_plan([wedged]), 2, deadline_s=0.05)
+        assert e.value.failures[0].kind == "timeout"
+
+    def test_schedule_degrades_to_serial_on_real_failure(self, phi0, reference, monkeypatch):
+        """A plan whose pooled execution breaks for real must still
+        produce the bitwise result through the serial fallback."""
+        import repro.parallel.pool as pool_mod
+
+        v = Variant("series", "P>=Box", "CLO")
+        real_run_plan = pool_mod.run_plan
+        calls = {"n": 0}
+
+        def flaky_run_plan(plan, threads, **kw):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise PlanExecutionError(
+                    [pool_mod.TaskFailure("pool", 0, "g", "exception", "boom")]
+                )
+            return real_run_plan(plan, threads, **kw)
+
+        monkeypatch.setattr(pool_mod, "run_plan", flaky_run_plan)
+        r = pool_mod.run_schedule_parallel(v, phi0, 4)
+        assert np.array_equal(r.phi1.to_global_array(), reference)
+        assert r.degraded
+        assert all(f.degraded_to == "serial" for f in r.failures)
+
+
+# ------------------------------------------------------- pool lifecycle
+class TestPoolLifecycle:
+    def test_shutdown_is_idempotent(self):
+        get_shared_pool(2)
+        shutdown_shared_pool()
+        shutdown_shared_pool()  # second call is a clean no-op
+
+    def test_pool_rebuilt_after_shutdown(self):
+        get_shared_pool(2)
+        shutdown_shared_pool()
+        pool = get_shared_pool(2)
+        assert pool.submit(lambda: 41 + 1).result() == 42
+
+    def test_concurrent_shutdown_and_rebuild(self):
+        errors = []
+
+        def hammer(i):
+            try:
+                for _ in range(10):
+                    if i % 2:
+                        shutdown_shared_pool()
+                    else:
+                        get_shared_pool(2).submit(lambda: None)
+            except RuntimeError:
+                pass  # submit raced a shutdown: acceptable, not a crash
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # The pool still works afterwards.
+        assert get_shared_pool(2).submit(lambda: 7).result() == 7
+
+    def test_run_after_shutdown_rebuilds_transparently(self, phi0, reference):
+        shutdown_shared_pool()
+        r = run_schedule_parallel(Variant("series", "P>=Box", "CLO"), phi0, 4)
+        assert np.array_equal(r.phi1.to_global_array(), reference)

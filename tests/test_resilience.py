@@ -1,0 +1,346 @@
+"""Resilience layer: fault injection, retry, journal resume, watchdog.
+
+The fault-injection matrix (raise/stall/corrupt x pool task/grid
+point), journal resume equivalence, and watchdog quarantine demanded
+by the robustness contract: every recovery path is exercised through a
+deterministic seeded fault plan.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.runner import GridPoint, GridResult, run_grid
+from repro.machine.spec import IVY_DESKTOP
+from repro.resilience import faults
+from repro.resilience.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    RandomFaultPlan,
+    inject_faults,
+)
+from repro.resilience.journal import (
+    GridJournal,
+    grid_hash,
+    point_key,
+    sim_result_from_dict,
+    sim_result_to_dict,
+)
+from repro.resilience.retry import (
+    RetryExhausted,
+    RetryPolicy,
+    TaskFailure,
+    call_with_retry,
+)
+from repro.resilience.watchdog import is_finite_result, verify_variants_bitwise
+from repro.schedules import Variant
+
+DOMAIN = (32, 32, 32)
+
+
+def small_grid(n_threads=(1, 2, 4), boxes=(16, 32)) -> list[GridPoint]:
+    return [
+        GridPoint(Variant("series"), IVY_DESKTOP, t, b, DOMAIN)
+        for t in n_threads
+        for b in boxes
+    ]
+
+
+def results_equal(a, b) -> bool:
+    """Bitwise equality of two SimResult lists (exact float compare)."""
+    if len(a) != len(b):
+        return False
+    return all(
+        ra is not None
+        and rb is not None
+        and sim_result_to_dict(ra) == sim_result_to_dict(rb)
+        for ra, rb in zip(a, b)
+    )
+
+
+# ------------------------------------------------------------------ faults
+class TestFaultPlan:
+    def test_spec_budget_is_consumed(self):
+        plan = FaultPlan([FaultSpec("grid", "raise", index=3, count=2)])
+        assert plan.take("grid", 3).mode == "raise"
+        assert plan.take("grid", 3).mode == "raise"
+        assert plan.take("grid", 3) is None
+
+    def test_addressing_by_index_and_label(self):
+        plan = FaultPlan([FaultSpec("pool", "stall", index=1, label="box0")])
+        assert plan.take("pool", 1, "other-group") is None
+        assert plan.take("grid", 1, "box0-tiles") is None
+        assert plan.take("pool", 2, "box0-tiles") is None
+        assert plan.take("pool", 1, "box0-tiles").mode == "stall"
+
+    def test_mode_filter(self):
+        plan = FaultPlan([FaultSpec("grid", "corrupt", index=0)])
+        assert plan.take("grid", 0, modes=("raise", "stall")) is None
+        assert plan.take("grid", 0, modes=("corrupt",)).mode == "corrupt"
+
+    def test_random_plan_is_deterministic(self):
+        a = RandomFaultPlan(seed=7, rate=0.5)
+        b = RandomFaultPlan(seed=7, rate=0.5)
+        decisions_a = [a.take("grid", i) is not None for i in range(50)]
+        decisions_b = [b.take("grid", i) is not None for i in range(50)]
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_random_plan_fires_once_per_site(self):
+        plan = RandomFaultPlan(seed=1, rate=1.0)
+        assert plan.take("pool", 5, "g") is not None
+        assert plan.take("pool", 5, "g") is None
+
+    def test_inject_faults_restores_previous(self):
+        # Neutralize any ambient plan (e.g. REPRO_FAULT_SEED bootstrap)
+        # so we observe the context manager's own save/restore.
+        prior = faults.active_plan()
+        faults.set_fault_plan(None)
+        try:
+            assert not faults.plan_active()
+            with inject_faults(FaultPlan()):
+                assert faults.plan_active()
+                with inject_faults(
+                    FaultPlan([FaultSpec("grid", "raise")])
+                ) as inner:
+                    assert faults.active_plan() is inner
+                assert faults.plan_active()
+            assert not faults.plan_active()
+        finally:
+            faults.set_fault_plan(prior)
+
+    def test_perturb_raises_before_any_work(self):
+        with inject_faults(FaultPlan([FaultSpec("grid", "raise", index=0)])):
+            with pytest.raises(FaultInjected):
+                faults.perturb("grid", 0)
+            faults.perturb("grid", 0)  # budget spent: clean now
+
+    def test_env_bootstrap(self):
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.resilience import faults; print(faults.plan_active())"],
+            capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": "src", "REPRO_FAULT_SEED": "42"},
+        )
+        assert out.stdout.strip() == "True"
+
+
+# ------------------------------------------------------------------- retry
+class TestRetry:
+    def test_backoff_is_deterministic_and_bounded(self):
+        p = RetryPolicy(base_delay_s=0.01, max_delay_s=0.1, jitter=0.5)
+        delays = [p.delay_s(a, salt=9) for a in range(8)]
+        assert delays == [p.delay_s(a, salt=9) for a in range(8)]
+        assert all(0 < d <= 0.1 * 1.25 for d in delays)
+        assert delays[1] > delays[0] * 1.2  # roughly exponential
+
+    def test_call_with_retry_recovers(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ValueError("transient")
+            return "ok"
+
+        result, failures = call_with_retry(
+            flaky, RetryPolicy(max_attempts=3), sleep=lambda d: None
+        )
+        assert result == "ok"
+        assert len(failures) == 2 and all(f.recovered for f in failures)
+
+    def test_retry_exhausted(self):
+        def broken():
+            raise ValueError("permanent")
+
+        with pytest.raises(RetryExhausted) as e:
+            call_with_retry(
+                broken, RetryPolicy(max_attempts=2), sleep=lambda d: None
+            )
+        assert len(e.value.failures) == 2
+        assert not e.value.failures[-1].recovered
+
+
+# ---------------------------------------------------- grid fault matrix
+class TestGridFaults:
+    def test_transient_raise_recovers_bitwise(self):
+        points = small_grid()
+        clean = run_grid(points)
+        plan = FaultPlan([FaultSpec("grid", "raise", index=2, count=1)])
+        with inject_faults(plan):
+            r = run_grid(points)
+        assert results_equal(r, clean)
+        assert any(f.kind == "injected" and f.recovered for f in r.failures)
+
+    def test_permanent_raise_yields_partial_with_manifest(self):
+        points = small_grid()
+        plan = FaultPlan([FaultSpec("grid", "raise", index=1, count=10**6)])
+        with inject_faults(plan):
+            r = run_grid(points)
+        assert r[1] is None
+        assert all(r[i] is not None for i in range(len(points)) if i != 1)
+        m = r.manifest()
+        assert m["completed"] == len(points) - 1
+        perm = [f for f in r.failures if not f.recovered]
+        assert perm and perm[-1].index == 1 and perm[-1].kind == "injected"
+
+    def test_stall_with_deadline_times_out_then_recovers(self):
+        points = small_grid(n_threads=(1, 2), boxes=(16,))
+        clean = run_grid(points)
+        plan = FaultPlan(
+            [FaultSpec("grid", "stall", index=0, count=1, stall_s=0.5)]
+        )
+        policy = RetryPolicy(max_attempts=2, deadline_s=0.08, base_delay_s=0.001)
+        with inject_faults(plan):
+            # Deadlines need the pooled path; force fan-out (the
+            # container may have a single CPU).
+            r = run_grid(points, max_workers=2, policy=policy)
+        assert results_equal(r, clean)
+        assert any(f.kind == "timeout" and f.recovered for f in r.failures)
+
+    def test_corrupt_quarantined_by_watchdog(self):
+        points = small_grid()
+        clean = run_grid(points)
+        plan = FaultPlan([FaultSpec("grid", "corrupt", index=3, count=1)])
+        with inject_faults(plan):
+            r = run_grid(points)
+        assert results_equal(r, clean)
+        recovered = [f for f in r.failures if f.kind == "nonfinite"]
+        assert recovered and recovered[0].recovered
+        assert recovered[0].degraded_to == "serial"
+
+    def test_simulate_engine_degrades_to_estimator(self):
+        points = [
+            GridPoint(Variant("series"), IVY_DESKTOP, 2, 16, DOMAIN,
+                      engine="simulate")
+        ]
+        plan = FaultPlan(
+            [FaultSpec("simulate", "raise", count=10**6)]
+        )
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.001)
+        with inject_faults(plan):
+            r = run_grid(points, policy=policy)
+        assert r[0] is not None and is_finite_result(r[0])
+        assert any(f.degraded_to == "estimate" for f in r.failures)
+        # The degraded result is the estimator's answer.
+        estimate = points[0].evaluate(engine="estimate")
+        assert sim_result_to_dict(r[0]) == sim_result_to_dict(estimate)
+
+    def test_happy_path_returns_plain_gridresult(self):
+        r = run_grid(small_grid(n_threads=(1,), boxes=(16,)))
+        assert isinstance(r, GridResult)
+        assert r.ok and not r.failures and r.journal_hits == 0
+
+
+# ----------------------------------------------------------------- journal
+class TestJournal:
+    def test_sim_result_roundtrip_bitwise(self):
+        r = small_grid(n_threads=(2,), boxes=(16,))[0].evaluate()
+        d = json.loads(json.dumps(sim_result_to_dict(r)))
+        rt = sim_result_from_dict(d)
+        assert sim_result_to_dict(rt) == sim_result_to_dict(r)
+        assert rt.time_s == r.time_s  # exact, not approx
+
+    def test_point_key_and_grid_hash_are_content_keys(self):
+        a = small_grid()
+        b = small_grid()
+        assert [point_key(p) for p in a] == [point_key(p) for p in b]
+        assert grid_hash(a) == grid_hash(b)
+        assert grid_hash(a) != grid_hash(list(reversed(a)))
+
+    def test_journal_replays_only_exact_slots(self, tmp_path):
+        points = small_grid()
+        path = str(tmp_path / "j.jsonl")
+        with GridJournal(path) as j:
+            first = run_grid(points, journal=j)
+            assert j.written == len(points) and j.hits == 0
+        with GridJournal(path, resume=True) as j2:
+            second = run_grid(points, journal=j2)
+            assert j2.hits == len(points) and j2.written == 0
+        assert results_equal(first, second)
+        assert second.journal_hits == len(points)
+
+    def test_journal_ignores_truncated_tail(self, tmp_path):
+        points = small_grid()
+        path = str(tmp_path / "j.jsonl")
+        with GridJournal(path) as j:
+            run_grid(points, journal=j)
+        with open(path, "a") as fh:
+            fh.write('{"grid": "partial-wri')  # the crash mid-append
+        with GridJournal(path, resume=True) as j2:
+            r = run_grid(points, journal=j2)
+        assert all(x is not None for x in r)
+
+    def test_interrupted_then_resumed_equals_uninjected(self, tmp_path):
+        """The acceptance scenario: a fault plan kills 10% of grid
+        points; run_grid completes with a manifest; a --resume re-run
+        without faults converges to the bitwise-identical full result."""
+        points = small_grid(n_threads=(1, 2, 4), boxes=(8, 16, 32))  # 9 pts
+        clean = run_grid(points)
+        path = str(tmp_path / "sweep.jsonl")
+        kill = FaultPlan(
+            [FaultSpec("grid", "raise", index=4, count=10**6)]
+        )
+        with GridJournal(path) as j:
+            with inject_faults(kill):
+                partial = run_grid(points, journal=j)
+        assert partial[4] is None
+        assert sum(1 for r in partial if r is not None) == len(points) - 1
+        assert any(not f.recovered for f in partial.failures)
+        # Resume: journaled points replay, only the remainder computes.
+        with GridJournal(path, resume=True) as j2:
+            resumed = run_grid(points, journal=j2)
+            assert j2.hits == len(points) - 1
+            assert j2.written == 1
+        assert results_equal(resumed, clean)
+
+
+# ---------------------------------------------------------------- watchdog
+class TestWatchdog:
+    def test_is_finite_result(self):
+        r = small_grid(n_threads=(1,), boxes=(16,))[0].evaluate()
+        assert is_finite_result(r)
+        r.time_s = float("nan")
+        assert not is_finite_result(r)
+        r.time_s = 1.0
+        r.phase_times[0] = float("inf")
+        assert not is_finite_result(r)
+
+    def test_cross_variant_bitwise_clean(self):
+        from repro.exemplar import ExemplarProblem
+
+        phi0 = ExemplarProblem(domain_cells=(16, 16, 16), box_size=8).make_phi0()
+        report = verify_variants_bitwise(
+            [
+                Variant("series", "P>=Box", "CLO"),
+                Variant("shift_fuse", "P<Box", "CLO"),
+            ],
+            phi0,
+            threads=2,
+        )
+        assert report.clean
+        assert not report.divergent
+        assert len(report.checked) == 2
+
+    def test_divergent_variant_quarantined_and_recovered(self):
+        from repro.exemplar import ExemplarProblem
+
+        phi0 = ExemplarProblem(domain_cells=(16, 16, 16), box_size=8).make_phi0()
+        v = Variant("series", "P>=Box", "CLO")
+        # Corrupt the threaded run's output; the serial quarantine
+        # re-run is clean (budget of 1), so the watchdog must recover.
+        plan = FaultPlan([FaultSpec("pool", "corrupt", count=1)])
+        with inject_faults(plan):
+            report = verify_variants_bitwise([v], phi0, threads=2)
+        assert report.divergent == [v.short_name]
+        assert report.recovered == [v.short_name]
+        assert report.clean  # recovered => clean
+
+    def test_taskfailure_to_dict(self):
+        f = TaskFailure("grid", 3, "k", "timeout", error="x", recovered=True)
+        d = f.to_dict()
+        assert d["scope"] == "grid" and d["kind"] == "timeout" and d["recovered"]
