@@ -90,6 +90,65 @@ def _run_arena_probe() -> None:
         run_schedule_parallel(variant, phi0, 4, arena=True)
 
 
+def _obs_overhead() -> dict[str, float]:
+    """Per-call cost of the observability hooks, in nanoseconds.
+
+    The numbers that matter are the *disabled* ones: every execution
+    layer calls ``span()``/``add_event()`` unconditionally, so their
+    no-tracer fast path is what benchmark runs pay.  Best-of-repeats
+    to shed scheduler noise; the regression gate
+    (``benchmarks/check_overhead_regression.py``) compares these
+    against the committed baseline.
+    """
+    from repro.obs import span, tracing
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import add_event, tracing_enabled
+
+    n = 50_000
+
+    def best_per_call_ns(fn, repeats: int = 5) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter_ns()
+            fn()
+            best = min(best, time.perf_counter_ns() - t0)
+        return best / n
+
+    def loop_baseline() -> None:
+        for _ in range(n):
+            pass
+
+    def loop_span() -> None:
+        for _ in range(n):
+            with span("bench.obs", i=1):
+                pass
+
+    def loop_event() -> None:
+        for _ in range(n):
+            add_event("bench.obs", i=1)
+
+    reg = MetricsRegistry()
+
+    def loop_counter() -> None:
+        for _ in range(n):
+            reg.counter_inc("bench.obs")
+
+    assert not tracing_enabled()
+    baseline_ns = best_per_call_ns(loop_baseline)
+    noop_span_ns = best_per_call_ns(loop_span)
+    disabled_event_ns = best_per_call_ns(loop_event)
+    with tracing():
+        traced_span_ns = best_per_call_ns(loop_span, repeats=3)
+    counter_inc_ns = best_per_call_ns(loop_counter)
+    return {
+        "loop_baseline_ns": round(baseline_ns, 1),
+        "noop_span_ns": round(noop_span_ns, 1),
+        "add_event_disabled_ns": round(disabled_event_ns, 1),
+        "traced_span_ns": round(traced_span_ns, 1),
+        "counter_inc_ns": round(counter_inc_ns, 1),
+    }
+
+
 def collect() -> dict:
     from repro.util.perf import perf
 
@@ -131,6 +190,7 @@ def collect() -> dict:
             "misses": p.get("arena.misses"),
             "bytes_reused": p.get("arena.bytes_reused"),
         },
+        "observability": _obs_overhead(),
     }
     return report
 
@@ -146,6 +206,14 @@ def test_harness_overhead():
     assert report["hit_rates"]["phase_cache"] > 0
     assert report["hit_rates"]["copier_cache"] > 0
     assert report["hit_rates"]["arena"] > 0
+    # Disabled observability must stay near-free.  These are generous
+    # absolute ceilings (machine-independent sanity, not the regression
+    # gate — CI compares against the committed baseline).
+    obs = report["observability"]
+    assert obs["noop_span_ns"] < 5_000
+    assert obs["add_event_disabled_ns"] < 5_000
+    assert obs["counter_inc_ns"] < 10_000
+    assert obs["traced_span_ns"] < 100_000
 
 
 if __name__ == "__main__":

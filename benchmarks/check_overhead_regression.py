@@ -1,0 +1,111 @@
+"""CI gate: fail when the observability no-op overhead regresses.
+
+Compares the ``observability`` section of a freshly produced
+``BENCH_harness.json`` against the committed baseline::
+
+    python benchmarks/check_overhead_regression.py \
+        --baseline /tmp/BENCH_harness.baseline.json \
+        --current BENCH_harness.json --tolerance 0.05
+
+A metric fails when it exceeds ``baseline * (1 + tolerance) +
+grace``.  The per-call costs sit in the tens-to-hundreds of
+nanoseconds, where 5% is below timer and scheduler noise on shared CI
+runners, so a small absolute grace (default 200 ns) keeps the gate
+meaningful without flapping: a real regression — an extra dict lookup,
+an accidental allocation on the disabled path — costs far more than
+the grace, while run-to-run jitter costs less.
+
+Exit status: 0 = within budget (or no baseline section to compare),
+1 = regression, 2 = bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Disabled-path metrics the gate protects (the hot ones).
+GATED_METRICS = (
+    "noop_span_ns",
+    "add_event_disabled_ns",
+    "counter_inc_ns",
+)
+
+
+def load_observability(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    section = doc.get("observability", {})
+    if not isinstance(section, dict):
+        raise ValueError(f"{path}: 'observability' must be an object")
+    return section
+
+
+def check(
+    baseline: dict, current: dict, tolerance: float, grace_ns: float
+) -> list[str]:
+    """Regression messages for every gated metric over budget."""
+    problems: list[str] = []
+    for name in GATED_METRICS:
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None or cur is None:
+            continue
+        limit = base * (1.0 + tolerance) + grace_ns
+        if cur > limit:
+            problems.append(
+                f"{name}: {cur:.1f} ns > limit {limit:.1f} ns "
+                f"(baseline {base:.1f} ns, tolerance {tolerance:.0%} "
+                f"+ {grace_ns:.0f} ns grace)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_harness.json")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced BENCH_harness.json")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed relative growth (default 0.05)")
+    parser.add_argument("--grace-ns", type=float, default=200.0,
+                        help="absolute noise allowance per metric (ns)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_observability(args.baseline)
+        current = load_observability(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if not baseline:
+        print(
+            f"{args.baseline}: no observability baseline yet; gate skipped"
+        )
+        return 0
+    if not current:
+        print(f"error: {args.current} has no observability section",
+              file=sys.stderr)
+        return 1
+
+    problems = check(baseline, current, args.tolerance, args.grace_ns)
+    for name in GATED_METRICS:
+        if name in baseline and name in current:
+            print(
+                f"{name}: baseline {baseline[name]:.1f} ns -> "
+                f"current {current[name]:.1f} ns"
+            )
+    if problems:
+        print("observability overhead regression:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print("observability overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

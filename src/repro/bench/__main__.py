@@ -8,6 +8,10 @@ Usage::
     python -m repro.bench --jobs 4 fig10   # grid fan-out width
     python -m repro.bench --journal J.jsonl fig9           # checkpoint grids
     python -m repro.bench --journal J.jsonl --resume fig9  # replay + remainder
+    python -m repro.bench --trace out.json fig9    # Chrome/Perfetto trace
+    python -m repro.bench --trace out.jsonl fig9   # flat JSONL trace
+    python -m repro.bench --metrics M.json fig9    # metrics snapshot
+    python -m repro.bench --trace out.json --attribution fig10
 """
 
 from __future__ import annotations
@@ -95,6 +99,9 @@ def main(argv: list[str] | None = None) -> int:
     args = list(argv if argv is not None else sys.argv[1:])
     show_perf = False
     journal_path: str | None = None
+    trace_path: str | None = None
+    metrics_path: str | None = None
+    attribution = False
     resume = False
     names: list[str] = []
     i = 0
@@ -116,6 +123,22 @@ def main(argv: list[str] | None = None) -> int:
             journal_path = args[i]
         elif a.startswith("--journal="):
             journal_path = a.split("=", 1)[1]
+        elif a == "--trace":
+            i += 1
+            if i >= len(args):
+                raise SystemExit("--trace needs a file path")
+            trace_path = args[i]
+        elif a.startswith("--trace="):
+            trace_path = a.split("=", 1)[1]
+        elif a == "--metrics":
+            i += 1
+            if i >= len(args):
+                raise SystemExit("--metrics needs a file path")
+            metrics_path = args[i]
+        elif a.startswith("--metrics="):
+            metrics_path = a.split("=", 1)[1]
+        elif a == "--attribution":
+            attribution = True
         elif a == "--resume":
             resume = True
         elif a.startswith("-"):
@@ -125,15 +148,25 @@ def main(argv: list[str] | None = None) -> int:
         i += 1
     if resume and journal_path is None:
         raise SystemExit("--resume requires --journal PATH")
+    if attribution and trace_path is None:
+        raise SystemExit("--attribution requires --trace PATH")
     journal = None
     if journal_path is not None:
         from ..resilience.journal import GridJournal
 
         journal = GridJournal(journal_path, resume=resume)
         set_grid_journal(journal)
+    tracer = None
+    if trace_path is not None:
+        from ..obs import start_tracing
+
+        tracer = start_tracing()
     try:
+        from ..obs import span
+
         for name in names or list(ALL):
-            print(_run(name))
+            with span(f"bench.{name}"):
+                print(_run(name))
     finally:
         if journal is not None:
             set_grid_journal(None)
@@ -142,6 +175,29 @@ def main(argv: list[str] | None = None) -> int:
                 f"{journal.written} computed"
             )
             journal.close()
+        if tracer is not None:
+            from ..obs import stop_tracing, write_chrome_trace, write_jsonl
+
+            stop_tracing()
+            if trace_path.endswith(".jsonl"):
+                write_jsonl(trace_path, tracer)
+            else:
+                write_chrome_trace(trace_path, tracer)
+            print(
+                f"trace {trace_path}: {len(tracer.spans())} span(s), "
+                f"{len(tracer.events())} event(s), "
+                f"{len(tracer.samples())} sample(s)"
+            )
+        if metrics_path is not None:
+            from ..obs import write_metrics
+            from ..obs.metrics import default_registry
+
+            write_metrics(metrics_path, default_registry())
+            print(f"metrics {metrics_path}: registry snapshot written")
+    if attribution and tracer is not None:
+        from ..obs import attribution_rows, format_attribution
+
+        print(format_attribution(attribution_rows(tracer)))
     if show_perf:
         print(format_perf_report())
     return 0

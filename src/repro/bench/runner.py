@@ -39,6 +39,8 @@ from ..exemplar.problem import PAPER_DOMAIN_CELLS
 from ..machine.simulator import SimResult, estimate_workload, simulate_workload
 from ..machine.spec import MachineSpec
 from ..machine.workload import build_workload
+from ..obs import trace as _trace
+from ..obs.metrics import default_registry
 from ..resilience import faults as _faults
 from ..resilience.journal import GridJournal, grid_hash, point_key
 from ..resilience.retry import DEFAULT_POLICY, RetryPolicy, TaskFailure
@@ -261,15 +263,59 @@ def get_grid_journal() -> GridJournal | None:
 
 def _prewarm(points: Iterable[GridPoint]) -> None:
     """Build each distinct workload once, sequentially, before fan-out."""
-    seen: set[tuple] = set()
-    for p in points:
-        key = (p.variant, p.box_size, p.domain_cells, p.ncomp)
-        if key not in seen:
-            seen.add(key)
-            build_workload(
-                p.variant, p.box_size, domain_cells=p.domain_cells,
-                ncomp=p.ncomp, dim=len(p.domain_cells),
-            )
+    with _trace.span("grid.prewarm"):
+        seen: set[tuple] = set()
+        for p in points:
+            key = (p.variant, p.box_size, p.domain_cells, p.ncomp)
+            if key not in seen:
+                seen.add(key)
+                build_workload(
+                    p.variant, p.box_size, domain_cells=p.domain_cells,
+                    ncomp=p.ncomp, dim=len(p.domain_cells),
+                )
+
+
+#: Registry counters behind the trace's counter tracks.
+_DRAM_COUNTER = "model.dram_bytes"
+_POINT_HIST = "grid.point_s"
+
+
+def _span_attrs(p: GridPoint, index: int) -> dict:
+    return {
+        "index": index,
+        "variant": p.variant.short_name,
+        "machine": p.machine.name,
+        "threads": p.threads,
+        "box_size": p.box_size,
+        "domain_cells": list(p.domain_cells),
+        "ncomp": p.ncomp,
+    }
+
+
+def _record_point(s, r: SimResult, elapsed_s: float) -> None:
+    """Attach a settled point's modeled numbers to its span + metrics."""
+    s.set_attr(
+        model_time_s=r.time_s,
+        model_dram_bytes=r.dram_bytes,
+        model_flops=r.flops,
+    )
+    reg = default_registry()
+    reg.counter_inc(_DRAM_COUNTER, r.dram_bytes)
+    reg.histogram_observe(_POINT_HIST, elapsed_s)
+    _trace.counter_sample(_DRAM_COUNTER, reg.counter_value(_DRAM_COUNTER))
+
+
+def _traced_evaluate(p: GridPoint, index: int):
+    """Closure evaluating one point under a ``grid.point`` span."""
+
+    def run() -> SimResult:
+        start = time.perf_counter()
+        with _trace.span("grid.point", engine=p.engine, **_span_attrs(p, index)) as s:
+            r = p.evaluate()
+            _record_point(s, r, time.perf_counter() - start)
+        return r
+
+    return run
 
 
 def run_grid(
@@ -307,18 +353,33 @@ def run_grid(
     if journal is None:
         journal = _GRID_JOURNAL
     if policy is not None or journal is not None or _faults.plan_active():
-        return _run_grid_resilient(
-            points, workers, policy or DEFAULT_POLICY, journal
-        )
+        with _trace.span(
+            "grid.run", points=len(points), workers=workers, resilient=True
+        ):
+            return _run_grid_resilient(
+                points, workers, policy or DEFAULT_POLICY, journal
+            )
 
-    _prewarm(points)
-    if workers <= 1:
-        return GridResult([p.evaluate() for p in points])
-    from ..parallel.pool import get_shared_pool
+    traced = _trace.tracing_enabled()
+    with _trace.span("grid.run", points=len(points), workers=workers):
+        _prewarm(points)
+        if workers <= 1:
+            if traced:
+                return GridResult(
+                    [_traced_evaluate(p, i)() for i, p in enumerate(points)]
+                )
+            return GridResult([p.evaluate() for p in points])
+        from ..parallel.pool import get_shared_pool
 
-    pool = get_shared_pool(workers)
-    futures: list[Future] = [pool.submit(p.evaluate) for p in points]
-    return GridResult([f.result() for f in futures])
+        pool = get_shared_pool(workers)
+        if traced:
+            futures: list[Future] = [
+                pool.submit(_traced_evaluate(p, i))
+                for i, p in enumerate(points)
+            ]
+        else:
+            futures = [pool.submit(p.evaluate) for p in points]
+        return GridResult([f.result() for f in futures])
 
 
 def _run_grid_resilient(
@@ -347,18 +408,29 @@ def _run_grid_resilient(
             if r is not None:
                 results[i] = r
                 hits += 1
+                _trace.add_event("grid.journal_hit", index=i, key=keys[i])
                 continue
         pending.append(i)
     _prewarm(points[i] for i in pending)
 
     def attempt(i: int) -> SimResult:
         p = points[i]
-        _faults.perturb("grid", i, keys[i])
-        r = p.evaluate(engine=engine[i])
-        if _faults.take_corrupt("grid", i, keys[i]):
-            r.time_s = float("nan")
-            if r.phase_times:
-                r.phase_times[0] = float("nan")
+        start = time.perf_counter()
+        with _trace.span(
+            "grid.point",
+            engine=engine[i],
+            attempt=attempts[i] + 1,
+            **_span_attrs(p, i),
+        ) as s:
+            _faults.perturb("grid", i, keys[i])
+            r = p.evaluate(engine=engine[i])
+            if _faults.take_corrupt("grid", i, keys[i]):
+                r.time_s = float("nan")
+                if r.phase_times:
+                    r.phase_times[0] = float("nan")
+                s.event("grid.corrupted", index=i, key=keys[i])
+            else:
+                _record_point(s, r, time.perf_counter() - start)
         return r
 
     def settle(i: int, r: SimResult) -> None:
@@ -414,6 +486,10 @@ def _run_grid_resilient(
                     continue
                 # Numerical watchdog: quarantine and re-run serially,
                 # outside the pool and the fault wrapper.
+                _trace.add_event(
+                    "grid.quarantined", index=i, key=keys[i],
+                    kind="nonfinite",
+                )
                 try:
                     r2 = points[i].evaluate(engine=engine[i])
                 except Exception as exc:  # noqa: BLE001 - recorded
@@ -452,6 +528,10 @@ def _run_grid_resilient(
             )
             if attempts[i] < policy.max_attempts:
                 record.recovered = True  # a retry follows
+                _trace.add_event(
+                    "grid.retry", index=i, key=keys[i], kind=kind,
+                    attempt=attempts[i],
+                )
                 nxt.append(i)
             elif engine[i] == "simulate":
                 # Fallback ladder: the event-driven engine is out of
@@ -460,13 +540,25 @@ def _run_grid_resilient(
                 record.degraded_to = "estimate"
                 engine[i] = "estimate"
                 attempts[i] = 0
+                _trace.add_event(
+                    "grid.degraded_engine", index=i, key=keys[i],
+                    to="estimate",
+                )
                 nxt.append(i)
             else:
-                pass  # permanent: recovered stays False
+                _trace.add_event(
+                    "grid.failed", index=i, key=keys[i], kind=kind,
+                    attempts=attempts[i],
+                )
             failures.append(record)
         pending = nxt
         if pending:
-            time.sleep(policy.delay_s(min(round_no, 8), salt=n))
+            delay = policy.delay_s(min(round_no, 8), salt=n)
+            _trace.add_event(
+                "grid.backoff", round=round_no, pending=len(pending),
+                delay_s=delay,
+            )
+            time.sleep(delay)
             round_no += 1
     return GridResult(
         results,

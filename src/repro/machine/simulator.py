@@ -25,6 +25,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..obs import trace as _trace
 from ..resilience import faults as _faults
 from ..util.perf import perf
 from .spec import MachineSpec
@@ -140,6 +141,36 @@ def _maybe_corrupt(result: SimResult, scope: str, label: str | None) -> SimResul
         if result.phase_times:
             result.phase_times[0] = float("nan")
     return result
+
+
+def _traced_engine(fn, name: str):
+    """Wrap an engine entry point in an ``engine.*`` span when tracing.
+
+    Pure observation: the wrapped call's result object is returned
+    untouched; with tracing off the original function runs directly.
+    """
+
+    def run(workload: Workload, machine: MachineSpec, threads: int) -> SimResult:
+        if not _trace.tracing_enabled():
+            return fn(workload, machine, threads)
+        with _trace.span(
+            name,
+            machine=machine.name,
+            variant=workload.variant.short_name,
+            threads=threads,
+        ) as s:
+            result = fn(workload, machine, threads)
+            s.set_attr(
+                model_time_s=result.time_s,
+                model_dram_bytes=result.dram_bytes,
+                model_flops=result.flops,
+                phases=len(result.phase_times),
+            )
+            return result
+
+    run.__name__ = fn.__name__
+    run.__doc__ = fn.__doc__
+    return run
 
 
 def estimate_workload(
@@ -271,6 +302,12 @@ def simulate_workload(
         phase_times=phase_times,
     )
     return _maybe_corrupt(result, "simulate", fault_label)
+
+
+# Engine calls appear as ``engine.estimate`` / ``engine.simulate``
+# spans carrying the modeled time/traffic (see repro.obs).
+estimate_workload = _traced_engine(estimate_workload, "engine.estimate")
+simulate_workload = _traced_engine(simulate_workload, "engine.simulate")
 
 
 def achieved_bandwidth(result: SimResult) -> float:

@@ -1,0 +1,78 @@
+"""Observability: structured tracing, typed metrics, and exporters.
+
+The layer the rest of the harness reports into (see
+``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — nestable spans with thread-shard merging,
+  instant events, and counter samples; disabled-by-default with a
+  no-op fast path;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms in per-thread
+  shards, merged lock-free on read (``repro.util.perf`` routes the
+  legacy substrate counters through it);
+* :mod:`repro.obs.export` — JSONL and Chrome trace-event exporters
+  plus the schema validators CI runs;
+* :mod:`repro.obs.attribution` — the measured-vs-modeled bandwidth
+  report joining span timings with the analytic traffic model.
+"""
+
+from .attribution import AttributionRow, attribution_rows, format_attribution
+from .export import (
+    chrome_trace_events,
+    validate_chrome_trace,
+    validate_metrics_json,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from .trace import (
+    Span,
+    Tracer,
+    active_tracer,
+    add_event,
+    counter_sample,
+    current_span_name,
+    span,
+    start_tracing,
+    stop_tracing,
+    tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    # trace
+    "Span",
+    "Tracer",
+    "tracing",
+    "start_tracing",
+    "stop_tracing",
+    "tracing_enabled",
+    "active_tracer",
+    "span",
+    "add_event",
+    "counter_sample",
+    "current_span_name",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    # export
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+    "validate_chrome_trace",
+    "validate_metrics_json",
+    # attribution
+    "AttributionRow",
+    "attribution_rows",
+    "format_attribution",
+]

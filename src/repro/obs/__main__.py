@@ -1,0 +1,75 @@
+"""CLI: validate emitted trace/metrics files against their schemas.
+
+Usage::
+
+    python -m repro.obs validate TRACE.json [--metrics METRICS.json]
+
+Exit status 0 when every file validates; 1 with the violations printed
+otherwise.  This is the check CI runs on every traced benchmark.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .export import validate_chrome_trace, validate_metrics_json
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(argv if argv is not None else sys.argv[1:])
+    if not args or args[0] != "validate":
+        print(
+            "usage: python -m repro.obs validate TRACE.json "
+            "[--metrics METRICS.json]",
+            file=sys.stderr,
+        )
+        return 2
+    args = args[1:]
+    trace_paths: list[str] = []
+    metrics_paths: list[str] = []
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--metrics":
+            i += 1
+            if i >= len(args):
+                print("--metrics needs a file path", file=sys.stderr)
+                return 2
+            metrics_paths.append(args[i])
+        elif a.startswith("--metrics="):
+            metrics_paths.append(a.split("=", 1)[1])
+        elif a.startswith("-"):
+            print(f"unknown flag {a!r}", file=sys.stderr)
+            return 2
+        else:
+            trace_paths.append(a)
+        i += 1
+    if not trace_paths and not metrics_paths:
+        print("nothing to validate", file=sys.stderr)
+        return 2
+    failed = False
+    for path in trace_paths:
+        errors = validate_chrome_trace(path)
+        if errors:
+            failed = True
+            print(f"{path}: INVALID")
+            for e in errors[:20]:
+                print(f"  {e}")
+        else:
+            print(f"{path}: ok (chrome trace)")
+    for path in metrics_paths:
+        errors = validate_metrics_json(path)
+        if errors:
+            failed = True
+            print(f"{path}: INVALID")
+            for e in errors[:20]:
+                print(f"  {e}")
+        else:
+            print(f"{path}: ok (metrics)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,169 @@
+"""Measured-vs-modeled bandwidth attribution from a recorded trace.
+
+The paper's §VI-B argument is an *attribution*: VTune bandwidth
+counters tie each schedule's wall time to its memory traffic.  This
+module reproduces that join for our harness: every traced grid point
+(``grid.point`` span) carries the simulator's modeled time and DRAM
+bytes; the attribution re-derives the *predicted* bytes independently
+through :func:`repro.analysis.traffic.variant_traffic` and reports,
+per (variant, machine, threads, box) configuration:
+
+* modeled execution time and achieved bandwidth (the figures' data);
+* predicted DRAM bytes from the analytic traffic model at the same
+  per-thread cache capacity, and the modeled/predicted byte ratio —
+  1.0 when the workload builder and the traffic model agree, drift
+  when one changes without the other;
+* harness wall time actually spent evaluating the point (span
+  duration), i.e. what the *harness* paid to produce the number.
+
+Usage::
+
+    with tracing() as t:
+        run_grid(points)
+    print(format_attribution(attribution_rows(t)))
+
+or ``python -m repro.bench --trace out.json --attribution fig10``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .trace import Tracer
+
+__all__ = ["AttributionRow", "attribution_rows", "format_attribution"]
+
+
+@dataclass
+class AttributionRow:
+    """One configuration's joined timing/traffic view."""
+
+    variant: str
+    machine: str
+    threads: int
+    box_size: int
+    points: int
+    harness_us_per_point: float
+    model_time_s: float
+    model_dram_bytes: float
+    model_gbs: float
+    predicted_dram_bytes: float | None
+    #: modeled bytes / analytically predicted bytes (1.0 = agreement).
+    byte_ratio: float | None
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def _variant_resolver():
+    """Map Variant.short_name -> Variant over the whole design space."""
+    from ..schedules.base import TILE_SIZES, Variant
+    from ..schedules.variants import enumerate_design_space
+
+    table = {v.short_name: v for v in enumerate_design_space()}
+    # Hierarchical overlapped tiling (the §V extension) is outside the
+    # paper's enumerated space; add the legal (outer, inner) pairs.
+    for g in ("P>=Box", "P<Box"):
+        for t in TILE_SIZES:
+            for ti in TILE_SIZES:
+                if ti < t:
+                    v = Variant(
+                        "overlapped", g, "CLO", tile_size=t,
+                        intra_tile="wavefront", inner_tile_size=ti,
+                    )
+                    table[v.short_name] = v
+    return table
+
+
+def attribution_rows(tracer: Tracer) -> list[AttributionRow]:
+    """Join ``grid.point`` spans against the analytic traffic model."""
+    from ..analysis.traffic import variant_traffic
+    from ..machine.spec import machine_by_name
+
+    variants = _variant_resolver()
+    grouped: dict[tuple, list] = {}
+    for s in tracer.spans():
+        if s.name != "grid.point":
+            continue
+        a = s.attrs
+        if "model_time_s" not in a:
+            continue  # point never settled (failed or skipped)
+        key = (a.get("variant"), a.get("machine"), a.get("threads"),
+               a.get("box_size"))
+        grouped.setdefault(key, []).append(s)
+    rows: list[AttributionRow] = []
+    for (vname, mname, threads, box), spans in sorted(grouped.items()):
+        n = len(spans)
+        harness_us = sum(s.dur_ns for s in spans) / n / 1000.0
+        model_time = sum(s.attrs["model_time_s"] for s in spans) / n
+        model_bytes = sum(s.attrs.get("model_dram_bytes", 0.0) for s in spans) / n
+        model_gbs = model_bytes / model_time / 1e9 if model_time > 0 else 0.0
+        predicted = None
+        ratio = None
+        variant = variants.get(vname)
+        attrs = spans[0].attrs
+        domain = attrs.get("domain_cells")
+        ncomp = attrs.get("ncomp", 5)
+        if variant is not None and domain:
+            try:
+                machine = machine_by_name(mname)
+            except (KeyError, ValueError):
+                machine = None
+            if machine is not None:
+                dim = len(domain)
+                model = variant_traffic(variant, box, ncomp=ncomp, dim=dim)
+                nboxes = 1
+                for d in domain:
+                    nboxes *= max(1, int(d) // int(box))
+                cache = machine.cache_per_thread_bytes(threads)
+                predicted = model.dram_bytes(cache) * nboxes
+                if predicted > 0:
+                    ratio = model_bytes / predicted
+        rows.append(
+            AttributionRow(
+                variant=vname,
+                machine=mname,
+                threads=int(threads),
+                box_size=int(box),
+                points=n,
+                harness_us_per_point=harness_us,
+                model_time_s=model_time,
+                model_dram_bytes=model_bytes,
+                model_gbs=model_gbs,
+                predicted_dram_bytes=predicted,
+                byte_ratio=ratio,
+            )
+        )
+    return rows
+
+
+def format_attribution(rows: list[AttributionRow]) -> str:
+    """Render the attribution as an aligned text table."""
+    if not rows:
+        return "attribution: no grid.point spans in trace"
+    header = (
+        f"{'variant':<34} {'machine':<12} {'T':>3} {'box':>4} "
+        f"{'model s':>10} {'model GB/s':>10} {'pred GB':>9} "
+        f"{'byte ratio':>10} {'harness us':>10}"
+    )
+    out = [
+        "measured-vs-modeled bandwidth attribution "
+        "(SVI-B, VTune-style):",
+        header,
+        "-" * len(header),
+    ]
+    for r in rows:
+        pred = (
+            f"{r.predicted_dram_bytes / 1e9:9.3f}"
+            if r.predicted_dram_bytes is not None
+            else f"{'-':>9}"
+        )
+        ratio = (
+            f"{r.byte_ratio:10.3f}" if r.byte_ratio is not None else f"{'-':>10}"
+        )
+        out.append(
+            f"{r.variant:<34} {r.machine:<12} {r.threads:>3} {r.box_size:>4} "
+            f"{r.model_time_s:>10.4f} {r.model_gbs:>10.2f} {pred} "
+            f"{ratio} {r.harness_us_per_point:>10.1f}"
+        )
+    return "\n".join(out)

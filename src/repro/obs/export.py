@@ -1,0 +1,295 @@
+"""Trace/metrics exporters: JSONL and Chrome trace-event format.
+
+The Chrome export produces the JSON object format (``{"traceEvents":
+[...]}``) understood by Perfetto and ``chrome://tracing``:
+
+* every completed span becomes a complete event (``ph="X"``) with
+  microsecond ``ts``/``dur``, its attributes under ``args``, and the
+  recording thread's ``pid``/``tid`` — so pool workers render as
+  separate lanes and nesting shows as a flame;
+* instant events (fault injections, retries, journal hits) become
+  ``ph="i"`` thread-scoped instants on the same lane;
+* counter samples (cumulative modeled DRAM bytes, arena hit rate)
+  become ``ph="C"`` counter tracks;
+* ``ph="M"`` metadata rows name the process and threads.
+
+The JSONL export is the machine-diffable flat form: one record per
+span/event/sample, ``type`` field first, stable key order — the shape
+log-processing tools and the attribution report consume.
+
+:func:`validate_chrome_trace` is the schema check CI runs against
+every emitted trace; it returns a list of violations (empty = valid).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+    "validate_chrome_trace",
+    "validate_metrics_json",
+]
+
+
+def _us(ns: int) -> float:
+    return ns / 1000.0
+
+
+def _clean(value):
+    """JSON-strict copy of an attr value: non-finite floats become
+    strings (``json.dump`` would otherwise emit invalid ``NaN``
+    literals that chrome://tracing rejects)."""
+    if isinstance(value, float):
+        return value if value == value and abs(value) != float("inf") else repr(value)
+    if isinstance(value, dict):
+        return {k: _clean(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_clean(v) for v in value]
+    return value
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """The tracer's data as a list of Chrome trace-event dicts."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": tracer.pid,
+            "tid": 0,
+            "args": {"name": "repro.bench"},
+        }
+    ]
+    tids = set()
+    for s in tracer.spans():
+        tids.add(s.tid)
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": _us(s.start_ns),
+                "dur": _us(s.dur_ns),
+                "pid": s.pid,
+                "tid": s.tid,
+                "args": _clean(dict(s.attrs)),
+            }
+        )
+    for e in tracer.events():
+        tids.add(e.tid)
+        args = _clean(dict(e.attrs))
+        if e.span_name is not None:
+            args.setdefault("span", e.span_name)
+        events.append(
+            {
+                "name": e.name,
+                "cat": e.name.split(".", 1)[0],
+                "ph": "i",
+                "s": "t",
+                "ts": _us(e.ts_ns),
+                "pid": e.pid,
+                "tid": e.tid,
+                "args": args,
+            }
+        )
+    for c in tracer.samples():
+        events.append(
+            {
+                "name": c.name,
+                "ph": "C",
+                "ts": _us(c.ts_ns),
+                "pid": c.pid,
+                "tid": 0,
+                "args": {"value": c.value},
+            }
+        )
+    for tid in sorted(tids):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": tracer.pid,
+                "tid": tid,
+                "args": {"name": f"thread-{tid}"},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(path: str, tracer: Tracer) -> None:
+    """Write the tracer as a Chrome/Perfetto-loadable trace file."""
+    doc = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f)
+        f.write("\n")
+
+
+def _jsonl_records(tracer: Tracer) -> list[dict]:
+    records: list[dict] = []
+    for s in tracer.spans():
+        records.append(
+            {
+                "type": "span",
+                "name": s.name,
+                "ts_ns": s.start_ns,
+                "dur_ns": s.dur_ns,
+                "pid": s.pid,
+                "tid": s.tid,
+                "span_id": s.span_id,
+                "parent_id": s.parent_id,
+                "attrs": _clean(dict(s.attrs)),
+            }
+        )
+    for e in tracer.events():
+        records.append(
+            {
+                "type": "event",
+                "name": e.name,
+                "ts_ns": e.ts_ns,
+                "pid": e.pid,
+                "tid": e.tid,
+                "span_id": e.span_id,
+                "span_name": e.span_name,
+                "attrs": _clean(dict(e.attrs)),
+            }
+        )
+    for c in tracer.samples():
+        records.append(
+            {
+                "type": "counter",
+                "name": c.name,
+                "ts_ns": c.ts_ns,
+                "pid": c.pid,
+                "value": c.value,
+            }
+        )
+    records.sort(key=lambda r: r["ts_ns"])
+    return records
+
+
+def write_jsonl(path_or_file: str | IO[str], tracer: Tracer) -> None:
+    """Write the tracer as one JSON record per line."""
+    records = _jsonl_records(tracer)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w") as f:
+            for r in records:
+                f.write(json.dumps(r) + "\n")
+    else:
+        for r in records:
+            path_or_file.write(json.dumps(r) + "\n")
+
+
+def write_metrics(path: str, registry: MetricsRegistry) -> None:
+    """Write a registry snapshot as a JSON document."""
+    with open(path, "w") as f:
+        json.dump(registry.snapshot(), f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+# ----------------------------------------------------------- validation
+_PHASES = {"X", "B", "E", "i", "I", "C", "M", "b", "e", "n", "s", "t", "f"}
+
+
+def validate_chrome_trace(doc: dict | str) -> list[str]:
+    """Schema-check a Chrome trace document (or a path to one).
+
+    Returns a list of violations; an empty list means the trace is
+    well-formed for Perfetto / ``chrome://tracing``.
+    """
+    if isinstance(doc, str):
+        try:
+            with open(doc) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            return [f"unreadable trace file: {exc}"]
+    errors: list[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["top level must be an object with a 'traceEvents' array"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing/empty 'name'")
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            errors.append(f"{where}: bad phase {ph!r}")
+            continue
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: 'ts' must be a non-negative number")
+        for key in ("pid", "tid"):
+            if key in ev and not isinstance(ev[key], int):
+                errors.append(f"{where}: {key!r} must be an integer")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: complete event needs 'dur' >= 0")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(f"{where}: counter event needs numeric 'args'")
+            elif not all(isinstance(v, (int, float)) for v in args.values()):
+                errors.append(f"{where}: counter 'args' values must be numbers")
+        if ph in ("i", "I") and ev.get("s") not in (None, "t", "p", "g"):
+            errors.append(f"{where}: instant scope must be one of t/p/g")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            errors.append(f"{where}: 'args' must be an object")
+    return errors
+
+
+def validate_metrics_json(doc: dict | str) -> list[str]:
+    """Schema-check a ``--metrics`` snapshot (or a path to one)."""
+    if isinstance(doc, str):
+        try:
+            with open(doc) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            return [f"unreadable metrics file: {exc}"]
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["top level must be an object"]
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc:
+            errors.append(f"missing section {section!r}")
+        elif not isinstance(doc[section], dict):
+            errors.append(f"section {section!r} must be an object")
+    for name, value in doc.get("counters", {}).items():
+        if not isinstance(value, (int, float)):
+            errors.append(f"counter {name!r} must be numeric")
+    for name, h in doc.get("histograms", {}).items():
+        if not isinstance(h, dict):
+            errors.append(f"histogram {name!r} must be an object")
+            continue
+        bounds = h.get("boundaries")
+        counts = h.get("bucket_counts")
+        if not isinstance(bounds, list) or not isinstance(counts, list):
+            errors.append(f"histogram {name!r} needs boundaries/bucket_counts")
+            continue
+        if len(counts) != len(bounds) + 1:
+            errors.append(
+                f"histogram {name!r}: bucket_counts must have "
+                f"len(boundaries)+1 entries"
+            )
+        if sorted(bounds) != bounds:
+            errors.append(f"histogram {name!r}: boundaries must be sorted")
+        if h.get("count") != sum(counts):
+            errors.append(f"histogram {name!r}: count != sum(bucket_counts)")
+    return errors

@@ -1,0 +1,306 @@
+"""Typed metrics: counters, gauges, and histograms with thread shards.
+
+Every metric write lands in the calling thread's private shard — a
+plain dict mutation under the GIL, no lock, no contention — and every
+read merges the shards into one value.  That makes increments *exact*
+under the shared thread pool (the old ``PerfCounters`` lock was safe
+but serialized the hot path; unlucky callers could also read torn
+hit/miss pairs mid-update).
+
+Metric types:
+
+* :class:`Counter` — monotonically increasing float/int totals
+  (``inc``); merged by summation.
+* :class:`Gauge` — last-written value (``set``); merged by the most
+  recent write (a monotonic sequence number per write).
+* :class:`Histogram` — fixed bucket boundaries chosen at registration;
+  observations land in the first bucket whose upper edge is >= the
+  value, with a +Inf overflow bucket, plus exact count/sum/min/max.
+  Merged bucket-wise.
+
+The registry is the single sink for the whole harness:
+``repro.util.perf`` routes the legacy substrate counters through it,
+and ``python -m repro.bench --metrics PATH`` snapshots it to JSON.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import threading
+from typing import Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "default_registry",
+    "DEFAULT_TIME_BUCKETS_S",
+]
+
+#: Log-spaced wall-time buckets (seconds): 1 µs .. ~100 s.
+DEFAULT_TIME_BUCKETS_S = tuple(10.0 ** e for e in range(-6, 3))
+
+
+class _Shard:
+    """One thread's private metric storage."""
+
+    __slots__ = ("counters", "gauges", "hists")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        #: name -> (write sequence number, value)
+        self.gauges: dict[str, tuple[int, float]] = {}
+        #: name -> [bucket counts..., overflow] + [count, sum, min, max]
+        self.hists: dict[str, list] = {}
+
+
+class HistogramSnapshot:
+    """Merged view of one histogram across all shards."""
+
+    def __init__(
+        self,
+        boundaries: tuple[float, ...],
+        bucket_counts: list[int],
+        count: int,
+        total: float,
+        minimum: float,
+        maximum: float,
+    ) -> None:
+        self.boundaries = boundaries
+        self.bucket_counts = bucket_counts  # len(boundaries) + 1 (overflow)
+        self.count = count
+        self.sum = total
+        self.min = minimum if count else math.nan
+        self.max = maximum if count else math.nan
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket edge holding the q-quantile (conservative)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.bucket_counts):
+            seen += c
+            if seen >= rank and c:
+                if i < len(self.boundaries):
+                    return self.boundaries[i]
+                return math.inf
+        return math.inf
+
+    def to_dict(self) -> dict:
+        return {
+            "boundaries": list(self.boundaries),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": None if math.isnan(self.min) else self.min,
+            "max": None if math.isnan(self.max) else self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics backed by per-thread shards, merged on read."""
+
+    def __init__(self) -> None:
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._shards: list[_Shard] = []
+        self._hist_bounds: dict[str, tuple[float, ...]] = {}
+        self._gauge_seq = itertools.count()
+
+    # -- shard plumbing --------------------------------------------------------------
+    def _shard(self) -> _Shard:
+        sh = getattr(self._tls, "shard", None)
+        if sh is None:
+            sh = _Shard()
+            self._tls.shard = sh
+            with self._lock:
+                self._shards.append(sh)
+        return sh
+
+    def _all_shards(self) -> list[_Shard]:
+        with self._lock:
+            return list(self._shards)
+
+    # -- writes (lock-free: each thread touches only its shard) ----------------------
+    def counter_inc(self, name: str, amount: float = 1) -> None:
+        c = self._shard().counters
+        c[name] = c.get(name, 0) + amount
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self._shard().gauges[name] = (next(self._gauge_seq), value)
+
+    def histogram_observe(self, name: str, value: float) -> None:
+        bounds = self._hist_bounds.get(name)
+        if bounds is None:
+            bounds = self.register_histogram(name, DEFAULT_TIME_BUCKETS_S)
+        sh = self._shard()
+        h = sh.hists.get(name)
+        if h is None:
+            h = sh.hists[name] = [0] * (len(bounds) + 1) + [0, 0.0, math.inf, -math.inf]
+        i = 0
+        for i, edge in enumerate(bounds):  # noqa: B007 - index survives the loop
+            if value <= edge:
+                break
+        else:
+            i = len(bounds)
+        h[i] += 1
+        h[-4] += 1
+        h[-3] += value
+        h[-2] = min(h[-2], value)
+        h[-1] = max(h[-1], value)
+
+    def register_histogram(
+        self, name: str, boundaries: Sequence[float]
+    ) -> tuple[float, ...]:
+        """Fix a histogram's bucket boundaries (idempotent, first wins)."""
+        bounds = tuple(sorted(float(b) for b in boundaries))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        with self._lock:
+            return self._hist_bounds.setdefault(name, bounds)
+
+    # -- merged reads ----------------------------------------------------------------
+    def counter_value(self, name: str) -> float:
+        return sum(sh.counters.get(name, 0) for sh in self._all_shards())
+
+    def gauge_value(self, name: str) -> float | None:
+        best: tuple[int, float] | None = None
+        for sh in self._all_shards():
+            v = sh.gauges.get(name)
+            if v is not None and (best is None or v[0] > best[0]):
+                best = v
+        return best[1] if best is not None else None
+
+    def histogram_snapshot(self, name: str) -> HistogramSnapshot:
+        bounds = self._hist_bounds.get(name, DEFAULT_TIME_BUCKETS_S)
+        counts = [0] * (len(bounds) + 1)
+        count, total = 0, 0.0
+        mn, mx = math.inf, -math.inf
+        for sh in self._all_shards():
+            h = sh.hists.get(name)
+            if h is None:
+                continue
+            for i in range(len(bounds) + 1):
+                counts[i] += h[i]
+            count += h[-4]
+            total += h[-3]
+            mn = min(mn, h[-2])
+            mx = max(mx, h[-1])
+        return HistogramSnapshot(bounds, counts, count, total, mn, mx)
+
+    def counter_names(self) -> list[str]:
+        names: set[str] = set()
+        for sh in self._all_shards():
+            names.update(sh.counters)
+        return sorted(names)
+
+    def snapshot(self) -> dict:
+        """JSON-ready merged view of every metric."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, tuple[int, float]] = {}
+        hist_names: set[str] = set()
+        for sh in self._all_shards():
+            for k, v in sh.counters.items():
+                counters[k] = counters.get(k, 0) + v
+            for k, v in sh.gauges.items():
+                if k not in gauges or v[0] > gauges[k][0]:
+                    gauges[k] = v
+            hist_names.update(sh.hists)
+        return {
+            "counters": counters,
+            "gauges": {k: v[1] for k, v in gauges.items()},
+            "histograms": {
+                name: self.histogram_snapshot(name).to_dict()
+                for name in sorted(hist_names)
+            },
+        }
+
+    def reset(self, prefix: str = "") -> None:
+        """Zero metrics whose name starts with ``prefix`` ('' = all)."""
+        for sh in self._all_shards():
+            for store in (sh.counters, sh.gauges, sh.hists):
+                for k in [k for k in store if k.startswith(prefix)]:
+                    del store[k]
+
+    # -- typed facades ---------------------------------------------------------------
+    def counter(self, name: str) -> "Counter":
+        return Counter(self, name)
+
+    def gauge(self, name: str) -> "Gauge":
+        return Gauge(self, name)
+
+    def histogram(
+        self, name: str, boundaries: Sequence[float] | None = None
+    ) -> "Histogram":
+        if boundaries is not None:
+            self.register_histogram(name, boundaries)
+        return Histogram(self, name)
+
+
+class Counter:
+    """Handle to one registry counter."""
+
+    __slots__ = ("_reg", "name")
+
+    def __init__(self, reg: MetricsRegistry, name: str) -> None:
+        self._reg = reg
+        self.name = name
+
+    def inc(self, amount: float = 1) -> None:
+        self._reg.counter_inc(self.name, amount)
+
+    @property
+    def value(self) -> float:
+        return self._reg.counter_value(self.name)
+
+
+class Gauge:
+    """Handle to one registry gauge."""
+
+    __slots__ = ("_reg", "name")
+
+    def __init__(self, reg: MetricsRegistry, name: str) -> None:
+        self._reg = reg
+        self.name = name
+
+    def set(self, value: float) -> None:
+        self._reg.gauge_set(self.name, value)
+
+    @property
+    def value(self) -> float | None:
+        return self._reg.gauge_value(self.name)
+
+
+class Histogram:
+    """Handle to one registry histogram."""
+
+    __slots__ = ("_reg", "name")
+
+    def __init__(self, reg: MetricsRegistry, name: str) -> None:
+        self._reg = reg
+        self.name = name
+
+    def observe(self, value: float) -> None:
+        self._reg.histogram_observe(self.name, value)
+
+    def snapshot(self) -> HistogramSnapshot:
+        return self._reg.histogram_snapshot(self.name)
+
+
+#: The process-wide registry every layer reports into.
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _DEFAULT

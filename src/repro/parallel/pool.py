@@ -47,6 +47,7 @@ from typing import Callable, Iterable
 import numpy as np
 
 from ..box.leveldata import LevelData
+from ..obs import trace as _trace
 from ..resilience import faults as _faults
 from ..resilience.retry import TaskFailure
 from ..schedules.base import Variant
@@ -160,6 +161,16 @@ def _wrap_faulty(task: Callable[[], None], index: int, label: str):
     return run
 
 
+def _wrap_traced(task: Callable[[], None], index: int, label: str):
+    """Tracing shim: each pooled task is a span on its worker's lane."""
+
+    def run() -> None:
+        with _trace.span("pool.task", index=index, label=label):
+            task()
+
+    return run
+
+
 def _run_group_windowed(
     pool: ThreadPoolExecutor,
     tasks: Iterable[Callable[[], None]],
@@ -191,12 +202,15 @@ def _run_group_windowed(
     fatal: list[TaskFailure] = []
     retry_inline: list[tuple[Callable[[], None], int]] = []
     timed_out = False
+    traced = _trace.tracing_enabled()
     while True:
         while not fatal and not timed_out and len(pending) < width:
             task = next(it, None)
             if task is None:
                 break
             submitted = _wrap_faulty(task, index, label) if inject else task
+            if traced:
+                submitted = _wrap_traced(submitted, index, label)
             pending[pool.submit(submitted)] = (task, index, time.monotonic())
             index += 1
         if not pending:
@@ -246,6 +260,9 @@ def _run_group_windowed(
                 break
     for task, i in retry_inline:
         try:
+            _trace.add_event(
+                "pool.retry_inline", index=i, label=label, attempt=2
+            )
             task()
             executed += 1
             if failures is not None:
@@ -290,47 +307,60 @@ def run_plan(
     inject = _faults.plan_active()
     pool = get_shared_pool(threads) if threads > 1 else None
     executed = 0
-    with scratch_arena() if arena else nullcontext():
+    with scratch_arena() if arena else nullcontext(), _trace.span(
+        "plan.run", threads=threads, groups=len(plan.groups)
+    ):
         start = time.perf_counter()
         if pool is None:
             index = 0
             for group in plan.groups:
-                for task in group.tasks:
-                    if inject:
-                        fault = _faults.take(
-                            "pool", index, group.label, modes=("raise", "stall")
-                        )
-                        if fault is not None and fault.mode == "stall":
-                            time.sleep(fault.stall_s)
-                        elif fault is not None and failures is not None:
-                            # Serially an injected raise *is* its own
-                            # retry: nothing ran yet, so just run it.
-                            failures.append(
-                                TaskFailure(
-                                    scope="pool", index=index,
-                                    label=group.label, kind="injected",
-                                    error="injected fault; re-run inline",
-                                    attempts=2, recovered=True,
-                                )
+                with _trace.span(
+                    "plan.phase", label=group.label, tasks=len(group.tasks)
+                ):
+                    for task in group.tasks:
+                        if inject:
+                            fault = _faults.take(
+                                "pool", index, group.label,
+                                modes=("raise", "stall"),
                             )
-                    task()
-                    executed += 1
-                    index += 1
+                            if fault is not None and fault.mode == "stall":
+                                time.sleep(fault.stall_s)
+                            elif fault is not None and failures is not None:
+                                # Serially an injected raise *is* its own
+                                # retry: nothing ran yet, so just run it.
+                                failures.append(
+                                    TaskFailure(
+                                        scope="pool", index=index,
+                                        label=group.label, kind="injected",
+                                        error="injected fault; re-run inline",
+                                        attempts=2, recovered=True,
+                                    )
+                                )
+                        task()
+                        executed += 1
+                        index += 1
         else:
             base = 0
             for group in plan.groups:
-                executed += _run_group_windowed(
-                    pool,
-                    group.tasks,
-                    threads,
-                    label=group.label,
-                    task_base=base,
-                    deadline_s=deadline_s,
-                    inject=inject,
-                    failures=failures,
-                )
+                with _trace.span(
+                    "plan.phase", label=group.label, tasks=len(group.tasks)
+                ):
+                    executed += _run_group_windowed(
+                        pool,
+                        group.tasks,
+                        threads,
+                        label=group.label,
+                        task_base=base,
+                        deadline_s=deadline_s,
+                        inject=inject,
+                        failures=failures,
+                    )
                 base += len(group.tasks)
         elapsed = time.perf_counter() - start
+        if _trace.tracing_enabled():
+            from ..util.perf import perf
+
+            _trace.counter_sample("arena.hit_rate", perf().hit_rate("arena"))
     return elapsed, executed
 
 
@@ -379,62 +409,75 @@ def run_schedule_parallel(
         elapsed, executed = run_plan(plan, 1, arena=arena)
         return phi1, elapsed, executed, len(plan.groups)
 
-    phi1 = prepare_phi1(phi0)
-    plan = build_plan(variant, phi0, phi1, slabs_per_box=slabs_per_box)
-    try:
-        elapsed, executed = run_plan(
-            plan, threads, arena=arena, deadline_s=deadline_s, failures=failures
-        )
-        barriers = len(plan.groups)
-    except (PlanExecutionError, RuntimeError) as exc:
-        if not fallback:
-            raise
-        if isinstance(exc, PlanExecutionError):
-            failures.extend(exc.failures)
-        else:
-            failures.append(
-                TaskFailure(
-                    scope="pool", index=None, label=variant.short_name,
-                    kind="exception", error=repr(exc),
-                )
+    with _trace.span(
+        "schedule.run", variant=variant.short_name, threads=threads
+    ) as sspan:
+        phi1 = prepare_phi1(phi0)
+        plan = build_plan(variant, phi0, phi1, slabs_per_box=slabs_per_box)
+        try:
+            elapsed, executed = run_plan(
+                plan, threads, arena=arena, deadline_s=deadline_s,
+                failures=failures,
             )
-        for f in failures:
-            f.recovered = True
-            f.degraded_to = "serial"
-        phi1, elapsed, executed, barriers = serial_rerun()
-        degraded = True
+            barriers = len(plan.groups)
+        except (PlanExecutionError, RuntimeError) as exc:
+            if not fallback:
+                raise
+            if isinstance(exc, PlanExecutionError):
+                failures.extend(exc.failures)
+            else:
+                failures.append(
+                    TaskFailure(
+                        scope="pool", index=None, label=variant.short_name,
+                        kind="exception", error=repr(exc),
+                    )
+                )
+            for f in failures:
+                f.recovered = True
+                f.degraded_to = "serial"
+            sspan.event(
+                "schedule.degraded", variant=variant.short_name,
+                to="serial", failures=len(failures),
+            )
+            phi1, elapsed, executed, barriers = serial_rerun()
+            degraded = True
 
-    if _faults.plan_active():
-        if _faults.take_corrupt("pool", None, variant.short_name):
-            # Output-side corruption: poison one value, as a bad kernel
-            # or a flipped bit would.  The watchdog below must catch it.
-            i0 = next(iter(phi1.layout))
-            phi1[i0].window(phi1.layout.box(i0)).flat[0] = np.nan
-        if watchdog and not _scan_finite(phi1):
-            failures.append(
-                TaskFailure(
-                    scope="pool", index=None, label=variant.short_name,
-                    kind="nonfinite", error="NaN/Inf in phi1; quarantined",
-                    recovered=False,
+        if _faults.plan_active():
+            if _faults.take_corrupt("pool", None, variant.short_name):
+                # Output-side corruption: poison one value, as a bad kernel
+                # or a flipped bit would.  The watchdog below must catch it.
+                i0 = next(iter(phi1.layout))
+                phi1[i0].window(phi1.layout.box(i0)).flat[0] = np.nan
+            if watchdog and not _scan_finite(phi1):
+                failures.append(
+                    TaskFailure(
+                        scope="pool", index=None, label=variant.short_name,
+                        kind="nonfinite", error="NaN/Inf in phi1; quarantined",
+                        recovered=False,
+                    )
                 )
-            )
-            if fallback:
-                phi1, elapsed, executed, barriers = serial_rerun()
-                degraded = True
-                if _scan_finite(phi1):
-                    failures[-1].recovered = True
-                    failures[-1].degraded_to = "serial"
+                sspan.event(
+                    "schedule.quarantined", variant=variant.short_name,
+                    kind="nonfinite",
+                )
+                if fallback:
+                    phi1, elapsed, executed, barriers = serial_rerun()
+                    degraded = True
+                    if _scan_finite(phi1):
+                        failures[-1].recovered = True
+                        failures[-1].degraded_to = "serial"
+                    else:
+                        raise PlanExecutionError(failures)
                 else:
                     raise PlanExecutionError(failures)
-            else:
-                raise PlanExecutionError(failures)
 
-    return ParallelResult(
-        phi1=phi1,
-        elapsed_s=elapsed,
-        threads=threads,
-        num_tasks=executed,
-        num_barriers=barriers,
-        degraded=degraded,
-        failures=failures,
-    )
+        sspan.set_attr(degraded=degraded, tasks=executed)
+        return ParallelResult(
+            phi1=phi1,
+            elapsed_s=elapsed,
+            threads=threads,
+            num_tasks=executed,
+            num_barriers=barriers,
+            degraded=degraded,
+            failures=failures,
+        )

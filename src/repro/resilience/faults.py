@@ -231,11 +231,28 @@ def take(
     label: str = "",
     modes: tuple[str, ...] = MODES,
 ) -> Fault | None:
-    """Consume the active plan's fault at this site, if any."""
+    """Consume the active plan's fault at this site, if any.
+
+    A consumed fault is also recorded as a ``fault.injected`` span
+    event on the current trace (kind, site, stall length), so a traced
+    fault drill shows exactly where the plan fired.
+    """
     plan = _ACTIVE
     if plan is None:
         return None
-    return plan.take(scope, index, label, modes=modes)
+    fault = plan.take(scope, index, label, modes=modes)
+    if fault is not None:
+        from ..obs import trace as _trace
+
+        _trace.add_event(
+            "fault.injected",
+            scope=scope,
+            index=index,
+            label=label,
+            mode=fault.mode,
+            stall_s=fault.stall_s if fault.mode == "stall" else 0.0,
+        )
+    return fault
 
 
 def perturb(scope: str, index: int | None = None, label: str = "") -> None:

@@ -123,6 +123,8 @@ def call_with_retry(
     attempts that had to be retried (marked ``recovered=True``).
     Raises :class:`RetryExhausted` when the budget runs out.
     """
+    from ..obs import trace as _trace
+
     failures: list[TaskFailure] = []
     salt = index if index is not None else zlib.crc32(label.encode())
     for attempt in range(policy.max_attempts):
@@ -140,8 +142,17 @@ def call_with_retry(
                 )
             )
             if attempt + 1 >= policy.max_attempts:
+                _trace.add_event(
+                    "retry.exhausted", scope=scope, index=index,
+                    label=label, attempts=attempt + 1,
+                )
                 raise RetryExhausted(failures) from exc
-            sleep(policy.delay_s(attempt, salt=salt))
+            delay = policy.delay_s(attempt, salt=salt)
+            _trace.add_event(
+                "retry.backoff", scope=scope, index=index, label=label,
+                attempt=attempt + 1, kind=_classify(exc), delay_s=delay,
+            )
+            sleep(delay)
             continue
         for f in failures:
             f.recovered = True

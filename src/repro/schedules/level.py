@@ -10,6 +10,7 @@ the execution substrate, the result must equal this one bitwise.
 from __future__ import annotations
 
 from ..box.leveldata import LevelData
+from ..obs import trace as _trace
 from ..stencil.operators import FACE_INTERP_GHOST
 from .base import BoxExecutor, Variant
 from .variants import make_executor
@@ -47,9 +48,15 @@ def run_schedule_on_level(
         executor = variant
     else:
         executor = make_executor(variant, dim=dim, ncomp=phi0.ncomp)
-    phi1 = prepare_phi1(phi0)
-    for i in phi0.layout:
-        box = phi0.layout.box(i)
-        phi_g = phi0[i].window(box.grow(FACE_INTERP_GHOST))
-        executor.run(phi_g, phi1[i].window(box))
+    with _trace.span(
+        "schedule.level",
+        variant=executor.variant.short_name,
+        boxes=len(phi0.layout),
+    ):
+        phi1 = prepare_phi1(phi0)
+        for i in phi0.layout:
+            box = phi0.layout.box(i)
+            phi_g = phi0[i].window(box.grow(FACE_INTERP_GHOST))
+            with _trace.span("schedule.box", box=int(i)):
+                executor.run(phi_g, phi1[i].window(box))
     return phi1

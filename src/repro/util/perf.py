@@ -7,20 +7,27 @@ into one global :class:`PerfCounters` instance, so a benchmark run can
 answer "how much re-allocation and re-planning did the substrate
 avoid?" with a single snapshot.
 
-Counters are plain monotonically increasing integers (``inc``) or
+Since the observability subsystem landed, this module is a thin facade
+over :mod:`repro.obs.metrics`: every increment goes to the calling
+thread's private metric shard (no lock, no contention, and no lost
+updates under the shared pool — the old single-lock implementation
+serialized the hot path), and reads merge the shards.  The global
+instance namespaces its metrics under ``perf.`` in the process
+registry, so ``python -m repro.bench --metrics PATH`` exports the
+substrate counters alongside everything else.
+
+Counters are plain monotonically increasing numbers (``inc``) or
 accumulated wall-clock seconds (``add_time``); reads return a
-consistent snapshot.  All operations are thread-safe — the hot paths
-that report here (scratch allocation, cache lookups) run concurrently
-under the thread pool.
+consistent merged view.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import defaultdict
 from contextlib import contextmanager
 from typing import Iterator
+
+from ..obs.metrics import MetricsRegistry, default_registry
 
 __all__ = [
     "PerfCounters",
@@ -30,57 +37,75 @@ __all__ = [
     "format_perf_report",
 ]
 
+_COUNT = "count."
+_TIME = "time."
+
 
 class PerfCounters:
-    """Named counters and timers with thread-safe updates."""
+    """Named counters and timers, sharded per thread, merged on read.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counts: dict[str, int] = defaultdict(int)
-        self._times: dict[str, float] = defaultdict(float)
+    A facade over a :class:`~repro.obs.metrics.MetricsRegistry`
+    namespace — the legacy substrate API (`inc`/`add_time`/`get`/
+    `hit_rate`/`snapshot`) unchanged, the storage replaced.
+    """
+
+    def __init__(
+        self, registry: MetricsRegistry | None = None, prefix: str = ""
+    ) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._prefix = prefix
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The backing metrics registry."""
+        return self._registry
 
     # -- updates ---------------------------------------------------------------------
     def inc(self, name: str, amount: int = 1) -> None:
-        with self._lock:
-            self._counts[name] += amount
+        self._registry.counter_inc(self._prefix + _COUNT + name, amount)
 
     def add_time(self, name: str, seconds: float) -> None:
-        with self._lock:
-            self._times[name] += seconds
+        self._registry.counter_inc(self._prefix + _TIME + name, seconds)
 
     def reset(self) -> None:
-        with self._lock:
-            self._counts.clear()
-            self._times.clear()
+        self._registry.reset(self._prefix if self._prefix else "")
 
     # -- reads -----------------------------------------------------------------------
     def get(self, name: str) -> int:
-        with self._lock:
-            return self._counts.get(name, 0)
+        return int(self._registry.counter_value(self._prefix + _COUNT + name))
 
     def get_time(self, name: str) -> float:
-        with self._lock:
-            return self._times.get(name, 0.0)
+        return float(self._registry.counter_value(self._prefix + _TIME + name))
 
     def hit_rate(self, prefix: str) -> float:
         """hits / (hits + misses) for counters ``<prefix>.hits/misses``."""
-        with self._lock:
-            hits = self._counts.get(f"{prefix}.hits", 0)
-            misses = self._counts.get(f"{prefix}.misses", 0)
+        hits = self.get(f"{prefix}.hits")
+        misses = self.get(f"{prefix}.misses")
         total = hits + misses
         return hits / total if total else 0.0
 
     def snapshot(self) -> dict:
         """Copy of all counters and timers (for JSON reports)."""
-        with self._lock:
-            return {
-                "counts": dict(self._counts),
-                "times": dict(self._times),
-            }
+        counters = self._registry.snapshot()["counters"]
+        cpre = self._prefix + _COUNT
+        tpre = self._prefix + _TIME
+        return {
+            "counts": {
+                k[len(cpre):]: int(v)
+                for k, v in counters.items()
+                if k.startswith(cpre)
+            },
+            "times": {
+                k[len(tpre):]: float(v)
+                for k, v in counters.items()
+                if k.startswith(tpre)
+            },
+        }
 
 
-#: The process-wide instance every substrate layer reports into.
-_PERF = PerfCounters()
+#: The process-wide instance every substrate layer reports into; its
+#: metrics live under ``perf.`` in the global registry.
+_PERF = PerfCounters(default_registry(), prefix="perf.")
 
 
 def perf() -> PerfCounters:

@@ -1,0 +1,180 @@
+"""Exporters: Chrome trace schema, JSONL shape, metrics snapshots."""
+
+import io
+import json
+import math
+
+from repro.obs import trace as T
+from repro.obs.export import (
+    chrome_trace_events,
+    validate_chrome_trace,
+    validate_metrics_json,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _record_small_trace():
+    with T.tracing() as tracer:
+        with T.span("grid.run", points=2):
+            with T.span("grid.point", index=0) as s:
+                s.set_attr(model_time_s=1.25)
+                T.add_event("grid.retry", attempt=1)
+            T.counter_sample("model.dram_bytes", 1024.0)
+            with T.span("grid.point", index=1):
+                pass
+    return tracer
+
+
+class TestChromeTrace:
+    def test_emitted_trace_validates(self, tmp_path):
+        tracer = _record_small_trace()
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(path, tracer)
+        assert validate_chrome_trace(path) == []
+
+    def test_event_structure(self):
+        tracer = _record_small_trace()
+        events = chrome_trace_events(tracer)
+        by_phase = {}
+        for ev in events:
+            by_phase.setdefault(ev["ph"], []).append(ev)
+        # One process_name plus a thread_name per lane.
+        meta = by_phase["M"]
+        assert any(e["name"] == "process_name" for e in meta)
+        assert any(e["name"] == "thread_name" for e in meta)
+        # Three complete spans with µs timestamps and args.
+        complete = by_phase["X"]
+        assert sorted(e["name"] for e in complete) == [
+            "grid.point", "grid.point", "grid.run",
+        ]
+        for e in complete:
+            assert e["ts"] >= 0 and e["dur"] >= 0
+            assert e["cat"] == "grid"
+        # The instant event carries its enclosing span's name.
+        (instant,) = by_phase["i"]
+        assert instant["s"] == "t"
+        assert instant["args"]["span"] == "grid.point"
+        # The counter track.
+        (counter,) = by_phase["C"]
+        assert counter["name"] == "model.dram_bytes"
+        assert counter["args"] == {"value": 1024.0}
+
+    def test_document_wrapper(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        write_chrome_trace(path, _record_small_trace())
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["producer"] == "repro.obs"
+
+    def test_nan_attrs_are_sanitized(self, tmp_path):
+        with T.tracing() as tracer:
+            with T.span("point") as s:
+                s.set_attr(model_time_s=math.nan, gbs=math.inf,
+                           nested={"x": -math.inf}, ok=1.5)
+        path = str(tmp_path / "nan.json")
+        write_chrome_trace(path, tracer)
+        # Must be strict JSON: chrome rejects bare NaN/Infinity literals.
+        with open(path) as f:
+            doc = json.loads(f.read())
+        assert validate_chrome_trace(doc) == []
+        (span_ev,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert span_ev["args"]["model_time_s"] == "nan"
+        assert span_ev["args"]["gbs"] == "inf"
+        assert span_ev["args"]["nested"]["x"] == "-inf"
+        assert span_ev["args"]["ok"] == 1.5
+
+    def test_validator_catches_violations(self):
+        assert validate_chrome_trace({"nope": 1}) != []
+        assert validate_chrome_trace({"traceEvents": "x"}) != []
+        bad_phase = {"traceEvents": [{"name": "a", "ph": "Z", "ts": 0}]}
+        assert any("bad phase" in e for e in validate_chrome_trace(bad_phase))
+        no_ts = {"traceEvents": [{"name": "a", "ph": "X", "dur": 1}]}
+        assert any("'ts'" in e for e in validate_chrome_trace(no_ts))
+        no_dur = {"traceEvents": [{"name": "a", "ph": "X", "ts": 0}]}
+        assert any("'dur'" in e for e in validate_chrome_trace(no_dur))
+        bad_counter = {
+            "traceEvents": [
+                {"name": "c", "ph": "C", "ts": 0, "args": {"v": "high"}}
+            ]
+        }
+        assert any("numbers" in e for e in validate_chrome_trace(bad_counter))
+
+    def test_validator_accepts_good_doc(self):
+        doc = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "ts": 0.0, "dur": 5.0,
+                 "pid": 1, "tid": 2, "args": {}},
+                {"name": "e", "ph": "i", "ts": 1.0, "s": "t",
+                 "pid": 1, "tid": 2},
+                {"name": "c", "ph": "C", "ts": 2.0, "pid": 1, "tid": 0,
+                 "args": {"value": 3}},
+                {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                 "args": {"name": "p"}},
+            ]
+        }
+        assert validate_chrome_trace(doc) == []
+
+    def test_unreadable_path(self, tmp_path):
+        errors = validate_chrome_trace(str(tmp_path / "missing.json"))
+        assert errors and "unreadable" in errors[0]
+
+
+class TestJsonl:
+    def test_records_parse_and_sort(self):
+        tracer = _record_small_trace()
+        buf = io.StringIO()
+        write_jsonl(buf, tracer)
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert len(lines) == 3 + 1 + 1  # spans + event + counter
+        assert [r["ts_ns"] for r in lines] == sorted(r["ts_ns"] for r in lines)
+        types = {r["type"] for r in lines}
+        assert types == {"span", "event", "counter"}
+        span_rec = next(r for r in lines if r["name"] == "grid.run")
+        assert span_rec["parent_id"] is None
+        assert {"pid", "tid", "span_id", "dur_ns", "attrs"} <= set(span_rec)
+
+    def test_file_path_form(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(path, _record_small_trace())
+        with open(path) as f:
+            rows = [json.loads(line) for line in f]
+        assert len(rows) == 5
+
+
+class TestMetricsExport:
+    def test_snapshot_round_trip_validates(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter_inc("model.dram_bytes", 4096)
+        reg.gauge_set("arena.hit_rate", 0.75)
+        reg.register_histogram("grid.point_s", [0.001, 0.1])
+        reg.histogram_observe("grid.point_s", 0.01)
+        path = str(tmp_path / "metrics.json")
+        write_metrics(path, reg)
+        assert validate_metrics_json(path) == []
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["counters"]["model.dram_bytes"] == 4096
+        assert doc["gauges"]["arena.hit_rate"] == 0.75
+        assert doc["histograms"]["grid.point_s"]["count"] == 1
+
+    def test_metrics_validator_catches_violations(self):
+        assert validate_metrics_json([]) != []
+        assert any(
+            "missing section" in e for e in validate_metrics_json({})
+        )
+        bad = {
+            "counters": {"c": "high"},
+            "gauges": {},
+            "histograms": {
+                "h": {"boundaries": [2.0, 1.0], "bucket_counts": [1],
+                      "count": 9, "sum": 0.0},
+            },
+        }
+        errors = validate_metrics_json(bad)
+        assert any("must be numeric" in e for e in errors)
+        assert any("len(boundaries)+1" in e for e in errors)
+        assert any("sorted" in e for e in errors)

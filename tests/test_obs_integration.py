@@ -1,0 +1,258 @@
+"""Observability end-to-end: instrumented layers, bitwise identity, CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import GridPoint, run_grid
+from repro.exemplar import ExemplarProblem
+from repro.machine import IVY_DESKTOP
+from repro.obs import trace as T
+from repro.obs.attribution import attribution_rows, format_attribution
+from repro.obs.export import validate_chrome_trace, validate_metrics_json
+from repro.obs.metrics import default_registry
+from repro.parallel import run_schedule_parallel
+from repro.resilience.faults import FaultPlan, FaultSpec, inject_faults
+from repro.schedules import Variant, run_schedule_on_level
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults():
+    """Span/event counts here are exact; an ambient REPRO_FAULT_SEED
+    plan (the CI resilience job) would add retry spans.  Faults are
+    injected explicitly where this module tests them."""
+    from repro.resilience.faults import set_fault_plan
+
+    old = set_fault_plan(None)
+    try:
+        yield
+    finally:
+        set_fault_plan(old)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return ExemplarProblem(domain_cells=(16, 16, 16), box_size=8)
+
+
+@pytest.fixture(scope="module")
+def phi0(problem):
+    return problem.make_phi0()
+
+
+_GRID_VARIANT = Variant("series", "P>=Box", "CLO")
+
+
+def _points():
+    return [GridPoint(_GRID_VARIANT, IVY_DESKTOP, t, 64) for t in (1, 2, 4)]
+
+
+class TestBitwiseIdentity:
+    """Tracing is observation-only: on vs. off must not perturb flux."""
+
+    def test_level_schedule_bitwise_with_tracing(self, phi0):
+        v = Variant("shift_fuse", "P<Box", "CLO")
+        off = run_schedule_on_level(v, phi0).to_global_array()
+        with T.tracing():
+            on = run_schedule_on_level(v, phi0).to_global_array()
+        assert np.array_equal(off, on)
+
+    @pytest.mark.parametrize("threads", [1, 4])
+    def test_parallel_schedule_bitwise_with_tracing(self, phi0, threads):
+        v = Variant("overlapped", "P<Box", "CLO", tile_size=4,
+                    intra_tile="basic")
+        off = run_schedule_parallel(v, phi0, threads).phi1.to_global_array()
+        with T.tracing():
+            on = run_schedule_parallel(v, phi0, threads).phi1.to_global_array()
+        assert np.array_equal(off, on)
+
+    def test_grid_results_identical_with_tracing(self):
+        points = _points()
+        off = run_grid(points)
+        with T.tracing():
+            on = run_grid(points)
+        assert [r.time_s for r in off] == [r.time_s for r in on]
+        assert [r.dram_bytes for r in off] == [r.dram_bytes for r in on]
+
+
+class TestGridInstrumentation:
+    def test_grid_points_are_spanned(self):
+        points = _points()
+        reg = default_registry()
+        hist_before = reg.histogram_snapshot("grid.point_s").count
+        dram_before = reg.counter_value("model.dram_bytes")
+        with T.tracing() as tracer:
+            results = run_grid(points)
+        spans = tracer.spans()
+        runs = [s for s in spans if s.name == "grid.run"]
+        pts = [s for s in spans if s.name == "grid.point"]
+        assert len(runs) == 1
+        assert runs[0].attrs["points"] == len(points)
+        assert len(pts) == len(points)
+        for s in pts:
+            assert s.attrs["variant"] == _GRID_VARIANT.short_name
+            assert s.attrs["machine"] == "ivy_desktop"
+            assert s.attrs["model_time_s"] > 0
+            assert s.attrs["model_dram_bytes"] > 0
+        # Metrics: one histogram observation per point, cumulative
+        # modeled DRAM bytes, and counter-track samples in the trace.
+        reg = default_registry()
+        assert reg.histogram_snapshot("grid.point_s").count \
+            == hist_before + len(points)
+        assert reg.counter_value("model.dram_bytes") - dram_before \
+            == pytest.approx(sum(r.dram_bytes for r in results))
+        dram_samples = [c for c in tracer.samples()
+                        if c.name == "model.dram_bytes"]
+        assert len(dram_samples) == len(points)
+
+    def test_engine_span_wraps_estimate(self):
+        p = _points()[0]
+        with T.tracing() as tracer:
+            p.evaluate()
+        engines = [s for s in tracer.spans() if s.name == "engine.estimate"]
+        assert engines
+        assert engines[0].attrs["machine"] == "ivy_desktop"
+        assert engines[0].attrs["model_time_s"] > 0
+
+
+class TestScheduleInstrumentation:
+    def test_parallel_schedule_span_tree(self, phi0):
+        v = Variant("series", "P>=Box", "CLO")
+        with T.tracing() as tracer:
+            run_schedule_parallel(v, phi0, 4)
+        by_name = {}
+        for s in tracer.spans():
+            by_name.setdefault(s.name, []).append(s)
+        (sched,) = by_name["schedule.run"]
+        assert sched.attrs["variant"] == v.short_name
+        assert sched.attrs["degraded"] is False
+        (plan_run,) = by_name["plan.run"]
+        assert plan_run.attrs["threads"] == 4
+        assert by_name["plan.phase"]
+        # One pool.task span per box task, each on some worker lane.
+        tasks = by_name["pool.task"]
+        assert len(tasks) == 8
+        assert all(s.parent_id is None for s in tasks)  # worker-thread roots
+
+    def test_level_schedule_spans_boxes(self, phi0):
+        v = Variant("series", "P>=Box", "CLO")
+        with T.tracing() as tracer:
+            run_schedule_on_level(v, phi0)
+        by_name = {}
+        for s in tracer.spans():
+            by_name.setdefault(s.name, []).append(s)
+        (level,) = by_name["schedule.level"]
+        assert level.attrs["boxes"] == 8
+        boxes = by_name["schedule.box"]
+        assert len(boxes) == 8
+        assert all(b.parent_id == level.span_id for b in boxes)
+
+
+class TestResilienceEvents:
+    def test_injected_fault_and_inline_retry_are_events(self, phi0):
+        v = Variant("series", "P>=Box", "CLO")
+        plan = FaultPlan([FaultSpec("pool", "raise", index=3, count=1)])
+        with T.tracing() as tracer:
+            with inject_faults(plan):
+                r = run_schedule_parallel(v, phi0, 4)
+        assert not r.degraded
+        assert any(f.recovered for f in r.failures)
+        events = tracer.events()
+        faults = [e for e in events if e.name == "fault.injected"]
+        assert faults and faults[0].attrs["mode"] == "raise"
+        retries = [e for e in events if e.name == "pool.retry_inline"]
+        assert retries and retries[0].attrs["index"] == 3
+
+    def test_grid_retry_backoff_events(self):
+        from repro.resilience.retry import RetryPolicy
+
+        points = _points()[:1]
+        plan = FaultPlan([FaultSpec("grid", "raise", index=0, count=1)])
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+        with T.tracing() as tracer:
+            with inject_faults(plan):
+                results = run_grid(points, policy=policy)
+        assert results.ok
+        events = tracer.events()
+        assert any(e.name == "fault.injected" for e in events)
+        assert any(e.name == "grid.retry" for e in events)
+        # The failed attempt and the successful retry are both spans.
+        pts = [s for s in tracer.spans() if s.name == "grid.point"]
+        assert len(pts) == 2
+        assert {s.attrs["attempt"] for s in pts} == {1, 2}
+
+
+class TestAttribution:
+    def test_rows_join_model_and_prediction(self):
+        points = _points()
+        with T.tracing() as tracer:
+            run_grid(points)
+        rows = attribution_rows(tracer)
+        assert len(rows) == len(points)
+        for row in rows:
+            assert row.variant == _GRID_VARIANT.short_name
+            assert row.machine == "ivy_desktop"
+            assert row.points == 1
+            assert row.model_time_s > 0
+            assert row.model_gbs > 0
+            assert row.byte_ratio == pytest.approx(1.0)
+        text = format_attribution(rows)
+        assert _GRID_VARIANT.short_name in text
+        assert "byte ratio" in text
+
+    def test_empty_trace_formats(self):
+        with T.tracing() as tracer:
+            pass
+        assert attribution_rows(tracer) == []
+        assert "no grid.point spans" in format_attribution([])
+
+
+class TestCli:
+    def test_trace_and_metrics_flags(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        trace_path = str(tmp_path / "trace.json")
+        metrics_path = str(tmp_path / "metrics.json")
+        assert main(["--trace", trace_path, "--metrics", metrics_path,
+                     "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "trace " in out and "metrics " in out
+        assert validate_chrome_trace(trace_path) == []
+        assert validate_metrics_json(metrics_path) == []
+        with open(trace_path) as f:
+            doc = json.load(f)
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "bench.fig1" in names
+
+    def test_jsonl_trace_flag(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        path = str(tmp_path / "trace.jsonl")
+        assert main([f"--trace={path}", "fig1"]) == 0
+        with open(path) as f:
+            rows = [json.loads(line) for line in f]
+        assert any(r["name"] == "bench.fig1" for r in rows)
+
+    def test_attribution_requires_trace(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--attribution", "fig1"])
+
+    def test_validator_cli(self, tmp_path, capsys):
+        from repro.bench.__main__ import main as bench_main
+        from repro.obs.__main__ import main as obs_main
+
+        trace_path = str(tmp_path / "t.json")
+        metrics_path = str(tmp_path / "m.json")
+        bench_main(["--trace", trace_path, "--metrics", metrics_path, "fig1"])
+        capsys.readouterr()
+        assert obs_main(["validate", trace_path,
+                         "--metrics", metrics_path]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        bad = str(tmp_path / "bad.json")
+        with open(bad, "w") as f:
+            json.dump({"traceEvents": [{"ph": "?"}]}, f)
+        assert obs_main(["validate", bad]) == 1

@@ -1,0 +1,230 @@
+"""Metrics registry: shard merging, bucket math, and the perf shim."""
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS_S,
+    MetricsRegistry,
+)
+from repro.util.perf import PerfCounters, format_perf_report, perf, reset_perf, timed
+
+
+class TestCounters:
+    def test_inc_and_read(self):
+        reg = MetricsRegistry()
+        reg.counter_inc("a")
+        reg.counter_inc("a", 2)
+        reg.counter_inc("b", 0.5)
+        assert reg.counter_value("a") == 3
+        assert reg.counter_value("b") == 0.5
+        assert reg.counter_value("missing") == 0
+
+    def test_concurrent_increments_are_exact(self):
+        reg = MetricsRegistry()
+        nthreads, per_thread = 8, 5000
+
+        def work(_):
+            for _ in range(per_thread):
+                reg.counter_inc("hits")
+
+        with ThreadPoolExecutor(max_workers=nthreads) as pool:
+            list(pool.map(work, range(nthreads)))
+        assert reg.counter_value("hits") == nthreads * per_thread
+
+    def test_typed_facade(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("g", 1.0)
+        reg.gauge_set("g", 7.0)
+        assert reg.gauge_value("g") == 7.0
+
+    def test_last_write_wins_across_threads(self):
+        reg = MetricsRegistry()
+
+        def work(i):
+            reg.gauge_set("g", float(i))
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(work, range(100)))
+        # Whichever write got the highest sequence number wins; it must
+        # be one of the written values, not a torn merge.
+        assert reg.gauge_value("g") in {float(i) for i in range(100)}
+
+    def test_unset_gauge_is_none(self):
+        assert MetricsRegistry().gauge_value("nope") is None
+
+
+class TestHistograms:
+    def test_bucket_boundaries_are_inclusive_upper_edges(self):
+        reg = MetricsRegistry()
+        reg.register_histogram("h", [1.0, 2.0, 4.0])
+        for v in (0.5, 1.0):     # <= 1.0 -> bucket 0
+            reg.histogram_observe("h", v)
+        reg.histogram_observe("h", 1.5)   # <= 2.0 -> bucket 1
+        reg.histogram_observe("h", 4.0)   # <= 4.0 -> bucket 2
+        reg.histogram_observe("h", 99.0)  # overflow
+        snap = reg.histogram_snapshot("h")
+        assert snap.boundaries == (1.0, 2.0, 4.0)
+        assert snap.bucket_counts == [2, 1, 1, 1]
+        assert snap.count == 5
+        assert snap.sum == 0.5 + 1.0 + 1.5 + 4.0 + 99.0
+        assert snap.min == 0.5
+        assert snap.max == 99.0
+        assert snap.mean == snap.sum / 5
+
+    def test_registration_is_first_wins(self):
+        reg = MetricsRegistry()
+        assert reg.register_histogram("h", [3.0, 1.0]) == (1.0, 3.0)
+        assert reg.register_histogram("h", [99.0]) == (1.0, 3.0)
+
+    def test_unregistered_uses_default_time_buckets(self):
+        reg = MetricsRegistry()
+        reg.histogram_observe("t", 0.5e-6)
+        snap = reg.histogram_snapshot("t")
+        assert snap.boundaries == DEFAULT_TIME_BUCKETS_S
+        assert snap.bucket_counts[0] == 1
+
+    def test_empty_histogram_snapshot(self):
+        snap = MetricsRegistry().histogram_snapshot("never")
+        assert snap.count == 0
+        assert math.isnan(snap.mean)
+        assert math.isnan(snap.min)
+        assert math.isnan(snap.quantile(0.5))
+
+    def test_quantile_returns_bucket_edge(self):
+        reg = MetricsRegistry()
+        reg.register_histogram("h", [1.0, 10.0, 100.0])
+        for _ in range(90):
+            reg.histogram_observe("h", 0.5)
+        for _ in range(10):
+            reg.histogram_observe("h", 50.0)
+        snap = reg.histogram_snapshot("h")
+        assert snap.quantile(0.5) == 1.0
+        assert snap.quantile(0.95) == 100.0
+        assert snap.quantile(1.0) == 100.0
+
+    def test_quantile_overflow_is_inf(self):
+        reg = MetricsRegistry()
+        reg.register_histogram("h", [1.0])
+        reg.histogram_observe("h", 5.0)
+        assert reg.histogram_snapshot("h").quantile(1.0) == math.inf
+
+    def test_concurrent_observations_merge_exactly(self):
+        reg = MetricsRegistry()
+        reg.register_histogram("h", [10.0, 100.0])
+
+        def work(i):
+            reg.histogram_observe("h", float(i % 150))
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            list(pool.map(work, range(1500)))
+        snap = reg.histogram_snapshot("h")
+        assert snap.count == 1500
+        assert sum(snap.bucket_counts) == 1500
+        assert snap.min == 0.0
+        assert snap.max == 149.0
+
+    def test_to_dict_matches_validator_contract(self):
+        reg = MetricsRegistry()
+        reg.register_histogram("h", [1.0, 2.0])
+        reg.histogram_observe("h", 1.5)
+        d = reg.histogram_snapshot("h").to_dict()
+        assert len(d["bucket_counts"]) == len(d["boundaries"]) + 1
+        assert d["count"] == sum(d["bucket_counts"])
+        assert d["min"] == d["max"] == 1.5
+
+
+class TestRegistryAdmin:
+    def test_snapshot_sections(self):
+        reg = MetricsRegistry()
+        reg.counter_inc("c", 2)
+        reg.gauge_set("g", 3.0)
+        reg.histogram_observe("h", 1.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 3.0}
+        assert "h" in snap["histograms"]
+
+    def test_reset_by_prefix(self):
+        reg = MetricsRegistry()
+        reg.counter_inc("a.x")
+        reg.counter_inc("b.y")
+        reg.reset("a.")
+        assert reg.counter_value("a.x") == 0
+        assert reg.counter_value("b.y") == 1
+
+    def test_counter_names_merged(self):
+        reg = MetricsRegistry()
+
+        def work(i):
+            reg.counter_inc(f"n{i % 3}")
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            list(pool.map(work, range(30)))
+        assert reg.counter_names() == ["n0", "n1", "n2"]
+
+
+class TestPerfShim:
+    def test_basic_counting(self):
+        pc = PerfCounters()
+        pc.inc("arena.hits")
+        pc.inc("arena.hits", 2)
+        pc.inc("arena.misses")
+        assert pc.get("arena.hits") == 3
+        assert pc.hit_rate("arena") == 0.75
+
+    def test_timing(self):
+        pc = PerfCounters()
+        pc.add_time("solve", 0.25)
+        pc.add_time("solve", 0.25)
+        assert pc.get_time("solve") == 0.5
+
+    def test_reset_scoped_to_prefix(self):
+        pc = PerfCounters()
+        pc.inc("x")
+        pc.reset()
+        assert pc.get("x") == 0
+        # The global perf() facade must not clobber unrelated metrics.
+        other = pc.registry.counter("unrelated.counter")
+        other.inc()
+        reset_perf()
+        assert other.value == 1
+
+    def test_concurrent_inc_exact(self):
+        pc = PerfCounters()
+
+        def work(_):
+            for _ in range(2000):
+                pc.inc("n")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(work, range(8)))
+        assert pc.get("n") == 16000
+
+    def test_global_perf_report(self):
+        reset_perf()
+        perf().inc("arena.hits", 3)
+        perf().inc("arena.misses")
+        with timed("phase"):
+            pass
+        report = format_perf_report()
+        assert "scratch arena: 3 hits / 1 misses" in report
+        assert "phase" in report
+        reset_perf()
+
+    def test_snapshot_has_counts_and_times(self):
+        pc = PerfCounters()
+        pc.inc("a")
+        pc.add_time("t", 1.0)
+        snap = pc.snapshot()
+        assert snap["counts"]["a"] == 1
+        assert snap["times"]["t"] == 1.0

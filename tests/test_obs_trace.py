@@ -1,0 +1,185 @@
+"""Tracer core: nesting, thread-shard merging, and the no-op fast path."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs import trace as T
+
+
+class TestSpanBasics:
+    def test_span_records_name_and_duration(self):
+        with T.tracing() as tracer:
+            with T.span("work", kind="unit"):
+                pass
+        spans = tracer.spans()
+        assert len(spans) == 1
+        s = spans[0]
+        assert s.name == "work"
+        assert s.attrs == {"kind": "unit"}
+        assert s.dur_ns >= 0
+        assert s.start_ns >= 0
+
+    def test_nesting_sets_parent_ids(self):
+        with T.tracing() as tracer:
+            with T.span("outer"):
+                with T.span("middle"):
+                    with T.span("inner"):
+                        pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["outer"].parent_id is None
+        assert by_name["middle"].parent_id == by_name["outer"].span_id
+        assert by_name["inner"].parent_id == by_name["middle"].span_id
+
+    def test_sibling_spans_share_parent(self):
+        with T.tracing() as tracer:
+            with T.span("root"):
+                with T.span("a"):
+                    pass
+                with T.span("b"):
+                    pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["a"].parent_id == by_name["root"].span_id
+        assert by_name["b"].parent_id == by_name["root"].span_id
+        assert by_name["a"].span_id != by_name["b"].span_id
+
+    def test_set_attr_after_entry(self):
+        with T.tracing() as tracer:
+            with T.span("task") as s:
+                s.set_attr(result=42)
+        assert tracer.spans()[0].attrs["result"] == 42
+
+    def test_current_span_name(self):
+        assert T.current_span_name() is None
+        with T.tracing():
+            assert T.current_span_name() is None
+            with T.span("outer"):
+                with T.span("inner"):
+                    assert T.current_span_name() == "inner"
+                assert T.current_span_name() == "outer"
+
+    def test_span_survives_exception(self):
+        with T.tracing() as tracer:
+            try:
+                with T.span("boom"):
+                    raise ValueError("x")
+            except ValueError:
+                pass
+            # The stack must be clean: a new span nests at the root.
+            with T.span("after"):
+                pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["after"].parent_id is None
+        assert tracer.open_depth() == 0
+
+
+class TestDisabledFastPath:
+    def test_span_returns_shared_noop(self):
+        assert not T.tracing_enabled()
+        s1 = T.span("a", big=1)
+        s2 = T.span("b")
+        assert s1 is s2 is T.NOOP_SPAN
+        with s1 as inner:
+            inner.set_attr(x=1)
+            inner.event("e")
+
+    def test_add_event_and_sample_are_noops(self):
+        T.add_event("nothing", x=1)
+        T.counter_sample("nothing", 1.0)
+
+    def test_tracing_scope_restores_previous(self):
+        assert T.active_tracer() is None
+        with T.tracing() as outer:
+            assert T.active_tracer() is outer
+            with T.tracing() as inner:
+                assert T.active_tracer() is inner
+            assert T.active_tracer() is outer
+        assert T.active_tracer() is None
+
+    def test_start_stop_round_trip(self):
+        t = T.start_tracing()
+        with T.span("x"):
+            pass
+        got = T.stop_tracing()
+        assert got is t
+        assert len(t.spans()) == 1
+        assert not T.tracing_enabled()
+
+
+class TestEvents:
+    def test_event_attaches_to_open_span(self):
+        with T.tracing() as tracer:
+            with T.span("task"):
+                T.add_event("fault", mode="raise")
+        (e,) = tracer.events()
+        (s,) = tracer.spans()
+        assert e.span_id == s.span_id
+        assert e.span_name == "task"
+        assert e.attrs == {"mode": "raise"}
+
+    def test_orphan_event_allowed(self):
+        with T.tracing() as tracer:
+            T.add_event("loose")
+        (e,) = tracer.events()
+        assert e.span_id is None
+
+    def test_counter_samples_ordered(self):
+        with T.tracing() as tracer:
+            T.counter_sample("bytes", 10)
+            T.counter_sample("bytes", 30)
+        values = [c.value for c in tracer.samples()]
+        assert values == [10.0, 30.0]
+        assert tracer.samples()[0].ts_ns <= tracer.samples()[1].ts_ns
+
+
+class TestThreads:
+    def test_spans_merge_across_pool_threads(self):
+        nthreads, per_thread = 4, 25
+        with T.tracing() as tracer:
+            def work(i):
+                with T.span("task", index=i):
+                    with T.span("sub", index=i):
+                        pass
+
+            with ThreadPoolExecutor(max_workers=nthreads) as pool:
+                list(pool.map(work, range(nthreads * per_thread)))
+        spans = tracer.spans()
+        tasks = [s for s in spans if s.name == "task"]
+        subs = [s for s in spans if s.name == "sub"]
+        assert len(tasks) == nthreads * per_thread
+        assert len(subs) == nthreads * per_thread
+        # Nesting is per thread: every sub's parent is a task on the
+        # same thread with the same index.
+        by_id = {s.span_id: s for s in spans}
+        for sub in subs:
+            parent = by_id[sub.parent_id]
+            assert parent.name == "task"
+            assert parent.tid == sub.tid
+            assert parent.attrs["index"] == sub.attrs["index"]
+
+    def test_each_thread_is_its_own_lane(self):
+        with T.tracing() as tracer:
+            barrier = threading.Barrier(3)
+
+            def work():
+                barrier.wait()
+                with T.span("lane"):
+                    pass
+
+            threads = [threading.Thread(target=work) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        tids = {s.tid for s in tracer.spans()}
+        assert len(tids) == 3
+
+    def test_merged_read_is_sorted_by_start(self):
+        def work(i):
+            with T.span("s", i=i):
+                pass
+
+        with T.tracing() as tracer:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                list(pool.map(work, range(40)))
+        starts = [s.start_ns for s in tracer.spans()]
+        assert starts == sorted(starts)
