@@ -62,7 +62,19 @@ class SimResult:
         return self.dram_bytes / self.time_s / 1e9 if self.time_s > 0 else 0.0
 
     def speedup_over(self, other: "SimResult") -> float:
-        return other.time_s / self.time_s
+        """``other.time_s / self.time_s`` with the degenerate cases defined.
+
+        Consistent with the zero guards on :attr:`gflops` and
+        :attr:`bandwidth_gbs`: a NaN time on either side (e.g. a
+        corrupted fault-injection result) propagates NaN; two zero-time
+        runs tie at 1.0; a zero-time run is infinitely faster than a
+        nonzero one (``inf``), and the reverse reads 0.0.
+        """
+        if math.isnan(self.time_s) or math.isnan(other.time_s):
+            return math.nan
+        if self.time_s > 0:
+            return other.time_s / self.time_s
+        return 1.0 if other.time_s == 0 else math.inf
 
 
 def _item_cost(item, machine: MachineSpec, threads: int) -> tuple[float, float]:
@@ -80,15 +92,31 @@ def _round_time(c: float, b: float, k: int, machine: MachineSpec) -> float:
     return max(c, b * k / bw) if bw > 0 else c
 
 
-def _estimate_phase(phase: Phase, machine: MachineSpec, threads: int) -> tuple[float, float, float]:
-    """(time, flops, bytes) for one phase under list scheduling."""
+def _phase_totals(
+    phase: Phase, machine: MachineSpec, threads: int
+) -> tuple[float, float]:
+    """(flops, DRAM bytes) bookkeeping for one phase.
+
+    Both engines charge their totals through this one loop so their
+    flops/bytes accounting is *bitwise* identical — same expressions in
+    the same accumulation order — which is what the differential
+    harness (:mod:`repro.verify`) asserts.
+    """
     flops = 0.0
     total_bytes = 0.0
+    for item, count in phase.groups:
+        _, b = _item_cost(item, machine, threads)
+        flops += item.flops * count
+        total_bytes += b * count
+    return flops, total_bytes
+
+
+def _estimate_phase(phase: Phase, machine: MachineSpec, threads: int) -> tuple[float, float, float]:
+    """(time, flops, bytes) for one phase under list scheduling."""
+    flops, total_bytes = _phase_totals(phase, machine, threads)
     if len(phase.groups) == 1:
         item, m = phase.groups[0]
         c, b = _item_cost(item, machine, threads)
-        flops = item.flops * m
-        total_bytes = b * m
         full, rem = divmod(m, threads)
         t = full * _round_time(c, b, threads, machine)
         if rem:
@@ -96,16 +124,18 @@ def _estimate_phase(phase: Phase, machine: MachineSpec, threads: int) -> tuple[f
         return t, flops, total_bytes
     # Heterogeneous phase: bound-based approximation (max of the
     # work-sharing bound, the bandwidth bound, and the largest item).
+    # Every term is a true lower bound on the fluid simulation, so the
+    # estimate never exceeds it: the largest item is charged at the
+    # single-thread bandwidth share, which an item's fair share can
+    # never beat (available_bw(k) <= k * available_bw(1)).
     total_c = 0.0
     max_item_t = 0.0
     m = phase.num_items
     k_typ = min(m, threads)
     for item, count in phase.groups:
         c, b = _item_cost(item, machine, threads)
-        flops += item.flops * count
-        total_bytes += b * count
         total_c += c * count
-        max_item_t = max(max_item_t, _round_time(c, b, k_typ, machine))
+        max_item_t = max(max_item_t, _round_time(c, b, 1, machine))
     bw = machine.available_bw_gbs(k_typ) * 1e9
     t = max(total_c / threads, total_bytes / bw if bw > 0 else 0.0, max_item_t)
     return t, flops, total_bytes
@@ -255,14 +285,14 @@ def simulate_workload(
     phase_times: list[float] = []
     for phase in workload.phases:
         start = now
+        f, b_total = _phase_totals(phase, machine, threads)
+        flops += f
+        total_bytes += b_total
         queue = phase.expand()
-        costs = {}
         running: list[list] = []  # [remaining_c, remaining_b]
         idx = 0
         while idx < len(queue) and len(running) < threads:
             c, b = _item_cost(queue[idx], machine, threads)
-            flops += queue[idx].flops
-            total_bytes += b
             running.append([c, b])
             idx += 1
         while running:
@@ -285,8 +315,6 @@ def simulate_workload(
             now += dt
             while idx < len(queue) and len(running) < threads:
                 c, b = _item_cost(queue[idx], machine, threads)
-                flops += queue[idx].flops
-                total_bytes += b
                 running.append([c, b])
                 idx += 1
         if threads > 1:

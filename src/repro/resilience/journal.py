@@ -18,9 +18,11 @@ Failures are *not* journaled: a resumed sweep retries them.
 
 Opening a journal with ``resume=False`` truncates it (a fresh sweep);
 ``resume=True`` loads every valid record and replays matches, which is
-what ``python -m repro.bench --journal PATH --resume`` does.  A
-truncated trailing line (the crash that motivated the resume) is
-skipped, not fatal.
+what ``python -m repro.bench --journal PATH --resume`` does.  Corrupt
+lines — a truncated tail (the crash that motivated the resume), a
+record missing its index, or a result payload missing SimResult
+fields — are skipped, never fatal: a skipped point is simply
+recomputed.
 """
 
 from __future__ import annotations
@@ -42,6 +44,39 @@ __all__ = [
 ]
 
 _VERSION = 1
+
+#: Fields a journaled result payload must carry to rebuild a SimResult.
+_RESULT_FIELDS = (
+    "machine",
+    "variant",
+    "threads",
+    "time_s",
+    "flops",
+    "dram_bytes",
+    "phase_times",
+)
+
+
+def _valid_result_payload(r) -> bool:
+    """Structural check of one record's ``"r"`` payload.
+
+    A payload that would make :func:`sim_result_from_dict` raise —
+    missing fields, non-numeric values, a non-list ``phase_times`` — is
+    corrupt and must be skipped, not replayed.
+    """
+    if not isinstance(r, dict):
+        return False
+    for k in _RESULT_FIELDS:
+        if k not in r:
+            return False
+    if not isinstance(r["threads"], (int, float)):
+        return False
+    for k in ("time_s", "flops", "dram_bytes"):
+        if not isinstance(r[k], (int, float)):
+            return False
+    if not isinstance(r["phase_times"], list):
+        return False
+    return all(isinstance(t, (int, float)) for t in r["phase_times"])
 
 
 def point_key(p) -> str:
@@ -119,11 +154,17 @@ class GridJournal:
                     continue  # truncated tail from an interrupted run
                 if not isinstance(rec, dict) or "grid" not in rec:
                     continue
-                if "r" in rec:
-                    self._entries[(rec["grid"], int(rec["i"]))] = (
-                        rec.get("key", ""),
-                        rec["r"],
-                    )
+                payload = rec.get("r")
+                if payload is None or not _valid_result_payload(payload):
+                    continue
+                try:
+                    index = int(rec["i"])
+                except (KeyError, TypeError, ValueError):
+                    continue  # corrupt record: no usable grid slot
+                self._entries[(rec["grid"], index)] = (
+                    rec.get("key", ""),
+                    payload,
+                )
 
     def _write(self, rec: dict) -> None:
         self._fh.write(json.dumps(rec) + "\n")

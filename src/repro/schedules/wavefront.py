@@ -151,8 +151,15 @@ class BlockedWavefrontExecutor(BoxExecutor):
             base = 2 * n
             vel = 2 * (n + 1) ** 2
         # Table I: 2(3CN²) — two wavefronts of frontier planes in flight.
-        flux = 2 * base * (c if self.variant.component_loop == "CLI" else 1)
-        return {"flux": flux, "velocity": vel, "tile_flux": (t + 1) * t ** (self.dim - 1)}
+        # With the component loop inside, the frontier planes *and* the
+        # per-tile flux band carry the component axis.
+        comp = c if self.variant.component_loop == "CLI" else 1
+        flux = 2 * base * comp
+        return {
+            "flux": flux,
+            "velocity": vel,
+            "tile_flux": (t + 1) * t ** (self.dim - 1) * comp,
+        }
 
 
 def make_wavefront_executor(variant: Variant, dim: int = 3, ncomp: int = 5) -> BlockedWavefrontExecutor:

@@ -53,7 +53,11 @@ __all__ = [
 _lock = threading.Lock()
 _enabled = 0  # depth of nested scratch_arena() contexts (process-wide)
 _tls = threading.local()
-_all_states: list["_ThreadState"] = []  # for clear_arena() across threads
+#: (owning thread, state) for clear_arena() across threads.  Entries for
+#: dead threads are pruned (see _sweep_dead_locked): without the sweep,
+#: every worker a pool ever spawned would pin its free lists — and the
+#: pooled arrays in them — for the life of the process.
+_all_states: list[tuple[threading.Thread, "_ThreadState"]] = []
 
 
 class _ThreadState:
@@ -66,13 +70,25 @@ class _ThreadState:
         self.scopes: list[list[tuple[tuple, np.ndarray]]] = []
 
 
+def _sweep_dead_locked() -> None:
+    """Drop registry entries of threads that have exited (_lock held).
+
+    A dead thread can never return its pooled buffers to use, so its
+    whole state is garbage; keeping it would leak across pool restarts.
+    """
+    alive = [(t, s) for t, s in _all_states if t.is_alive()]
+    if len(alive) != len(_all_states):
+        _all_states[:] = alive
+
+
 def _state() -> _ThreadState:
     st = getattr(_tls, "state", None)
     if st is None:
         st = _ThreadState()
         _tls.state = st
         with _lock:
-            _all_states.append(st)
+            _sweep_dead_locked()
+            _all_states.append((threading.current_thread(), st))
     return st
 
 
@@ -152,9 +168,11 @@ def clear_arena() -> None:
     """Drop every thread's free lists (buffers become garbage).
 
     Open scopes keep their live buffers; only idle pooled memory is
-    released.
+    released.  Registry entries of threads that have since exited are
+    pruned entirely.
     """
     with _lock:
-        states = list(_all_states)
+        _sweep_dead_locked()
+        states = [s for _, s in _all_states]
     for st in states:
         st.free.clear()

@@ -1,0 +1,461 @@
+"""The four differential check families.
+
+Every check takes a :class:`~repro.verify.config.VerifyConfig` and
+returns a list of failure messages — empty means the config passed.
+Checks never assert; the runner and the shrinker both need failures as
+data, not exceptions.
+
+Families
+--------
+``bitwise``
+    Every variant in the config computes bitwise the same phi1 as
+    :func:`repro.exemplar.reference.reference_on_level`, under the
+    config's substrate toggles (scratch arena, thread pool, tracing).
+``engines``
+    The closed-form :func:`estimate_workload` and the event-driven
+    :func:`simulate_workload` agree: exact phase-count/flops/bytes
+    bookkeeping equality, time agreement within a stated tolerance
+    (near-exact for uniform phases, bounded divergence for the
+    heterogeneous approximation path), and tracing-invariance of the
+    estimate.
+``invariants``
+    Analytic-model invariants: instrumented scratch allocations stay
+    within the executor's declared (Table I) temporaries and are
+    arena-invisible; modeled DRAM traffic is monotone non-increasing in
+    cache capacity and pinned to compulsory traffic at infinite cache;
+    parallelism profiles respect their combinatorial bounds.
+``metamorphic``
+    Input transformations with known output behaviour: translating the
+    domain origin, permuting non-velocity components, and shifting the
+    initial data along a periodic axis all commute with the kernel,
+    bitwise.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+
+import numpy as np
+
+from ..analysis.parallelism import (
+    level_parallelism,
+    parallel_efficiency_bound,
+    tasks_per_box,
+    wavefront_efficiency,
+)
+from ..analysis.traffic import variant_traffic
+from ..box.box import Box
+from ..box.layout import decompose_domain
+from ..box.leveldata import LevelData
+from ..box.problem_domain import ProblemDomain
+from ..exemplar.reference import reference_kernel, reference_on_level
+from ..exemplar.state import random_initial_data
+from ..machine.simulator import estimate_workload, simulate_workload
+from ..machine.spec import machine_by_name
+from ..machine.workload import build_workload
+from ..obs import trace as _trace
+from ..parallel.pool import run_schedule_parallel
+from ..schedules.level import run_schedule_on_level
+from ..schedules.variants import make_executor
+from ..util.alloc import track_allocations
+from ..util.arena import scratch_arena
+from .config import FAMILIES, VerifyConfig
+
+__all__ = [
+    "run_check",
+    "check_bitwise",
+    "check_engines",
+    "check_invariants",
+    "check_metamorphic",
+]
+
+#: Relative time tolerance for uniform phases, where the closed form is
+#: exact and only float associativity separates the engines.
+UNIFORM_TIME_RTOL = 1e-9
+
+#: Divergence bound for the heterogeneous bound-based approximation:
+#: the estimate is a max of lower bounds, so sim >= est (up to float
+#: noise) and list scheduling keeps sim within a small factor.
+HETEROGENEOUS_TIME_FACTOR = 3.0
+
+#: Realized scratch tags whose declared budget lives under another name.
+_TAG_ALIASES = {"flux_cache": "tile_flux"}
+
+
+def run_check(config: VerifyConfig) -> list[str]:
+    """Dispatch one config to its family's check."""
+    try:
+        fn = _FAMILY_CHECKS[config.family]
+    except KeyError:
+        raise ValueError(f"unknown family {config.family!r}; use {FAMILIES}")
+    return fn(config)
+
+
+# ------------------------------------------------------------------ helpers
+def _build_phi0(config: VerifyConfig) -> LevelData:
+    """A ghosted, exchanged level for this config.
+
+    Every cell — ghosts included — is first filled from a per-box
+    seeded RNG; the pre-fill doubles as a deterministic boundary
+    condition for ghost cells outside a non-periodic domain edge, which
+    ``exchange`` leaves untouched.
+    """
+    domain = ProblemDomain(
+        Box.from_extents((0,) * config.dim, config.domain_cells),
+        periodic=config.periodic,
+    )
+    layout = decompose_domain(domain, config.box_size)
+    phi0 = LevelData(layout, ncomp=config.ncomp, ghost=config.ghost)
+    for i, fab in enumerate(phi0.fabs):
+        rng = np.random.default_rng(config.data_seed + 1000 * i)
+        fab.data[...] = rng.uniform(0.5, 2.0, size=fab.data.shape)
+    phi0.exchange()
+    return phi0
+
+
+def _toggles(stack: ExitStack, config: VerifyConfig) -> None:
+    """Enter the config's substrate toggle contexts."""
+    if config.arena:
+        stack.enter_context(scratch_arena())
+    if config.tracing:
+        stack.enter_context(_trace.tracing())
+
+
+def _applicable_variants(config: VerifyConfig):
+    return [
+        v
+        for v in config.variant_objects()
+        if v.applicable_to_box(config.box_size)
+    ]
+
+
+# ------------------------------------------------------------------ family 1
+def check_bitwise(config: VerifyConfig) -> list[str]:
+    """Every variant equals the reference kernel bitwise, under toggles."""
+    failures: list[str] = []
+    phi0 = _build_phi0(config)
+    ref = reference_on_level(phi0).to_global_array()
+    for variant in _applicable_variants(config):
+        with ExitStack() as stack:
+            _toggles(stack, config)
+            if config.pool:
+                out = run_schedule_parallel(
+                    variant, phi0, threads=min(config.threads, 4),
+                    arena=config.arena,
+                ).phi1.to_global_array()
+            else:
+                out = run_schedule_on_level(variant, phi0).to_global_array()
+        if not np.array_equal(out, ref):
+            delta = float(np.max(np.abs(out - ref)))
+            failures.append(
+                f"bitwise: {variant.short_name} diverges from reference "
+                f"(max |delta| = {delta:.3e}, pool={config.pool}, "
+                f"arena={config.arena}, tracing={config.tracing})"
+            )
+    return failures
+
+
+# ------------------------------------------------------------------ family 2
+def check_engines(config: VerifyConfig) -> list[str]:
+    """estimate_workload and simulate_workload agree on every variant."""
+    failures: list[str] = []
+    machine = machine_by_name(config.machine)
+    threads = min(config.threads, machine.max_threads)
+    for variant in _applicable_variants(config):
+        wl = build_workload(
+            variant,
+            config.box_size,
+            domain_cells=config.domain_cells,
+            ncomp=config.ncomp,
+            dim=config.dim,
+        )
+        est = estimate_workload(wl, machine, threads)
+        sim = simulate_workload(wl, machine, threads)
+        tag = f"engines: {variant.short_name} @{machine.name}x{threads}"
+        if len(est.phase_times) != len(wl.phases):
+            failures.append(
+                f"{tag}: estimate phase count {len(est.phase_times)} != "
+                f"{len(wl.phases)} workload phases"
+            )
+        if len(sim.phase_times) != len(est.phase_times):
+            failures.append(
+                f"{tag}: phase counts differ (sim {len(sim.phase_times)} "
+                f"vs est {len(est.phase_times)})"
+            )
+        if sim.flops != est.flops:
+            failures.append(
+                f"{tag}: flops bookkeeping differs "
+                f"(sim {sim.flops!r} vs est {est.flops!r})"
+            )
+        if sim.dram_bytes != est.dram_bytes:
+            failures.append(
+                f"{tag}: dram_bytes bookkeeping differs "
+                f"(sim {sim.dram_bytes!r} vs est {est.dram_bytes!r})"
+            )
+        phase_sum = sum(est.phase_times)
+        if abs(phase_sum - est.time_s) > 1e-9 * max(1.0, abs(est.time_s)):
+            failures.append(
+                f"{tag}: estimate phase times sum to {phase_sum!r}, "
+                f"not time_s {est.time_s!r}"
+            )
+        uniform = all(len(p.groups) == 1 for p in wl.phases)
+        if uniform:
+            tol = UNIFORM_TIME_RTOL * max(est.time_s, sim.time_s, 1e-30)
+            if abs(sim.time_s - est.time_s) > tol:
+                failures.append(
+                    f"{tag}: uniform-phase times diverge "
+                    f"(est {est.time_s!r} vs sim {sim.time_s!r})"
+                )
+        else:
+            if est.time_s > sim.time_s * (1 + UNIFORM_TIME_RTOL):
+                failures.append(
+                    f"{tag}: estimate {est.time_s!r} exceeds simulation "
+                    f"{sim.time_s!r} — the bound-based approximation must "
+                    f"be a lower bound"
+                )
+            if sim.time_s > HETEROGENEOUS_TIME_FACTOR * est.time_s:
+                failures.append(
+                    f"{tag}: simulation {sim.time_s!r} beyond "
+                    f"{HETEROGENEOUS_TIME_FACTOR}x the estimate "
+                    f"{est.time_s!r}"
+                )
+        if config.tracing:
+            with _trace.tracing():
+                traced = estimate_workload(wl, machine, threads)
+            if traced.time_s != est.time_s or traced.flops != est.flops:
+                failures.append(
+                    f"{tag}: tracing changed the estimate "
+                    f"({traced.time_s!r} vs {est.time_s!r})"
+                )
+    return failures
+
+
+# ------------------------------------------------------------------ family 3
+def check_invariants(config: VerifyConfig) -> list[str]:
+    """Analytic-model invariants: allocations, traffic, parallelism."""
+    failures: list[str] = []
+    n = config.box_size
+    num_boxes = 1
+    for m in config.domain_mult:
+        num_boxes *= m
+    phi_g = random_initial_data(
+        (n + 4,) * config.dim, ncomp=config.ncomp, seed=config.data_seed
+    )
+    for variant in _applicable_variants(config):
+        ex = make_executor(variant, dim=config.dim, ncomp=config.ncomp)
+        tag = f"invariants: {variant.short_name}"
+
+        # Table I: instrumented allocations stay within the declared
+        # per-thread temporaries, and the arena never changes what is
+        # *logically* allocated.
+        with track_allocations() as plain:
+            ex.run_fresh(phi_g)
+        decl = ex.logical_temporaries(n)
+        decl_total = sum(decl.values())
+        for alloc_tag, peak in plain.peak_elements_by_tag().items():
+            bound = decl.get(alloc_tag) or decl.get(
+                _TAG_ALIASES.get(alloc_tag, ""), 0
+            )
+            if bound > 0:
+                if peak > bound:
+                    failures.append(
+                        f"{tag}: peak {alloc_tag!r} allocation {peak} "
+                        f"exceeds declared budget {bound}"
+                    )
+            elif peak > decl_total:
+                failures.append(
+                    f"{tag}: undeclared scratch tag {alloc_tag!r} peak "
+                    f"{peak} exceeds total declared temporaries {decl_total}"
+                )
+        if config.arena:
+            with scratch_arena(), track_allocations() as pooled:
+                ex.run_fresh(phi_g)
+            if [
+                (r.tag, r.shape) for r in pooled.records
+            ] != [(r.tag, r.shape) for r in plain.records]:
+                failures.append(
+                    f"{tag}: arena changed the logical allocation stream"
+                )
+
+        # Traffic: DRAM bytes monotone non-increasing in cache capacity,
+        # pinned to compulsory at infinite cache, bounded by worst case.
+        tm = variant_traffic(variant, n, ncomp=config.ncomp, dim=config.dim)
+        caches = [2.0**k for k in range(8, 34, 2)]
+        prev = None
+        for cache in caches:
+            cur = tm.dram_bytes(cache)
+            if cur < tm.compulsory - 1e-6:
+                failures.append(
+                    f"{tag}: traffic {cur} below compulsory {tm.compulsory} "
+                    f"at cache {cache}"
+                )
+            if prev is not None and cur > prev * (1 + 1e-12):
+                failures.append(
+                    f"{tag}: traffic not monotone in cache size "
+                    f"({prev} -> {cur} at cache {cache})"
+                )
+            prev = cur
+        if abs(tm.dram_bytes(1e30) - tm.compulsory) > 1e-6:
+            failures.append(
+                f"{tag}: infinite cache traffic {tm.dram_bytes(1e30)} != "
+                f"compulsory {tm.compulsory}"
+            )
+        if tm.worst_case_bytes() < tm.dram_bytes(caches[0]) - 1e-6:
+            failures.append(f"{tag}: worst-case traffic below a finite-cache point")
+
+        # Parallelism: combinatorial bounds and the serial fixed point.
+        units = tasks_per_box(variant, n, config.dim)
+        lvl = level_parallelism(variant, n, num_boxes, config.dim)
+        if units < 1 or lvl < 1:
+            failures.append(
+                f"{tag}: non-positive parallelism (tasks={units}, level={lvl})"
+            )
+        if variant.granularity == "P>=Box" and lvl != num_boxes:
+            failures.append(
+                f"{tag}: P>=Box level parallelism {lvl} != boxes {num_boxes}"
+            )
+        for threads in (1, 2, config.threads):
+            eff = parallel_efficiency_bound(
+                variant, n, num_boxes, threads, config.dim
+            )
+            if not (0.0 < eff <= 1.0 + 1e-12):
+                failures.append(
+                    f"{tag}: efficiency bound {eff} outside (0, 1] "
+                    f"at {threads} threads"
+                )
+        if parallel_efficiency_bound(variant, n, num_boxes, 1, config.dim) != 1.0:
+            failures.append(f"{tag}: serial efficiency bound is not exactly 1")
+        if variant.category == "blocked_wavefront":
+            eff = wavefront_efficiency(n, variant.tile_size, config.threads, config.dim)
+            if not (0.0 < eff <= 1.0 + 1e-12):
+                failures.append(f"{tag}: wavefront efficiency {eff} outside (0, 1]")
+    return failures
+
+
+# ------------------------------------------------------------------ family 4
+def check_metamorphic(config: VerifyConfig) -> list[str]:
+    """Transformations that must commute with the kernel, bitwise."""
+    failures: list[str] = []
+    failures += _metamorphic_translation(config)
+    failures += _metamorphic_component_permutation(config)
+    if all(config.periodic):
+        failures += _metamorphic_periodic_shift(config)
+    return failures
+
+
+def _level_pair(config: VerifyConfig, origin: tuple[int, ...]) -> LevelData:
+    """A level whose domain box starts at ``origin``, data per-box seeded.
+
+    Box *ordering* from ``decompose_domain`` is origin-independent, so
+    two levels built at different origins receive identical per-box
+    data — translation must then commute with every schedule exactly.
+    """
+    domain = ProblemDomain(
+        Box.from_extents(origin, config.domain_cells),
+        periodic=config.periodic,
+    )
+    layout = decompose_domain(domain, config.box_size)
+    phi0 = LevelData(layout, ncomp=config.ncomp, ghost=config.ghost)
+    for i, fab in enumerate(phi0.fabs):
+        rng = np.random.default_rng(config.data_seed + 1000 * i)
+        fab.data[...] = rng.uniform(0.5, 2.0, size=fab.data.shape)
+    phi0.exchange()
+    return phi0
+
+
+def _metamorphic_translation(config: VerifyConfig) -> list[str]:
+    failures = []
+    shift = tuple(
+        7 * config.box_size * (d + 1) for d in range(config.dim)
+    )
+    base = _level_pair(config, (0,) * config.dim)
+    moved = _level_pair(config, shift)
+    for variant in _applicable_variants(config):
+        a = run_schedule_on_level(variant, base).to_global_array()
+        b = run_schedule_on_level(variant, moved).to_global_array()
+        if not np.array_equal(a, b):
+            failures.append(
+                f"metamorphic: {variant.short_name} not invariant under "
+                f"domain-origin translation {shift}"
+            )
+    return failures
+
+
+def _metamorphic_component_permutation(config: VerifyConfig) -> list[str]:
+    """Permuting non-velocity components permutes the output likewise.
+
+    Component ``d+1`` is direction ``d``'s advection velocity, so a
+    permutation fixing components ``1..dim`` commutes with the kernel:
+    every component's flux depends only on itself and the velocity.
+    """
+    failures = []
+    dim, ncomp = config.dim, config.ncomp
+    free = [0] + list(range(dim + 1, ncomp))
+    if len(free) < 2:
+        return failures
+    rng = np.random.default_rng(config.data_seed)
+    perm = np.arange(ncomp)
+    shuffled = np.array(free)
+    rng.shuffle(shuffled)
+    perm[free] = shuffled
+    if np.array_equal(perm, np.arange(ncomp)):
+        perm[free] = np.roll(free, 1)
+    phi_g = random_initial_data(
+        (config.box_size + 4,) * dim, ncomp=ncomp, seed=config.data_seed
+    )
+    out = reference_kernel(phi_g)
+    out_p = reference_kernel(np.asfortranarray(phi_g[..., perm]))
+    if not np.array_equal(out_p, out[..., perm]):
+        failures.append(
+            f"metamorphic: reference kernel does not commute with "
+            f"non-velocity component permutation {perm.tolist()}"
+        )
+    for variant in _applicable_variants(config)[:1]:
+        ex = make_executor(variant, dim=dim, ncomp=ncomp)
+        got = ex.run_fresh(np.asfortranarray(phi_g[..., perm]))
+        if not np.array_equal(got, out[..., perm]):
+            failures.append(
+                f"metamorphic: {variant.short_name} does not commute with "
+                f"component permutation {perm.tolist()}"
+            )
+    return failures
+
+
+def _metamorphic_periodic_shift(config: VerifyConfig) -> list[str]:
+    """Rolling phi0 along a periodic axis rolls phi1 identically.
+
+    Only valid on fully periodic domains: every ghost cell then has a
+    physical image, so the rolled level's ghost ring is the rolled
+    original, and each output cell sees identical inputs bitwise.
+    """
+    failures = []
+    axis = config.data_seed % config.dim
+    shift = config.box_size
+    base = _build_phi0(config)
+    global_phi = base.to_global_array()
+    rolled = np.roll(global_phi, shift, axis=axis)
+    moved = LevelData(base.layout, ncomp=config.ncomp, ghost=config.ghost)
+    moved.fill_from_function(
+        lambda *grids_comp: rolled[tuple(grids_comp[:-1]) + (grids_comp[-1],)]
+    )
+    moved.exchange()
+    for variant in _applicable_variants(config):
+        # Recompute the base from exchanged-from-valid data so both
+        # levels' ghost provenance matches (base's original ghosts are
+        # exchange-filled too on a fully periodic domain).
+        a = run_schedule_on_level(variant, base).to_global_array()
+        b = run_schedule_on_level(variant, moved).to_global_array()
+        if not np.array_equal(b, np.roll(a, shift, axis=axis)):
+            failures.append(
+                f"metamorphic: {variant.short_name} does not commute with "
+                f"periodic shift of {shift} cells along axis {axis}"
+            )
+    return failures
+
+
+_FAMILY_CHECKS = {
+    "bitwise": check_bitwise,
+    "engines": check_engines,
+    "invariants": check_invariants,
+    "metamorphic": check_metamorphic,
+}

@@ -1,0 +1,186 @@
+"""Seeded verification runs, repro files, and replay.
+
+:func:`run_verification` drives N randomized cases through the check
+families, shrinks every failure to a minimal counterexample, and writes
+each one as a replayable JSON *repro file*.  A repro file is pure
+content — the config dict plus the failure messages — so
+``python -m repro.verify --repro FILE`` re-runs exactly that case, and
+a file attached to a CI failure reproduces locally with no seed
+archaeology.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .checks import run_check
+from .config import FAMILIES, VerifyConfig, random_config
+from .shrink import shrink
+
+__all__ = ["CaseResult", "VerifyReport", "run_verification", "load_repro", "replay_repro"]
+
+#: Repro-file format version; bump on incompatible config changes.
+REPRO_VERSION = 1
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one generated case."""
+
+    index: int
+    config: VerifyConfig
+    failures: list[str]
+    shrunk: VerifyConfig | None = None
+    repro_path: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class VerifyReport:
+    """Aggregate outcome of a verification run."""
+
+    seed: int
+    cases: list[CaseResult] = field(default_factory=list)
+
+    @property
+    def num_cases(self) -> int:
+        return len(self.cases)
+
+    @property
+    def failures(self) -> list[CaseResult]:
+        return [c for c in self.cases if not c.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def by_family(self) -> dict[str, tuple[int, int]]:
+        """family -> (passed, failed) counts."""
+        out: dict[str, tuple[int, int]] = {}
+        for c in self.cases:
+            passed, failed = out.get(c.config.family, (0, 0))
+            if c.ok:
+                passed += 1
+            else:
+                failed += 1
+            out[c.config.family] = (passed, failed)
+        return out
+
+    def summary(self) -> str:
+        lines = [f"repro.verify: seed={self.seed} cases={self.num_cases}"]
+        for fam in FAMILIES:
+            if fam in self.by_family():
+                passed, failed = self.by_family()[fam]
+                mark = "ok" if failed == 0 else f"{failed} FAILED"
+                lines.append(f"  {fam:<12} {passed + failed:>4} cases  {mark}")
+        if self.ok:
+            lines.append("all checks passed")
+        else:
+            lines.append(f"{len(self.failures)} case(s) FAILED:")
+            for c in self.failures:
+                lines.append(f"  case {c.index}: {c.config.label()}")
+                for msg in c.failures[:4]:
+                    lines.append(f"    - {msg}")
+                if len(c.failures) > 4:
+                    lines.append(f"    ... and {len(c.failures) - 4} more")
+                if c.shrunk is not None and c.shrunk != c.config:
+                    lines.append(f"    shrunk to: {c.shrunk.label()}")
+                if c.repro_path:
+                    lines.append(f"    repro: {c.repro_path}")
+        return "\n".join(lines)
+
+
+def _write_repro(
+    out_dir: str, seed: int, case: CaseResult
+) -> str:
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"repro-{seed}-{case.index}.json")
+    doc = {
+        "version": REPRO_VERSION,
+        "seed": seed,
+        "case": case.index,
+        "family": case.config.family,
+        "failures": case.failures,
+        "config": case.config.to_dict(),
+    }
+    if case.shrunk is not None:
+        doc["shrunk_config"] = case.shrunk.to_dict()
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def run_verification(
+    seed: int = 2014,
+    cases: int = 100,
+    families: Sequence[str] | None = None,
+    out_dir: str | None = None,
+    do_shrink: bool = True,
+    check_fn: Callable[[VerifyConfig], list[str]] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> VerifyReport:
+    """Run ``cases`` seeded random cases and report.
+
+    Families round-robin (case *i* gets ``families[i % len]``) so every
+    family gets near-equal coverage at any case count.  ``check_fn`` is
+    injectable for tests; it defaults to the real dispatcher.
+    """
+    fams = tuple(families) if families else FAMILIES
+    for f in fams:
+        if f not in FAMILIES:
+            raise ValueError(f"unknown family {f!r}; use {FAMILIES}")
+    check = check_fn if check_fn is not None else run_check
+    rng = random.Random(seed)
+    report = VerifyReport(seed=seed)
+    for i in range(cases):
+        config = random_config(rng, family=fams[i % len(fams)])
+        try:
+            failures = list(check(config))
+        except Exception as exc:  # a crash is a failure with a message
+            failures = [f"{config.family}: check raised {type(exc).__name__}: {exc}"]
+        result = CaseResult(index=i, config=config, failures=failures)
+        if failures:
+            if do_shrink:
+                def _fails(c: VerifyConfig) -> bool:
+                    try:
+                        return bool(check(c))
+                    except Exception:
+                        return True
+
+                result.shrunk = shrink(config, fails=_fails)
+            if out_dir is not None:
+                result.repro_path = _write_repro(out_dir, seed, result)
+            if progress is not None:
+                progress(f"case {i} FAILED: {config.label()}")
+        report.cases.append(result)
+    return report
+
+
+def load_repro(path: str) -> tuple[VerifyConfig, dict]:
+    """(config, full document) from a repro file.
+
+    Prefers the shrunken config when present — that is the minimal
+    counterexample the original run converged to.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("version") != REPRO_VERSION:
+        raise ValueError(
+            f"unsupported repro version {doc.get('version')!r} in {path}"
+        )
+    cfg = VerifyConfig.from_dict(doc.get("shrunk_config") or doc["config"])
+    return cfg, doc
+
+
+def replay_repro(path: str) -> list[str]:
+    """Re-run the case a repro file captured; returns current failures."""
+    cfg, _ = load_repro(path)
+    return run_check(cfg)

@@ -1,0 +1,106 @@
+"""Greedy counterexample shrinking for failing harness configs.
+
+A randomized failure is only useful once it is small: one variant, one
+box, the fewest components, no toggles.  :func:`shrink` walks a fixed
+candidate order — each candidate is a single simplification of one
+field — and greedily accepts any candidate that still fails, repeating
+until a full pass accepts nothing (a local minimum).
+
+The failure predicate is injectable so the shrinker itself is testable
+against synthetic predicates without running real checks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .checks import run_check
+from .config import VerifyConfig
+
+__all__ = ["shrink"]
+
+#: Safety valve: shrinking re-runs the check per candidate, so cap the
+#: total number of executions for pathological cascades.
+DEFAULT_MAX_ATTEMPTS = 120
+
+
+def _candidates(config: VerifyConfig) -> Iterator[VerifyConfig]:
+    """Simplifications of ``config``, most valuable first.
+
+    Order matters: dropping variants first makes every later re-check
+    cheaper, and the remaining axes shrink toward the conventional
+    minimum (single box, ncomp = dim+1, one thread, ghost 2, toggles
+    off, fully periodic).
+    """
+    # 1. Fewer variants — down to each single variant.
+    if len(config.variants) > 1:
+        for name in config.variants:
+            yield config.simplified(variants=(name,))
+    # 2. Single-box domain, axis by axis then all at once.
+    if any(m > 1 for m in config.domain_mult):
+        yield config.simplified(domain_mult=(1,) * config.dim)
+        for ax, m in enumerate(config.domain_mult):
+            if m > 1:
+                mult = list(config.domain_mult)
+                mult[ax] = 1
+                yield config.simplified(domain_mult=tuple(mult))
+    # 3. Smaller box, if every variant still applies.
+    for smaller in (4, 5, 6, 8):
+        if smaller < config.box_size and all(
+            v.applicable_to_box(smaller) for v in config.variant_objects()
+        ):
+            yield config.simplified(box_size=smaller)
+            break
+    # 4. Fewest components.
+    if config.ncomp > config.dim + 1:
+        yield config.simplified(ncomp=config.dim + 1)
+    # 5. Serial.
+    if config.threads > 1:
+        yield config.simplified(threads=1)
+    # 6. Minimal ghost width.
+    if config.ghost > 2:
+        yield config.simplified(ghost=2)
+    # 7. Substrate toggles off, one at a time.
+    for tog in ("arena", "pool", "tracing"):
+        if getattr(config, tog):
+            yield config.simplified(**{tog: False})
+    # 8. Fully periodic (the most symmetric boundary handling).
+    if not all(config.periodic):
+        yield config.simplified(periodic=(True,) * config.dim)
+
+
+def shrink(
+    config: VerifyConfig,
+    fails: Callable[[VerifyConfig], bool] | None = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> VerifyConfig:
+    """The smallest config reachable from ``config`` that still fails.
+
+    ``fails(candidate)`` decides whether a candidate reproduces the
+    failure; it defaults to "``run_check`` reports anything".  Candidate
+    construction is exception-safe: a candidate whose check *crashes*
+    counts as failing (a crash is a reproduction too).
+    """
+    if fails is None:
+        def fails(c: VerifyConfig) -> bool:
+            try:
+                return bool(run_check(c))
+            except Exception:
+                return True
+
+    attempts = 0
+    current = config
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for cand in _candidates(current):
+            if cand == current:
+                continue
+            attempts += 1
+            if fails(cand):
+                current = cand
+                improved = True
+                break  # restart candidate walk from the smaller config
+            if attempts >= max_attempts:
+                break
+    return current

@@ -170,3 +170,60 @@ class TestRandomizedGeometry:
         for v in _family_variants(tile):
             r = run_schedule_parallel(v, phi0, threads, arena=True)
             assert np.array_equal(r.phi1.to_global_array(), reference), v.label
+
+
+class TestDeadThreadSweep:
+    """Regression: the registry used to pin every worker thread's free
+    lists (and the pooled arrays in them) for the life of the process."""
+
+    def _spawn_pooling_thread(self, nbytes=1 << 16):
+        import threading
+
+        def work():
+            with scratch_scope():
+                alloc_scratch("leak-probe", (nbytes // 8,))
+
+        t = threading.Thread(target=work)
+        with scratch_arena():
+            t.start()
+            t.join()
+
+    def test_dead_threads_are_swept_from_registry(self):
+        from repro.util import arena as _arena
+
+        for _ in range(8):
+            self._spawn_pooling_thread()
+        # The next fresh thread's registration sweeps the 8 dead ones;
+        # at most that final thread itself can remain registered dead.
+        self._spawn_pooling_thread()
+        with _arena._lock:
+            dead = [t for t, _ in _arena._all_states if not t.is_alive()]
+        assert len(dead) <= 1
+
+    def test_dead_thread_buffers_are_released(self):
+        from repro.util import arena as _arena
+
+        nbytes = 1 << 20
+        for _ in range(4):
+            self._spawn_pooling_thread(nbytes)
+        with _arena._lock:
+            _arena._sweep_dead_locked()
+            pinned = sum(
+                arr.nbytes
+                for _, st in _arena._all_states
+                for stack in st.free.values()
+                for arr in stack
+            )
+        # Pre-fix this pinned 4 MiB of dead workers' pooled buffers;
+        # post-sweep only live threads' pools remain, and this test's
+        # own thread pooled nothing that large.
+        assert pinned < nbytes
+
+    def test_clear_arena_prunes_dead_entries(self):
+        from repro.util import arena as _arena
+
+        for _ in range(4):
+            self._spawn_pooling_thread()
+        clear_arena()
+        with _arena._lock:
+            assert all(t.is_alive() for t, _ in _arena._all_states)

@@ -344,3 +344,83 @@ class TestWatchdog:
         f = TaskFailure("grid", 3, "k", "timeout", error="x", recovered=True)
         d = f.to_dict()
         assert d["scope"] == "grid" and d["kind"] == "timeout" and d["recovered"]
+
+
+class TestJournalCorruptRecords:
+    """Regression: corrupt journal records must be skipped, never fatal.
+
+    A crash mid-append (or a hand-edited file) can leave records that
+    parse as JSON but are structurally broken; resume used to raise
+    KeyError on a record carrying "grid" and "r" but no "i"."""
+
+    def _write_journal(self, path, lines):
+        with open(path, "w") as fh:
+            fh.write('{"kind": "header", "version": 1}\n')
+            for line in lines:
+                fh.write(line + "\n")
+
+    def test_record_missing_index_is_skipped(self, tmp_path):
+        points = small_grid()
+        r = points[0].evaluate()
+        path = str(tmp_path / "j.jsonl")
+        self._write_journal(
+            path,
+            [json.dumps({"grid": grid_hash(points), "key": point_key(points[0]), "r": sim_result_to_dict(r)})],
+        )
+        with GridJournal(path, resume=True) as j:  # KeyError pre-fix
+            assert len(j) == 0
+            out = run_grid(points, journal=j)
+        assert all(x is not None for x in out)
+
+    def test_record_with_bad_index_is_skipped(self, tmp_path):
+        points = small_grid()
+        r = sim_result_to_dict(points[0].evaluate())
+        path = str(tmp_path / "j.jsonl")
+        self._write_journal(
+            path,
+            [json.dumps({"grid": grid_hash(points), "i": "zero-ish", "key": point_key(points[0]), "r": r})],
+        )
+        with GridJournal(path, resume=True) as j:
+            assert len(j) == 0
+
+    def test_payload_missing_simresult_fields_is_skipped(self, tmp_path):
+        points = small_grid()
+        good = sim_result_to_dict(points[0].evaluate())
+        ghash = grid_hash(points)
+        key = point_key(points[0])
+        bad_payloads = [
+            {k: v for k, v in good.items() if k != "time_s"},  # missing field
+            {**good, "time_s": "fast"},  # non-numeric
+            {**good, "phase_times": "not-a-list"},
+            {**good, "phase_times": [1.0, "x"]},
+            "not-a-dict",
+        ]
+        path = str(tmp_path / "j.jsonl")
+        self._write_journal(
+            path,
+            [
+                json.dumps({"grid": ghash, "i": i, "key": key, "r": p})
+                for i, p in enumerate(bad_payloads)
+            ],
+        )
+        with GridJournal(path, resume=True) as j:
+            assert len(j) == 0
+            assert j.lookup(ghash, 0, key) is None
+
+    def test_valid_records_survive_surrounding_corruption(self, tmp_path):
+        points = small_grid()
+        clean = run_grid(points)
+        path = str(tmp_path / "j.jsonl")
+        with GridJournal(path) as j:
+            run_grid(points, journal=j)
+        # Splice corrupt records *between* the valid ones.
+        with open(path) as fh:
+            lines = [ln for ln in fh.read().splitlines() if ln]
+        lines.insert(1, json.dumps({"grid": "g", "r": {}}))
+        lines.insert(3, '{"grid": "trunc')
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with GridJournal(path, resume=True) as j2:
+            resumed = run_grid(points, journal=j2)
+            assert j2.hits == len(points) and j2.written == 0
+        assert results_equal(resumed, clean)

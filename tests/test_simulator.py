@@ -120,3 +120,41 @@ class TestPaperShape:
         assert r.bandwidth_gbs > 0
         assert r.speedup_over(estimate_workload(wl, SANDY_BRIDGE, 1)) > 1.0
         assert len(r.phase_times) == len(wl.phases)
+
+
+class TestSpeedupDegenerateCases:
+    """Regression: speedup_over used to ZeroDivisionError on zero-time
+    results; now every degenerate combination is defined, consistent
+    with the gflops/bandwidth_gbs zero guards."""
+
+    def _r(self, t):
+        from repro.machine.simulator import SimResult
+
+        return SimResult("m", "v", 1, t, 0.0, 0.0, [t])
+
+    def test_normal_ratio(self):
+        assert self._r(1.0).speedup_over(self._r(2.0)) == 2.0
+
+    def test_zero_time_self_vs_nonzero(self):
+        import math
+
+        assert self._r(0.0).speedup_over(self._r(2.0)) == math.inf
+
+    def test_nonzero_vs_zero_time_other(self):
+        assert self._r(2.0).speedup_over(self._r(0.0)) == 0.0
+
+    def test_both_zero_tie(self):
+        assert self._r(0.0).speedup_over(self._r(0.0)) == 1.0
+
+    def test_nan_propagates(self):
+        import math
+
+        nan = float("nan")
+        assert math.isnan(self._r(nan).speedup_over(self._r(1.0)))
+        assert math.isnan(self._r(1.0).speedup_over(self._r(nan)))
+        assert math.isnan(self._r(nan).speedup_over(self._r(0.0)))
+
+    def test_zero_time_accessors_stay_finite(self):
+        r = self._r(0.0)
+        assert r.gflops == 0.0
+        assert r.bandwidth_gbs == 0.0

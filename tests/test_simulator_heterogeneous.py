@@ -91,3 +91,69 @@ class TestBandwidthContention:
         r1 = estimate_workload(wl, SANDY_BRIDGE, 4)
         r2 = estimate_workload(wl2, SANDY_BRIDGE, 4)
         assert r2.dram_bytes > r1.dram_bytes
+
+
+class TestEstimateDivergenceBounds:
+    """The bound-based heterogeneous estimate must be a true lower
+    bound on the event simulation, and stay within a small factor.
+
+    Regression: the largest-item term used to charge the typical
+    round's k-way bandwidth share, which *overestimates* a lone big
+    item's finish time — on bandwidth-heavy mixes the "lower bound"
+    exceeded the simulation by up to 5x."""
+
+    def _engines(self, phase, threads=8):
+        wl = workload([phase])
+        est = estimate_workload(wl, SANDY_BRIDGE, threads)
+        sim = simulate_workload(wl, SANDY_BRIDGE, threads)
+        return est, sim
+
+    def test_estimate_is_lower_bound_bandwidth_heavy(self):
+        # One huge memory-bound item among many tiny ones: pre-fix the
+        # big item was charged 8-way-shared bandwidth it never sees.
+        p = Phase("bw-heavy")
+        p.add(item(1e6, 4e9, "huge"), 1)
+        p.add(item(1e6, 1e3, "tiny"), 64)
+        est, sim = self._engines(p)
+        assert est.time_s <= sim.time_s * (1 + 1e-9)
+        assert sim.time_s <= 3.0 * est.time_s
+
+    def test_estimate_is_lower_bound_compute_heavy(self):
+        p = Phase("cpu-heavy")
+        p.add(item(5e9, 1e3, "big"), 3)
+        p.add(item(1e7, 1e3, "small"), 40)
+        est, sim = self._engines(p)
+        assert est.time_s <= sim.time_s * (1 + 1e-9)
+        assert sim.time_s <= 3.0 * est.time_s
+
+    def test_estimate_is_lower_bound_mixed_sweep(self):
+        # A deterministic sweep over flop/byte mixes and thread counts.
+        mixes = [
+            ((1e9, 1e6), (1e7, 1e4, 10)),
+            ((1e8, 2e9), (1e8, 1e5, 6)),
+            ((1e6, 1e9), (1e9, 1e3, 4)),
+            ((2e9, 2e9), (1e5, 1e8, 12)),
+        ]
+        for threads in (2, 4, 8, 16):
+            for (bf, bb), (sf, sb, count) in mixes:
+                p = Phase("mix")
+                p.add(item(bf, bb, "a"), 1)
+                p.add(item(sf, sb, "b"), count)
+                est, sim = self._engines(p, threads)
+                assert est.time_s <= sim.time_s * (1 + 1e-9), (threads, bf, bb)
+                assert sim.time_s <= 3.0 * est.time_s, (threads, bf, bb)
+
+    def test_bookkeeping_exact_equality(self):
+        # flops/bytes accounting goes through one shared loop: the two
+        # engines must agree bitwise, not approximately.
+        p = Phase("mix")
+        p.add(item(1e9, 1e6, "a"), 3)
+        p.add(item(3e7, 7e5, "b"), 17)
+        p2 = Phase("uniform")
+        p2.add(item(2e8, 5e5, "c"), 11)
+        wl = workload([p, p2])
+        est = estimate_workload(wl, SANDY_BRIDGE, 4)
+        sim = simulate_workload(wl, SANDY_BRIDGE, 4)
+        assert est.flops == sim.flops
+        assert est.dram_bytes == sim.dram_bytes
+        assert len(est.phase_times) == len(sim.phase_times) == 2

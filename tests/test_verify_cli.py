@@ -1,0 +1,108 @@
+"""The ``python -m repro.verify`` CLI: exit codes, repro replay, flags."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.verify import VerifyConfig
+from repro.verify.__main__ import main
+from repro.verify.runner import REPRO_VERSION
+
+
+def run_cli(*argv, cwd=None):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.verify", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+    )
+
+
+class TestMainInProcess:
+    """main() called directly — fast paths, no subprocess."""
+
+    def test_small_clean_run_exits_zero(self, tmp_path, capsys):
+        rc = main(
+            ["--seed", "2014", "--cases", "4", "--out-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all checks passed" in out
+        assert "seed=2014 cases=4" in out
+
+    def test_family_flag_restricts(self, tmp_path, capsys):
+        rc = main(
+            [
+                "--seed", "3", "--cases", "3",
+                "--family", "engines",
+                "--out-dir", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "engines" in out
+        assert "bitwise" not in out
+
+    def test_repro_replay_of_passing_case(self, tmp_path, capsys):
+        cfg = VerifyConfig(
+            family="bitwise",
+            dim=2,
+            box_size=8,
+            domain_mult=(1, 1),
+            ncomp=3,
+            ghost=2,
+            periodic=(True, True),
+            variants=("shift_fuse-PltBox-cli",),
+            machine="sandy_bridge",
+            threads=1,
+            arena=False,
+            pool=False,
+            tracing=False,
+            data_seed=7,
+        )
+        path = tmp_path / "repro-x-0.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": REPRO_VERSION,
+                    "seed": 0,
+                    "case": 0,
+                    "family": "bitwise",
+                    "failures": ["recorded failure"],
+                    "config": cfg.to_dict(),
+                }
+            )
+        )
+        rc = main(["--repro", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "passes on the current tree" in out
+        assert "likely fixed since" in out
+
+    def test_repro_rejects_unknown_version(self, tmp_path, capsys):
+        path = tmp_path / "repro-bad.json"
+        path.write_text(json.dumps({"version": 999, "config": {}}))
+        assert main(["--repro", str(path)]) == 2
+        assert "unsupported repro version" in capsys.readouterr().err
+
+    def test_repro_missing_file_is_one_line_error(self, tmp_path, capsys):
+        assert main(["--repro", str(tmp_path / "nope.json")]) == 2
+        assert "cannot load repro file" in capsys.readouterr().err
+
+
+class TestSubprocess:
+    """One real subprocess run — the exact invocation CI uses, tiny."""
+
+    def test_module_entrypoint(self, tmp_path):
+        r = run_cli(
+            "--seed", "2014", "--cases", "2", "--out-dir", str(tmp_path)
+        )
+        assert r.returncode == 0, r.stderr
+        assert "all checks passed" in r.stdout
