@@ -149,6 +149,43 @@ def _obs_overhead() -> dict[str, float]:
     }
 
 
+def _serve_overhead() -> dict:
+    """Serving-layer tax: the fig2 grid direct vs through ``repro.serve``.
+
+    Routed as one batch job — one queue hop, one ticket settle — which
+    is how a caller would serve a whole figure.  Both paths run warm
+    (the direct pass above already primed every cache) and best-of-
+    repeats sheds scheduler noise at this millisecond scale.  The
+    acceptance bar (``check_overhead_regression.py``): served within
+    5% of direct, plus a small absolute grace for timer noise.
+    """
+    from repro.bench.experiments import scaling_grid_points
+    from repro.bench.runner import run_grid
+    from repro.serve import JobService, serve_grid
+
+    points = scaling_grid_points("fig2")
+    run_grid(points)  # prime the caches both paths share
+    repeats = 7
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    direct_s = best_of(lambda: run_grid(points))
+    with JobService(workers=2, queue_limit=64) as svc:
+        served_s = best_of(lambda: serve_grid(points, svc, batch=True))
+    return {
+        "grid_points": len(points),
+        "direct_run_grid_s": round(direct_s, 6),
+        "served_batch_s": round(served_s, 6),
+        "overhead_ratio": round(served_s / direct_s, 4),
+    }
+
+
 def collect() -> dict:
     from repro.util.perf import perf
 
@@ -191,6 +228,7 @@ def collect() -> dict:
             "bytes_reused": p.get("arena.bytes_reused"),
         },
         "observability": _obs_overhead(),
+        "serve": _serve_overhead(),
     }
     return report
 
@@ -214,6 +252,14 @@ def test_harness_overhead():
     assert obs["add_event_disabled_ns"] < 5_000
     assert obs["counter_inc_ns"] < 10_000
     assert obs["traced_span_ns"] < 100_000
+    # The serving layer must stay a thin front: routing the fig2 grid
+    # through repro.serve within 5% of direct run_grid, plus a 10 ms
+    # absolute grace (the grid itself is ~ms-scale warm, where a single
+    # scheduler hiccup exceeds any sane relative bar).
+    serve = report["serve"]
+    assert serve["served_batch_s"] <= (
+        serve["direct_run_grid_s"] * 1.05 + 0.010
+    ), serve
 
 
 if __name__ == "__main__":

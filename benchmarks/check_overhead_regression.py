@@ -33,13 +33,17 @@ GATED_METRICS = (
 )
 
 
-def load_observability(path: str) -> dict:
+def load_section(path: str, name: str) -> dict:
     with open(path) as f:
         doc = json.load(f)
-    section = doc.get("observability", {})
+    section = doc.get(name, {})
     if not isinstance(section, dict):
-        raise ValueError(f"{path}: 'observability' must be an object")
+        raise ValueError(f"{path}: {name!r} must be an object")
     return section
+
+
+def load_observability(path: str) -> dict:
+    return load_section(path, "observability")
 
 
 def check(
@@ -62,6 +66,30 @@ def check(
     return problems
 
 
+def check_serve(
+    serve: dict, tolerance: float, grace_s: float
+) -> list[str]:
+    """The serving-overhead bar, absolute against the current run.
+
+    Unlike the observability gate this needs no baseline: the criterion
+    is intrinsic — routing a grid through ``repro.serve`` must cost
+    within ``tolerance`` of direct ``run_grid``, plus ``grace_s`` of
+    absolute slack for scheduler noise at the millisecond scale.
+    """
+    direct = serve.get("direct_run_grid_s")
+    served = serve.get("served_batch_s")
+    if direct is None or served is None:
+        return []
+    limit = direct * (1.0 + tolerance) + grace_s
+    if served > limit:
+        return [
+            f"serve overhead: served {served * 1e3:.2f} ms > limit "
+            f"{limit * 1e3:.2f} ms (direct {direct * 1e3:.2f} ms, "
+            f"tolerance {tolerance:.0%} + {grace_s * 1e3:.0f} ms grace)"
+        ]
+    return []
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -72,38 +100,52 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed relative growth (default 0.05)")
     parser.add_argument("--grace-ns", type=float, default=200.0,
                         help="absolute noise allowance per metric (ns)")
+    parser.add_argument("--serve-grace-s", type=float, default=0.010,
+                        help="absolute allowance for the serve gate (s)")
     args = parser.parse_args(argv)
 
     try:
         baseline = load_observability(args.baseline)
         current = load_observability(args.current)
+        serve = load_section(args.current, "serve")
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    problems: list[str] = []
     if not baseline:
         print(
-            f"{args.baseline}: no observability baseline yet; gate skipped"
+            f"{args.baseline}: no observability baseline yet; obs gate skipped"
         )
-        return 0
-    if not current:
+    elif not current:
         print(f"error: {args.current} has no observability section",
               file=sys.stderr)
         return 1
+    else:
+        problems.extend(check(baseline, current, args.tolerance, args.grace_ns))
+        for name in GATED_METRICS:
+            if name in baseline and name in current:
+                print(
+                    f"{name}: baseline {baseline[name]:.1f} ns -> "
+                    f"current {current[name]:.1f} ns"
+                )
 
-    problems = check(baseline, current, args.tolerance, args.grace_ns)
-    for name in GATED_METRICS:
-        if name in baseline and name in current:
-            print(
-                f"{name}: baseline {baseline[name]:.1f} ns -> "
-                f"current {current[name]:.1f} ns"
-            )
+    if serve:
+        problems.extend(check_serve(serve, args.tolerance, args.serve_grace_s))
+        print(
+            f"serve: direct {serve.get('direct_run_grid_s', 0) * 1e3:.2f} ms "
+            f"-> served {serve.get('served_batch_s', 0) * 1e3:.2f} ms "
+            f"(ratio {serve.get('overhead_ratio', 0):.3f})"
+        )
+    else:
+        print(f"{args.current}: no serve section yet; serve gate skipped")
+
     if problems:
-        print("observability overhead regression:", file=sys.stderr)
+        print("overhead regression:", file=sys.stderr)
         for p in problems:
             print(f"  {p}", file=sys.stderr)
         return 1
-    print("observability overhead within budget")
+    print("harness overhead within budget")
     return 0
 
 

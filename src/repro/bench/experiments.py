@@ -34,6 +34,8 @@ __all__ = [
     "SeriesData",
     "fig1_ghost_ratio",
     "scaling_figure",
+    "scaling_figure_lines",
+    "scaling_grid_points",
     "FIG2_TO_4",
     "table1",
     "fig9_best_by_box_size",
@@ -104,9 +106,36 @@ FIG2_TO_4: dict[str, tuple[MachineSpec, Variant, str]] = {
 }
 
 
+def scaling_figure_lines(figure: str) -> list[tuple[str, Variant, int]]:
+    """The (label, variant, box size) lines of one scaling figure."""
+    machine, ot_variant, ot_label = FIG2_TO_4[figure]
+    return [
+        ("Baseline: P>=Box, N=16", Variant("series", "P>=Box", "CLO"), 16),
+        ("Shift-Fuse: P>=Box, N=16", Variant("shift_fuse", "P>=Box", "CLO"), 16),
+        ("Baseline: P>=Box, N=128", Variant("series", "P>=Box", "CLO"), 128),
+        (ot_label, ot_variant, 128),
+    ]
+
+
+def scaling_grid_points(figure: str) -> list[GridPoint]:
+    """The full experiment grid behind one of Figs. 2-4 (lines x threads).
+
+    The figure generator and the serve layer's overhead benchmark both
+    build from this one spec, so "route the fig2 grid through the
+    service" means byte-for-byte the same grid points.
+    """
+    machine, _, _ = FIG2_TO_4[figure]
+    threads = machine_thread_points(machine)
+    return [
+        GridPoint(variant, machine, t, n)
+        for _label, variant, n in scaling_figure_lines(figure)
+        for t in threads
+    ]
+
+
 def scaling_figure(figure: str) -> SeriesData:
     """Figs. 2-4: baseline/shift-fuse at N=16 and N=128 vs thread count."""
-    machine, ot_variant, ot_label = FIG2_TO_4[figure]
+    machine, _ot_variant, _ot_label = FIG2_TO_4[figure]
     with timed(f"figure.{figure}"):
         threads = machine_thread_points(machine)
         data = SeriesData(
@@ -115,18 +144,9 @@ def scaling_figure(figure: str) -> SeriesData:
             ylabel="time (s)",
             x=threads,
         )
-        lines = [
-            ("Baseline: P>=Box, N=16", Variant("series", "P>=Box", "CLO"), 16),
-            ("Shift-Fuse: P>=Box, N=16", Variant("shift_fuse", "P>=Box", "CLO"), 16),
-            ("Baseline: P>=Box, N=128", Variant("series", "P>=Box", "CLO"), 128),
-            (ot_label, ot_variant, 128),
-        ]
+        lines = scaling_figure_lines(figure)
         # The whole figure is one grid: lines x thread counts.
-        results = run_grid(
-            GridPoint(variant, machine, t, n)
-            for label, variant, n in lines
-            for t in threads
-        )
+        results = run_grid(scaling_grid_points(figure))
         for li, (label, _, _) in enumerate(lines):
             chunk = results[li * len(threads): (li + 1) * len(threads)]
             data.add_line(label, _times(chunk))

@@ -55,6 +55,8 @@ __all__ = [
     "GridPoint",
     "GridResult",
     "run_grid",
+    "span_attrs",
+    "record_point_metrics",
     "default_grid_workers",
     "set_grid_workers",
     "set_grid_journal",
@@ -280,7 +282,12 @@ _DRAM_COUNTER = "model.dram_bytes"
 _POINT_HIST = "grid.point_s"
 
 
-def _span_attrs(p: GridPoint, index: int) -> dict:
+def span_attrs(p: GridPoint, index: int) -> dict:
+    """The standard span attributes of one grid point.
+
+    Shared with :mod:`repro.serve` so a job served through the queue
+    carries the same trace identity as a directly-run grid point.
+    """
     return {
         "index": index,
         "variant": p.variant.short_name,
@@ -292,7 +299,7 @@ def _span_attrs(p: GridPoint, index: int) -> dict:
     }
 
 
-def _record_point(s, r: SimResult, elapsed_s: float) -> None:
+def record_point_metrics(s, r: SimResult, elapsed_s: float) -> None:
     """Attach a settled point's modeled numbers to its span + metrics."""
     s.set_attr(
         model_time_s=r.time_s,
@@ -310,9 +317,9 @@ def _traced_evaluate(p: GridPoint, index: int):
 
     def run() -> SimResult:
         start = time.perf_counter()
-        with _trace.span("grid.point", engine=p.engine, **_span_attrs(p, index)) as s:
+        with _trace.span("grid.point", engine=p.engine, **span_attrs(p, index)) as s:
             r = p.evaluate()
-            _record_point(s, r, time.perf_counter() - start)
+            record_point_metrics(s, r, time.perf_counter() - start)
         return r
 
     return run
@@ -420,7 +427,7 @@ def _run_grid_resilient(
             "grid.point",
             engine=engine[i],
             attempt=attempts[i] + 1,
-            **_span_attrs(p, i),
+            **span_attrs(p, i),
         ) as s:
             _faults.perturb("grid", i, keys[i])
             r = p.evaluate(engine=engine[i])
@@ -430,7 +437,7 @@ def _run_grid_resilient(
                     r.phase_times[0] = float("nan")
                 s.event("grid.corrupted", index=i, key=keys[i])
             else:
-                _record_point(s, r, time.perf_counter() - start)
+                record_point_metrics(s, r, time.perf_counter() - start)
         return r
 
     def settle(i: int, r: SimResult) -> None:

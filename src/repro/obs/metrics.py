@@ -139,6 +139,20 @@ class MetricsRegistry:
     def gauge_set(self, name: str, value: float) -> None:
         self._shard().gauges[name] = (next(self._gauge_seq), value)
 
+    def gauge_set_max(self, name: str, value: float) -> None:
+        """Raise a gauge to ``value`` only if it exceeds the merged view.
+
+        High-water-mark helper: a no-op when some shard already holds a
+        larger value.  Gauges merge by most-recent write, so concurrent
+        writers racing on the same mark can briefly publish a lower
+        value; the authoritative mark should live with its owner (the
+        serve layer keeps its own under a lock and publishes from one
+        supervisor thread), this gauge is the observational mirror.
+        """
+        current = self.gauge_value(name)
+        if current is None or value > current:
+            self.gauge_set(name, value)
+
     def histogram_observe(self, name: str, value: float) -> None:
         bounds = self._hist_bounds.get(name)
         if bounds is None:
@@ -275,6 +289,9 @@ class Gauge:
 
     def set(self, value: float) -> None:
         self._reg.gauge_set(self.name, value)
+
+    def set_max(self, value: float) -> None:
+        self._reg.gauge_set_max(self.name, value)
 
     @property
     def value(self) -> float | None:

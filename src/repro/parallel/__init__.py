@@ -6,6 +6,7 @@ from .pool import (
     get_shared_pool,
     run_plan,
     run_schedule_parallel,
+    shared_pool_stats,
     shutdown_shared_pool,
 )
 
@@ -17,5 +18,6 @@ __all__ = [
     "get_shared_pool",
     "run_plan",
     "run_schedule_parallel",
+    "shared_pool_stats",
     "shutdown_shared_pool",
 ]

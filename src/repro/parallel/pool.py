@@ -62,6 +62,7 @@ __all__ = [
     "run_plan",
     "run_schedule_parallel",
     "get_shared_pool",
+    "shared_pool_stats",
     "shutdown_shared_pool",
 ]
 
@@ -123,9 +124,30 @@ def get_shared_pool(min_workers: int) -> ThreadPoolExecutor:
                 atexit.register(_atexit_shutdown)
                 _ATEXIT_REGISTERED = True
         pool = _POOL
+        size = _POOL_SIZE
     if old is not None:
         old.shutdown(wait=True)
+    from ..obs.metrics import default_registry
+
+    default_registry().gauge_set("pool.size", float(size))
     return pool
+
+
+def shared_pool_stats() -> dict:
+    """Size and thread liveness of the shared executor (for obs/serve).
+
+    ``threads_alive`` counts the executor's worker threads that are
+    still running — the serve layer's chaos soak asserts this returns
+    to a sane value after a drill, i.e. nothing wedged the shared pool.
+    """
+    with _POOL_LOCK:
+        pool, size = _POOL, _POOL_SIZE
+    threads = getattr(pool, "_threads", ()) if pool is not None else ()
+    return {
+        "size": size,
+        "alive": pool is not None,
+        "threads_alive": sum(1 for t in threads if t.is_alive()),
+    }
 
 
 def shutdown_shared_pool() -> None:

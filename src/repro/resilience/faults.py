@@ -56,8 +56,10 @@ __all__ = [
     "take_corrupt",
 ]
 
-#: Execution scopes faults can address.
-SCOPES = ("pool", "grid", "estimate", "simulate")
+#: Execution scopes faults can address.  ``serve`` addresses job
+#: attempts inside :mod:`repro.serve` workers (a ``stall`` there is how
+#: the hung-worker supervision path is exercised).
+SCOPES = ("pool", "grid", "estimate", "simulate", "serve")
 #: Fault modes.
 MODES = ("raise", "stall", "corrupt")
 

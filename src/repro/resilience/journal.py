@@ -23,6 +23,15 @@ lines — a truncated tail (the crash that motivated the resume), a
 record missing its index, or a result payload missing SimResult
 fields — are skipped, never fatal: a skipped point is simply
 recomputed.
+
+Concurrent writers: one :class:`GridJournal` instance serializes its
+own appends under an instance lock, and *all* instances targeting the
+same path additionally share a process-global per-path lock — the
+serve layer and a journaled ``run_grid`` can checkpoint into one file
+from different threads without interleaving partial JSONL lines.  The
+write handle is always opened in append mode (``resume=False``
+truncates explicitly first), so even two handles never overwrite each
+other's records mid-file.
 """
 
 from __future__ import annotations
@@ -44,6 +53,18 @@ __all__ = [
 ]
 
 _VERSION = 1
+
+#: Process-global per-path write locks: every GridJournal instance on
+#: the same (real) path shares one lock, so two instances appending to
+#: one file cannot interleave partial lines.
+_PATH_LOCKS: dict[str, threading.Lock] = {}
+_PATH_LOCKS_GUARD = threading.Lock()
+
+
+def _path_lock(path: str) -> threading.Lock:
+    key = os.path.realpath(path)
+    with _PATH_LOCKS_GUARD:
+        return _PATH_LOCKS.setdefault(key, threading.Lock())
 
 #: Fields a journaled result payload must carry to rebuild a SimResult.
 _RESULT_FIELDS = (
@@ -135,11 +156,20 @@ class GridJournal:
         self.hits = 0
         self.written = 0
         self._lock = threading.Lock()
+        self._path_lock = _path_lock(self.path)
         self._entries: dict[tuple[str, int], tuple[str, dict]] = {}
-        if resume and os.path.exists(self.path):
-            self._load()
-        self._fh = open(self.path, "a" if resume else "w", encoding="utf-8")
-        if not self._entries and (not resume or os.path.getsize(self.path) == 0):
+        with self._path_lock:
+            if not resume:
+                # Truncate explicitly; the write handle below is append-
+                # only so concurrent instances place whole lines at EOF.
+                open(self.path, "w", encoding="utf-8").close()
+            elif os.path.exists(self.path):
+                self._load()
+            self._fh = open(self.path, "a", encoding="utf-8")
+            needs_header = not self._entries and (
+                not resume or os.path.getsize(self.path) == 0
+            )
+        if needs_header:
             self._write({"kind": "header", "version": _VERSION})
 
     def _load(self) -> None:
@@ -167,8 +197,10 @@ class GridJournal:
                 )
 
     def _write(self, rec: dict) -> None:
-        self._fh.write(json.dumps(rec) + "\n")
-        self._fh.flush()
+        line = json.dumps(rec) + "\n"
+        with self._path_lock:
+            self._fh.write(line)
+            self._fh.flush()
 
     def __len__(self) -> int:
         return len(self._entries)

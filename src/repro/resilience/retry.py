@@ -25,6 +25,9 @@ __all__ = [
     "NO_RETRY",
     "TaskFailure",
     "RetryExhausted",
+    "DeadlineExceeded",
+    "CorruptionError",
+    "classify_failure",
     "call_with_retry",
 ]
 
@@ -74,7 +77,8 @@ class TaskFailure:
     scope: str
     index: int | None
     label: str
-    #: "exception" | "injected" | "timeout" | "nonfinite" | "divergent"
+    #: "exception" | "injected" | "timeout" | "deadline" | "cancelled"
+    #: | "corruption" | "nonfinite" | "divergent"
     kind: str
     error: str = ""
     attempts: int = 1
@@ -98,14 +102,57 @@ class RetryExhausted(RuntimeError):
         self.failures = failures
 
 
-def _classify(exc: BaseException) -> str:
+class DeadlineExceeded(TimeoutError):
+    """A task overran a propagated deadline (distinct from a bare timeout).
+
+    Subclasses :class:`TimeoutError` so pre-existing ``except
+    TimeoutError`` handlers keep working, but classifies as
+    ``"deadline"`` so breaker-trip logic and failure manifests can tell
+    "the work was slow" from "the caller's budget expired".
+    """
+
+    def __init__(self, message: str, deadline_s: float | None = None):
+        super().__init__(message)
+        self.deadline_s = deadline_s
+
+
+class CorruptionError(RuntimeError):
+    """A result failed a post-hoc integrity check (NaN/Inf, bad payload).
+
+    Raised by consumers of the numerical watchdog when a *completed*
+    task's output is unusable — the work ran, the answer is poison —
+    so it classifies as ``"corruption"`` rather than ``"exception"``.
+    """
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map an exception to a stable :class:`TaskFailure` ``kind``.
+
+    Order matters: the specific kinds (``injected``, ``deadline``,
+    ``cancelled``, ``corruption``) are carved out *before* their base
+    classes so the legacy classifications (``timeout`` for a bare
+    :class:`TimeoutError`, ``exception`` for everything else) are
+    unchanged for callers that predate them.
+    """
+    import concurrent.futures
+
     from .faults import FaultInjected
 
     if isinstance(exc, FaultInjected):
         return "injected"
+    if isinstance(exc, DeadlineExceeded):
+        return "deadline"
     if isinstance(exc, TimeoutError):
         return "timeout"
+    if isinstance(exc, concurrent.futures.CancelledError):
+        return "cancelled"
+    if isinstance(exc, CorruptionError):
+        return "corruption"
     return "exception"
+
+
+#: Backwards-compatible alias (the private name predates the serve layer).
+_classify = classify_failure
 
 
 def call_with_retry(

@@ -1,0 +1,52 @@
+"""Overload-safe serving layer for the repro workloads.
+
+``repro.serve`` fronts the existing engines — simulate, estimate, grid
+sweeps, verify cases — with a long-running job service that *fails
+closed* under load instead of degrading unpredictably:
+
+* :mod:`repro.serve.queue` — the bounded priority queue (the only
+  buffer, and a hard bound);
+* :mod:`repro.serve.budget` — admission byte budgets over arena / RSS
+  probes;
+* :mod:`repro.serve.breaker` — deterministic per-(machine, engine)
+  circuit breakers;
+* :mod:`repro.serve.service` — admission control, deadline
+  propagation, the degradation ladder (simulate -> estimate ->
+  journal), and hung-worker supervision;
+* :mod:`repro.serve.chaos` — the seeded invariant-checked soak
+  (``python -m repro.serve.chaos``).
+
+See ``docs/resilience.md`` for the breaker state diagram and the
+degradation ladder.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, STATE_CODES, CircuitBreaker
+from .budget import ByteBudget, process_rss_bytes
+from .queue import BoundedPriorityQueue
+from .service import (
+    JOB_KINDS,
+    JobOutcome,
+    JobService,
+    JobSpec,
+    JobTicket,
+    Rejected,
+    serve_grid,
+)
+
+__all__ = [
+    "BoundedPriorityQueue",
+    "ByteBudget",
+    "process_rss_bytes",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "STATE_CODES",
+    "JOB_KINDS",
+    "JobSpec",
+    "JobOutcome",
+    "JobTicket",
+    "JobService",
+    "Rejected",
+    "serve_grid",
+]

@@ -1,0 +1,134 @@
+"""CLI: route a paper experiment grid through the serving layer.
+
+``python -m repro.serve`` stands up a :class:`JobService`, submits the
+grid behind one of the scaling figures (Figs. 2-4) point by point —
+so admission, deadlines, budgets, and breakers are exercised per job —
+and prints the accounting summary plus every serving decision the
+service made (sheds by reason, degradations by rung, breaker states,
+queue/budget high-water marks).
+
+``--chaos-seed`` installs a seeded random fault plan over the serve
+scope first, turning the run into a quick interactive fault drill; the
+full invariant-checked soak lives in ``python -m repro.serve.chaos``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..bench.experiments import FIG2_TO_4, scaling_grid_points
+from ..resilience.faults import RandomFaultPlan, inject_faults, set_fault_plan
+from .service import JobService, serve_grid
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve a paper experiment grid through repro.serve.",
+    )
+    parser.add_argument(
+        "--figure", choices=sorted(FIG2_TO_4), default="fig2",
+        help="which scaling figure's grid to serve (default fig2)",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--queue-limit", type=int, default=64)
+    parser.add_argument(
+        "--byte-budget", type=int, default=None,
+        help="admission byte budget over the arena probe (bytes)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-job deadline in milliseconds",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=None,
+        help="install a seeded random fault plan over the serve scope",
+    )
+    parser.add_argument(
+        "--chaos-rate", type=float, default=0.05,
+        help="per-site fault rate when --chaos-seed is set",
+    )
+    parser.add_argument(
+        "--batch", action="store_true",
+        help="submit the grid as one job instead of one job per point",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the stats dict as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    plan = None
+    if args.chaos_seed is not None:
+        plan = RandomFaultPlan(
+            args.chaos_seed, rate=args.chaos_rate,
+            scopes=("serve",), stall_s=0.01,
+        )
+    points = scaling_grid_points(args.figure)
+    deadline_s = None if args.deadline_ms is None else args.deadline_ms / 1000.0
+    try:
+        service = JobService(
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            byte_budget=args.byte_budget,
+            default_deadline_s=deadline_s,
+            seed=args.chaos_seed or 0,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    old_plan = set_fault_plan(plan) if plan is not None else None
+    try:
+        with service:
+            gr = serve_grid(points, service, batch=args.batch)
+    finally:
+        if plan is not None:
+            set_fault_plan(old_plan)
+    stats = service.stats()
+    if args.json:
+        print(json.dumps(
+            {"stats": stats, "grid": gr.manifest()}, indent=2, default=str
+        ))
+        return 0 if stats["accounted"] else 1
+    counts = stats["counts"]
+    completed = sum(1 for r in gr if r is not None)
+    print(
+        f"served {args.figure} grid ({len(points)} points) through "
+        f"{args.workers} worker(s), queue limit {args.queue_limit}"
+    )
+    print(
+        f"  jobs: submitted={counts['submitted']} ok={counts['ok']} "
+        f"shed={counts['shed']} degraded={counts['degraded']} "
+        f"failed={counts['failed']}"
+    )
+    print(f"  grid: {completed}/{len(points)} points completed")
+    if stats["shed_reasons"]:
+        print(f"  shed by reason: {stats['shed_reasons']}")
+    if stats["degraded_to"]:
+        print(f"  degraded to: {stats['degraded_to']}")
+    q = stats["queue"]
+    print(
+        f"  queue: high_water={q['high_water']}/{q['limit']} "
+        f"offered={q['offered']} refused={q['refused']}"
+    )
+    if stats["budget"] is not None:
+        b = stats["budget"]
+        print(
+            f"  budget: source={b['source']} limit={b['limit_bytes']} "
+            f"high_water={b['high_water']} rejections={b['rejections']}"
+        )
+    for key, br in sorted(stats["breakers"].items()):
+        print(
+            f"  breaker {key}: state={br['state']} "
+            f"transitions={br['transitions']}"
+        )
+    w = stats["workers"]
+    print(f"  workers: active={w['active']} replaced={w['replaced']}")
+    return 0 if stats["accounted"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

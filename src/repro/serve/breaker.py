@@ -1,0 +1,153 @@
+"""Per-machine circuit breakers: closed -> open -> half-open -> closed.
+
+One breaker guards one ``(machine, engine)`` pair.  The state machine
+is *count-based*, not clock-based, so every transition is a pure
+function of the request/failure sequence — a seeded test replays the
+exact same trajectory every run:
+
+* ``closed`` — requests flow; ``failure_threshold`` *consecutive*
+  failures (a :class:`~repro.resilience.retry.TaskFailure` streak from
+  the retry layer — one ``record_failure`` per exhausted retry budget)
+  trip the breaker open;
+* ``open`` — requests are refused (the service routes them down the
+  degradation ladder); after ``recovery_after + jitter`` refusals the
+  breaker moves to half-open.  The jitter is a deterministic hash of
+  ``(seed, key, generation)`` — breakers guarding different machines
+  de-synchronize their re-probes without any randomness at run time;
+* ``half-open`` — exactly one in-flight *probe* request is admitted;
+  its success re-closes the breaker, its failure re-opens it (with a
+  fresh generation, hence a fresh jitter).
+
+``allow()`` both asks and transitions — the breaker is its own clock.
+Every transition invokes ``on_transition(key, old, new)`` so the
+service can mirror state into ``repro.obs`` without the breaker
+importing the metrics registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Callable
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "STATE_CODES", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric encoding for gauges (``serve.breaker.<key>.state``).
+STATE_CODES = {CLOSED: 0.0, OPEN: 1.0, HALF_OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Deterministic count-based circuit breaker for one engine key."""
+
+    def __init__(
+        self,
+        key: str,
+        failure_threshold: int = 3,
+        recovery_after: int = 4,
+        probe_jitter: int = 3,
+        seed: int = 0,
+        on_transition: Callable[[str, str, str], None] | None = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_after < 1:
+            raise ValueError("recovery_after must be >= 1")
+        self.key = key
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_after = int(recovery_after)
+        self.probe_jitter = max(0, int(probe_jitter))
+        self.seed = int(seed)
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._denied_since_open = 0
+        self._probe_inflight = False
+        #: How many times the breaker has opened (jitter generation).
+        self.generation = 0
+        self.transitions = 0
+        #: Last failure kind that contributed to a trip (for manifests).
+        self.last_failure_kind = ""
+
+    # ------------------------------------------------------------ internals
+    def _recovery_budget(self) -> int:
+        """Refusals to sit out while open, jittered deterministically."""
+        if not self.probe_jitter:
+            return self.recovery_after
+        h = zlib.crc32(f"{self.seed}:{self.key}:{self.generation}".encode())
+        return self.recovery_after + h % (self.probe_jitter + 1)
+
+    def _transition(self, new: str) -> None:
+        old, self._state = self._state, new
+        self.transitions += 1
+        if self._on_transition is not None:
+            self._on_transition(self.key, old, new)
+
+    # ------------------------------------------------------------ public API
+    def allow(self) -> bool:
+        """May this request proceed?  (May move open -> half-open.)"""
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                self._denied_since_open += 1
+                if self._denied_since_open >= self._recovery_budget():
+                    self._transition(HALF_OPEN)
+                    self._probe_inflight = False
+                return False
+            # HALF_OPEN: admit exactly one probe at a time.
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._probe_inflight = False
+                self._transition(CLOSED)
+
+    def record_failure(self, kind: str = "exception") -> None:
+        with self._lock:
+            self.last_failure_kind = kind
+            if self._state == HALF_OPEN:
+                # The probe failed: back to open, new jitter generation.
+                self._probe_inflight = False
+                self.generation += 1
+                self._denied_since_open = 0
+                self._transition(OPEN)
+                return
+            if self._state == CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    self.generation += 1
+                    self._denied_since_open = 0
+                    self._transition(OPEN)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def state_code(self) -> float:
+        return STATE_CODES[self.state]
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "key": self.key,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "generation": self.generation,
+                "transitions": self.transitions,
+                "last_failure_kind": self.last_failure_kind,
+            }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.key!r}, state={self.state!r})"

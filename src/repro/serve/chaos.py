@@ -1,0 +1,291 @@
+"""Seeded chaos soak for the serving layer (``python -m repro.serve.chaos``).
+
+The soak replays one deterministic overload story against a real
+:class:`~repro.serve.service.JobService` — burst arrivals over a tiny
+queue, a seeded mixed fault schedule (raise / stall / corrupt, plus a
+guaranteed simulate-failure streak that trips a breaker and a stall
+long enough to hang a worker), and a byte-budget pressure window —
+then asserts the four serving invariants:
+
+1. **no hung threads** — after ``stop()`` every service thread has
+   exited (abandoned workers included: they wake from their stall,
+   discard their result, and leave);
+2. **the queue bound held** — ``high_water <= limit``, always;
+3. **exact accounting** — ``ok + shed + degraded + failed ==
+   submitted``: every job settled exactly once, nothing lost, nothing
+   double-counted;
+4. **breakers re-close** — once the fault budget is spent, probe
+   traffic walks every tripped breaker open -> half-open -> closed.
+
+Everything is a pure function of ``--seed``: the job stream, the fault
+schedule, the pressure window, and therefore the entire trajectory.
+CI runs two seeds; a failure dumps the obs metrics snapshot and the
+soak report as a JSON artifact (``--metrics-out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from dataclasses import dataclass, field
+
+from ..bench.runner import GridPoint
+from ..machine.spec import IVY_BRIDGE, MAGNY_COURS, SANDY_BRIDGE
+from ..obs.metrics import default_registry
+from ..resilience.faults import FaultPlan, FaultSpec, inject_faults
+from ..schedules.base import Variant
+from .breaker import CLOSED
+from .budget import ByteBudget
+from .service import JobService, JobSpec
+
+__all__ = ["SoakReport", "run_soak", "main"]
+
+_MACHINES = (MAGNY_COURS, IVY_BRIDGE, SANDY_BRIDGE)
+_VARIANTS = (
+    Variant("series", "P>=Box", "CLO"),
+    Variant("shift_fuse", "P>=Box", "CLO"),
+    Variant("overlapped", "P>=Box", "CLO", tile_size=16, intra_tile="shift_fuse"),
+)
+_BOXES = (16, 32, 64)
+
+
+@dataclass
+class SoakReport:
+    """One soak's outcome: the story, the numbers, and the verdicts."""
+
+    seed: int
+    cases: int
+    stats: dict = field(default_factory=dict)
+    invariants: dict = field(default_factory=dict)
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "cases": self.cases,
+            "ok": self.ok,
+            "invariants": self.invariants,
+            "violations": self.violations,
+            "stats": self.stats,
+        }
+
+
+def _job_stream(rng: random.Random, cases: int) -> list[JobSpec]:
+    """The deterministic mixed workload: mostly points, some batches."""
+    specs: list[JobSpec] = []
+    for i in range(cases):
+        machine = rng.choice(_MACHINES)
+        variant = rng.choice(_VARIANTS)
+        box = rng.choice(_BOXES)
+        threads = rng.choice((1, 2, 4))
+        roll = rng.random()
+        if roll < 0.1:
+            points = [
+                GridPoint(variant, machine, t, box) for t in (1, 2, 4)
+            ]
+            specs.append(JobSpec(
+                "grid", points, priority=rng.randrange(3),
+                label=f"soak{i}.grid",
+            ))
+            continue
+        kind = "simulate" if roll < 0.55 else "estimate"
+        specs.append(JobSpec(
+            kind, GridPoint(variant, machine, threads, box, engine=kind),
+            priority=rng.randrange(3), label=f"soak{i}.{kind}",
+        ))
+    return specs
+
+
+def _fault_schedule(
+    rng: random.Random,
+    specs: list[JobSpec],
+    rate: float,
+    hang_timeout_s: float,
+) -> FaultPlan:
+    """A seeded fault plan addressed at the soak's own job labels.
+
+    Three ingredients: a guaranteed simulate-failure streak (trips at
+    least one breaker), one stall well past the hang budget (forces a
+    worker replacement), and rate-proportional random raise/corrupt
+    faults sprinkled over the stream.
+    """
+    faults: list[FaultSpec] = [
+        # Streak: consecutive simulate attempts fail until the budget
+        # spends; the ladder degrades them to estimate meanwhile.
+        FaultSpec(scope="serve", mode="raise", label="|simulate", count=8),
+    ]
+    point_jobs = [s for s in specs if s.kind in ("estimate", "simulate")]
+    if point_jobs:
+        # The first point job is taken from the initially-empty queue
+        # before any shedding can occur, so this stall reliably lands
+        # on a running worker and forces a replacement.
+        victim = point_jobs[0]
+        faults.append(FaultSpec(
+            scope="serve", mode="stall", label=victim.label,
+            stall_s=hang_timeout_s * 4, count=1,
+        ))
+    for s in point_jobs:
+        if rng.random() < rate:
+            faults.append(FaultSpec(
+                scope="serve", mode=rng.choice(("raise", "corrupt")),
+                label=f"{s.label}|", count=1,
+            ))
+    return FaultPlan(faults)
+
+
+def run_soak(
+    seed: int,
+    duration_cases: int = 200,
+    workers: int = 3,
+    queue_limit: int = 8,
+    fault_rate: float = 0.08,
+    hang_timeout_s: float = 0.1,
+    burst: int = 12,
+) -> SoakReport:
+    """Run one seeded soak and evaluate the four invariants."""
+    rng = random.Random(seed)
+    specs = _job_stream(rng, duration_cases)
+    plan = _fault_schedule(rng, specs, fault_rate, hang_timeout_s)
+    # Budget pressure: an injected probe the soak can squeeze — a
+    # deterministic mid-stream window where every submission is over
+    # budget and must shed with reason byte_budget.
+    pressure = {"bytes": 0}
+    budget = ByteBudget(1 << 20, probe=lambda: pressure["bytes"])
+    window = (duration_cases // 3, duration_cases // 3 + max(4, burst))
+
+    service = JobService(
+        workers=workers,
+        queue_limit=queue_limit,
+        byte_budget=budget,
+        seed=seed,
+        hang_timeout_s=hang_timeout_s,
+        supervise_interval_s=0.02,
+        breaker_threshold=3,
+        breaker_recovery_after=2,
+        breaker_probe_jitter=2,
+    )
+    tickets = []
+    with inject_faults(plan), service:
+        for i, spec in enumerate(specs):
+            pressure["bytes"] = (2 << 20) if window[0] <= i < window[1] else 0
+            tickets.append(service.submit(spec))
+            # Burst arrivals: only drain between bursts, so the queue
+            # actually fills and queue_full shedding is exercised.
+            if (i + 1) % burst == 0:
+                for t in tickets[-burst:]:
+                    try:
+                        t.result(timeout=30.0)
+                    except TimeoutError:
+                        pass
+        for t in tickets:
+            try:
+                t.result(timeout=30.0)
+            except TimeoutError:
+                pass
+        # Invariant 4 needs post-fault probe traffic: the fault budget
+        # is spent by now, so clean probes walk every tripped breaker
+        # back to closed (each open breaker needs a few denials to
+        # reach half-open, then one successful probe).
+        probe_rounds = 0
+        while probe_rounds < 200 and any(
+            b.state != CLOSED for b in service.breakers().values()
+        ):
+            for key in sorted(service.breakers()):
+                machine_name, eng = key.rsplit(":", 1)
+                machine = next(m for m in _MACHINES if m.name == machine_name)
+                t = service.submit(JobSpec(
+                    eng, GridPoint(_VARIANTS[0], machine, 1, 16, engine=eng),
+                    label=f"probe{probe_rounds}.{key}",
+                ))
+                try:
+                    t.result(timeout=30.0)
+                except TimeoutError:
+                    pass
+            probe_rounds += 1
+    # `with service` has stopped and joined everything (the stalled
+    # worker's stall is far shorter than the join timeout).
+    stats = service.stats()
+    report = SoakReport(seed=seed, cases=duration_cases, stats=stats)
+
+    hung = service.census()
+    report.invariants["no_hung_threads"] = not hung
+    if hung:
+        report.violations.append(f"threads still alive after stop: {hung}")
+
+    q = stats["queue"]
+    report.invariants["queue_bound_held"] = q["high_water"] <= q["limit"]
+    if q["high_water"] > q["limit"]:
+        report.violations.append(
+            f"queue exceeded bound: high_water={q['high_water']} "
+            f"> limit={q['limit']}"
+        )
+
+    report.invariants["accounting_exact"] = stats["accounted"]
+    if not stats["accounted"]:
+        report.violations.append(f"accounting mismatch: {stats['counts']}")
+
+    open_breakers = {
+        k: b["state"] for k, b in stats["breakers"].items()
+        if b["state"] != CLOSED
+    }
+    report.invariants["breakers_reclosed"] = not open_breakers
+    if open_breakers:
+        report.violations.append(f"breakers still tripped: {open_breakers}")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.chaos",
+        description="Seeded chaos soak over the repro.serve layer.",
+    )
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--duration-cases", type=int, default=200)
+    parser.add_argument("--workers", type=int, default=3)
+    parser.add_argument("--queue-limit", type=int, default=8)
+    parser.add_argument("--fault-rate", type=float, default=0.08)
+    parser.add_argument(
+        "--metrics-out", default="",
+        help="write the obs metrics snapshot + soak report JSON here",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_soak(
+        args.seed,
+        duration_cases=args.duration_cases,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        fault_rate=args.fault_rate,
+    )
+    payload = {
+        "report": report.to_dict(),
+        "metrics": default_registry().snapshot(),
+    }
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+    counts = report.stats["counts"]
+    print(
+        f"chaos soak seed={report.seed} cases={report.cases}: "
+        f"submitted={counts['submitted']} ok={counts['ok']} "
+        f"shed={counts['shed']} degraded={counts['degraded']} "
+        f"failed={counts['failed']} "
+        f"replaced_workers={report.stats['workers']['replaced']}"
+    )
+    for name, held in report.invariants.items():
+        print(f"  invariant {name}: {'PASS' if held else 'FAIL'}")
+    if not report.ok:
+        for v in report.violations:
+            print(f"  violation: {v}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

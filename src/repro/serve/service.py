@@ -1,0 +1,767 @@
+"""The overload-safe job service fronting the repro workloads.
+
+:class:`JobService` is a long-running execution-control plane around
+the existing engines — simulate, estimate, grid sweeps, verify cases —
+that *fails closed* under load (see ``docs/resilience.md``):
+
+* **Admission control** — every :meth:`JobService.submit` passes three
+  deterministic gates: service liveness, the byte budget
+  (:class:`~repro.serve.budget.ByteBudget`), and the bounded priority
+  queue.  Work refused at any gate settles immediately as a structured
+  ``shed`` outcome carrying :class:`Rejected` — nothing ever queues
+  forever.
+* **Deadline propagation** — a job's relative deadline is fixed at
+  submit time; expired jobs are shed at dequeue without running, and
+  the remaining budget is propagated into the engine retry policy for
+  work that does run.
+* **Circuit breakers** — each ``(machine, engine)`` pair is guarded by
+  a :class:`~repro.serve.breaker.CircuitBreaker` that trips on
+  :class:`~repro.resilience.retry.TaskFailure` streaks and routes
+  tripped traffic down the degradation ladder: simulate -> estimate ->
+  journal-cached result.
+* **Worker supervision** — workers are dedicated threads (never the
+  shared schedule pool, so a wedged job cannot poison it) stamping
+  :class:`~repro.resilience.watchdog.Heartbeat` records; a supervisor
+  thread abandons any task over the hang budget, settles it as failed,
+  retires the worker, and spawns a replacement.
+
+Accounting is exact and is the chaos soak's core invariant: every
+submitted job settles exactly once as accepted, shed, degraded, or
+failed — ``accepted + shed + degraded + failed == submitted``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from ..bench.runner import (
+    GridPoint,
+    GridResult,
+    record_point_metrics,
+    run_grid,
+    span_attrs,
+)
+from ..machine.simulator import SimResult
+from ..obs import trace as _trace
+from ..obs.metrics import default_registry
+from ..parallel.pool import shared_pool_stats
+from ..resilience import faults as _faults
+from ..resilience.journal import GridJournal, grid_hash, point_key
+from ..resilience.retry import (
+    CorruptionError,
+    DeadlineExceeded,
+    RetryExhausted,
+    RetryPolicy,
+    TaskFailure,
+    call_with_retry,
+    classify_failure,
+)
+from ..resilience.watchdog import HeartbeatMonitor, is_finite_result
+from .breaker import STATE_CODES, CircuitBreaker
+from .budget import ByteBudget
+from .queue import BoundedPriorityQueue
+
+__all__ = [
+    "JOB_KINDS",
+    "JobSpec",
+    "Rejected",
+    "JobOutcome",
+    "JobTicket",
+    "JobService",
+    "serve_grid",
+]
+
+#: Work the service knows how to execute.
+JOB_KINDS = ("estimate", "simulate", "grid", "verify")
+
+#: Outcome statuses (the four accounting buckets).
+STATUSES = ("ok", "shed", "degraded", "failed")
+
+#: Default engine retry policy: one fast retry, bounded backoff.
+DEFAULT_SERVE_POLICY = RetryPolicy(
+    max_attempts=2, base_delay_s=0.001, max_delay_s=0.02
+)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One request: what to run, how urgent, and its time budget."""
+
+    kind: str
+    payload: object
+    priority: int = 0
+    #: Relative deadline from submit; None inherits the service default.
+    deadline_s: float | None = None
+    label: str = ""
+
+    def __post_init__(self):
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}; use {JOB_KINDS}")
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """Structured admission rejection (the ``shed`` outcome's value)."""
+
+    reason: str  # "queue_full" | "byte_budget" | "deadline" | "shutdown"
+    detail: str = ""
+
+
+@dataclass
+class JobOutcome:
+    """How one job settled — exactly one per submitted job."""
+
+    status: str  # "ok" | "shed" | "degraded" | "failed"
+    value: object = None
+    reason: str = ""
+    degraded_to: str | None = None  # "estimate" | "journal" | None
+    failures: list[TaskFailure] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "reason": self.reason,
+            "degraded_to": self.degraded_to,
+            "failures": [f.to_dict() for f in self.failures],
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+class JobTicket:
+    """Caller's handle to one submitted job; settles exactly once."""
+
+    def __init__(self, seq: int, spec: JobSpec, deadline_at: float | None):
+        self.seq = seq
+        self.spec = spec
+        self.deadline_at = deadline_at
+        self.label = spec.label or f"{spec.kind}[{seq}]"
+        self._settled = threading.Event()
+        self._lock = threading.Lock()
+        self._outcome: JobOutcome | None = None
+
+    def done(self) -> bool:
+        return self._settled.is_set()
+
+    def result(self, timeout: float | None = None) -> JobOutcome:
+        """The settled outcome, blocking up to ``timeout``."""
+        if not self._settled.wait(timeout=timeout):
+            raise TimeoutError(
+                f"job {self.label!r} not settled within {timeout}s"
+            )
+        assert self._outcome is not None
+        return self._outcome
+
+    def _settle(self, outcome: JobOutcome) -> bool:
+        """First settler wins; later results are discarded."""
+        with self._lock:
+            if self._outcome is not None:
+                return False
+            self._outcome = outcome
+        self._settled.set()
+        return True
+
+
+class _Worker:
+    """One dedicated worker thread's bookkeeping."""
+
+    __slots__ = ("name", "thread", "hb", "retired", "current_job")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.thread: threading.Thread | None = None
+        self.hb = None
+        self.retired = False
+        self.current_job: JobTicket | None = None
+
+
+class JobService:
+    """Bounded, breaker-guarded, supervised job execution."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        queue_limit: int = 64,
+        byte_budget: ByteBudget | int | None = None,
+        default_deadline_s: float | None = None,
+        retry_policy: RetryPolicy = DEFAULT_SERVE_POLICY,
+        journal: GridJournal | None = None,
+        breaker_threshold: int = 3,
+        breaker_recovery_after: int = 4,
+        breaker_probe_jitter: int = 3,
+        seed: int = 0,
+        hang_timeout_s: float = 30.0,
+        supervise_interval_s: float = 0.05,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.num_workers = int(workers)
+        if isinstance(byte_budget, int):
+            byte_budget = ByteBudget(byte_budget)
+        self.budget = byte_budget
+        self.default_deadline_s = default_deadline_s
+        self.retry_policy = retry_policy
+        self.journal = journal
+        self.seed = int(seed)
+        self.hang_timeout_s = float(hang_timeout_s)
+        self.supervise_interval_s = float(supervise_interval_s)
+        self._breaker_kw = dict(
+            failure_threshold=breaker_threshold,
+            recovery_after=breaker_recovery_after,
+            probe_jitter=breaker_probe_jitter,
+            seed=self.seed,
+        )
+        self._queue: BoundedPriorityQueue[JobTicket] = BoundedPriorityQueue(
+            queue_limit
+        )
+        self._monitor = HeartbeatMonitor()
+        self._registry = default_registry()
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._worker_seq = itertools.count()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._active: dict[str, _Worker] = {}
+        self._threads: list[threading.Thread] = []
+        self._stop_event = threading.Event()
+        self._supervisor: threading.Thread | None = None
+        self._started = False
+        self._stopping = False
+        # Exact accounting (the chaos invariants read these).
+        self.counts = {"submitted": 0, "ok": 0, "shed": 0, "degraded": 0,
+                       "failed": 0}
+        self.shed_reasons: dict[str, int] = {}
+        self.degraded_to: dict[str, int] = {}
+        self.workers_replaced = 0
+
+    # --------------------------------------------------------------- lifecycle
+    def start(self) -> "JobService":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+        for _ in range(self.num_workers):
+            self._spawn_worker()
+        self._supervisor = threading.Thread(
+            target=self._supervise_loop, name="serve-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        self._threads.append(self._supervisor)
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop accepting work and wind the service down.
+
+        ``drain=True`` lets queued jobs run to completion; otherwise
+        they are settled as shed (``shutdown``).  Worker threads are
+        joined up to ``timeout`` — retired (abandoned) workers wake
+        from their stall, discard their result, and exit on their own.
+        """
+        with self._lock:
+            self._stopping = True
+        if not drain:
+            while True:
+                job = self._queue.take(timeout=0)
+                if job is None:
+                    break
+                self._settle(job, JobOutcome(
+                    "shed", value=Rejected("shutdown", "service stopping"),
+                    reason="shutdown",
+                ))
+        self._queue.close()
+        deadline = time.monotonic() + timeout
+        for t in list(self._threads):
+            if t is self._supervisor:
+                continue
+            t.join(max(0.0, deadline - time.monotonic()))
+        self._stop_event.set()
+        if self._supervisor is not None:
+            self._supervisor.join(max(0.0, deadline - time.monotonic()))
+        self._publish_gauges()
+
+    def __enter__(self) -> "JobService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -------------------------------------------------------------- admission
+    def submit(self, spec: JobSpec) -> JobTicket:
+        """Admit (or immediately shed) one job; never blocks, never raises.
+
+        The returned ticket is already settled when admission refused
+        the work — callers always get a structured outcome.
+        """
+        seq = next(self._seq)
+        now = time.monotonic()
+        deadline_s = (
+            spec.deadline_s if spec.deadline_s is not None
+            else self.default_deadline_s
+        )
+        deadline_at = None if deadline_s is None else now + deadline_s
+        ticket = JobTicket(seq, spec, deadline_at)
+        with self._lock:
+            self.counts["submitted"] += 1
+            live = self._started and not self._stopping
+        self._registry.counter_inc("serve.submitted")
+        if not live:
+            self._shed(ticket, "shutdown", "service not accepting work")
+            return ticket
+        if self.budget is not None:
+            ok, current = self.budget.admits()
+            if not ok:
+                self._shed(
+                    ticket, "byte_budget",
+                    f"{current} bytes > limit {self.budget.limit_bytes}",
+                )
+                return ticket
+        if not self._queue.offer(ticket, priority=spec.priority):
+            self._shed(
+                ticket, "queue_full",
+                f"queue at limit {self._queue.limit}",
+            )
+            return ticket
+        return ticket
+
+    def _shed(self, ticket: JobTicket, reason: str, detail: str = "") -> None:
+        outcome = JobOutcome(
+            "shed", value=Rejected(reason, detail), reason=reason
+        )
+        self._settle(ticket, outcome)
+
+    # ------------------------------------------------------------- accounting
+    def _settle(self, ticket: JobTicket, outcome: JobOutcome) -> bool:
+        if not ticket._settle(outcome):
+            return False
+        with self._lock:
+            self.counts[outcome.status] += 1
+            if outcome.status == "shed":
+                self.shed_reasons[outcome.reason] = (
+                    self.shed_reasons.get(outcome.reason, 0) + 1
+                )
+            if outcome.degraded_to:
+                self.degraded_to[outcome.degraded_to] = (
+                    self.degraded_to.get(outcome.degraded_to, 0) + 1
+                )
+        name = {"ok": "accepted"}.get(outcome.status, outcome.status)
+        self._registry.counter_inc(f"serve.{name}")
+        if outcome.status == "shed":
+            _trace.add_event(
+                "serve.shed", seq=ticket.seq, label=ticket.label,
+                reason=outcome.reason,
+            )
+        return True
+
+    # ---------------------------------------------------------------- workers
+    def _spawn_worker(self) -> _Worker:
+        name = f"serve-w{next(self._worker_seq)}"
+        worker = _Worker(name)
+        worker.hb = self._monitor.register(name)
+        thread = threading.Thread(
+            target=self._worker_loop, args=(worker,), name=name, daemon=True
+        )
+        worker.thread = thread
+        with self._lock:
+            self._active[name] = worker
+        self._threads.append(thread)
+        thread.start()
+        return worker
+
+    def _worker_loop(self, worker: _Worker) -> None:
+        try:
+            while not worker.retired:
+                job = self._queue.take(timeout=0.05)
+                if job is None:
+                    if self._queue.closed:
+                        break
+                    continue
+                if job.done():
+                    continue  # shed or abandoned while queued
+                worker.current_job = job
+                worker.hb.start(job.label)
+                try:
+                    self._run_job(job, worker)
+                finally:
+                    worker.current_job = None
+                    worker.hb.clear()
+        finally:
+            self._monitor.unregister(worker.name)
+            with self._lock:
+                self._active.pop(worker.name, None)
+
+    def _run_job(self, job: JobTicket, worker: _Worker) -> None:
+        start = time.perf_counter()
+        if job.deadline_at is not None and time.monotonic() >= job.deadline_at:
+            self._shed(job, "deadline", "expired before execution")
+            return
+        try:
+            with _trace.span(
+                "serve.job", kind=job.spec.kind, label=job.label, seq=job.seq
+            ):
+                outcome = self._execute(job)
+        except Exception as exc:  # noqa: BLE001 - nothing escapes a worker
+            kind = classify_failure(exc)
+            outcome = JobOutcome(
+                "failed", reason=kind,
+                failures=[TaskFailure(
+                    scope="serve", index=job.seq, label=job.label,
+                    kind=kind, error=repr(exc),
+                )],
+            )
+        outcome.elapsed_s = time.perf_counter() - start
+        self._settle(job, outcome)
+
+    # -------------------------------------------------------------- execution
+    def _execute(self, job: JobTicket) -> JobOutcome:
+        kind = job.spec.kind
+        if kind in ("estimate", "simulate"):
+            return self._execute_engine(job)
+        if kind == "grid":
+            return self._execute_grid(job)
+        return self._execute_verify(job)
+
+    def _remaining_s(self, job: JobTicket) -> float | None:
+        if job.deadline_at is None:
+            return None
+        return job.deadline_at - time.monotonic()
+
+    def _check_deadline(self, job: JobTicket) -> None:
+        remaining = self._remaining_s(job)
+        if remaining is not None and remaining <= 0:
+            raise DeadlineExceeded(
+                f"job {job.label!r} overran its deadline", job.spec.deadline_s
+            )
+
+    def breaker(self, machine: str, engine: str) -> CircuitBreaker:
+        """The (created-on-demand) breaker guarding one engine key."""
+        key = f"{machine}:{engine}"
+        with self._lock:
+            br = self._breakers.get(key)
+            if br is None:
+                br = CircuitBreaker(
+                    key, on_transition=self._on_breaker_transition,
+                    **self._breaker_kw,
+                )
+                self._breakers[key] = br
+            return br
+
+    def _on_breaker_transition(self, key: str, old: str, new: str) -> None:
+        self._registry.counter_inc("serve.breaker.transitions")
+        self._registry.gauge_set(f"serve.breaker.{key}.state", STATE_CODES[new])
+        _trace.add_event("serve.breaker", key=key, old=old, new=new)
+
+    def _journal_key(self, point: GridPoint) -> tuple[str, str]:
+        return grid_hash([point]), point_key(point)
+
+    def _execute_engine(self, job: JobTicket) -> JobOutcome:
+        point = _as_point(job.spec.payload)
+        requested = job.spec.kind
+        ladder = ("simulate", "estimate") if requested == "simulate" else ("estimate",)
+        failures: list[TaskFailure] = []
+        for eng in ladder:
+            br = self.breaker(point.machine.name, eng)
+            if not br.allow():
+                _trace.add_event(
+                    "serve.breaker_refused", key=br.key, seq=job.seq,
+                    label=job.label,
+                )
+                continue
+            site = f"{job.label}|{eng}"
+
+            def attempt() -> SimResult:
+                self._check_deadline(job)
+                _faults.perturb("serve", job.seq, site)
+                t0 = time.perf_counter()
+                with _trace.span(
+                    "serve.point", engine=eng, **span_attrs(point, job.seq)
+                ) as s:
+                    r = point.evaluate(engine=eng)
+                    if _faults.take_corrupt("serve", job.seq, site):
+                        r.time_s = float("nan")
+                    if not is_finite_result(r):
+                        raise CorruptionError(
+                            f"non-finite result for {site!r}"
+                        )
+                    record_point_metrics(s, r, time.perf_counter() - t0)
+                return r
+
+            try:
+                r, retried = call_with_retry(
+                    attempt, self.retry_policy, scope="serve",
+                    index=job.seq, label=site,
+                )
+            except RetryExhausted as exc:
+                failures.extend(exc.failures)
+                last_kind = exc.failures[-1].kind
+                br.record_failure(last_kind)
+                if last_kind == "deadline":
+                    # The job's budget is spent; degrading cannot help.
+                    return JobOutcome(
+                        "failed", reason="deadline", failures=failures
+                    )
+                continue
+            failures.extend(retried)
+            br.record_success()
+            if self.journal is not None:
+                ghash, key = self._journal_key(point)
+                self.journal.record(ghash, 0, key, r)
+            if eng != requested:
+                for f in failures:
+                    f.recovered = True
+                    if f.degraded_to is None:
+                        f.degraded_to = eng
+                return JobOutcome(
+                    "degraded", value=r, degraded_to=eng, failures=failures
+                )
+            return JobOutcome("ok", value=r, failures=failures)
+        # Ladder exhausted (breakers open or every rung failed): last
+        # rung is a journal-cached replay of this exact point.
+        if self.journal is not None:
+            ghash, key = self._journal_key(point)
+            cached = self.journal.lookup(ghash, 0, key)
+            if cached is not None:
+                for f in failures:
+                    f.recovered = True
+                    if f.degraded_to is None:
+                        f.degraded_to = "journal"
+                _trace.add_event(
+                    "serve.journal_fallback", seq=job.seq, label=job.label
+                )
+                return JobOutcome(
+                    "degraded", value=cached, degraded_to="journal",
+                    failures=failures,
+                )
+        reason = failures[-1].kind if failures else "breaker_open"
+        return JobOutcome("failed", reason=reason, failures=failures)
+
+    def _execute_grid(self, job: JobTicket) -> JobOutcome:
+        points = _as_points(job.spec.payload)
+        self._check_deadline(job)
+        policy = None
+        remaining = self._remaining_s(job)
+        if remaining is not None:
+            cap = remaining if self.retry_policy.deadline_s is None else min(
+                remaining, self.retry_policy.deadline_s
+            )
+            policy = replace(self.retry_policy, deadline_s=cap)
+        elif _faults.plan_active():
+            policy = self.retry_policy
+        gr = run_grid(points, policy=policy, journal=self.journal)
+        unrecovered = [f for f in gr.failures if not f.recovered]
+        incomplete = any(r is None for r in gr)
+        if incomplete or unrecovered:
+            reason = unrecovered[0].kind if unrecovered else "exception"
+            return JobOutcome(
+                "failed", value=gr, reason=reason, failures=list(gr.failures)
+            )
+        degraded_to = next(
+            (f.degraded_to for f in gr.failures if f.degraded_to), None
+        )
+        if gr.degraded or degraded_to:
+            return JobOutcome(
+                "degraded", value=gr, degraded_to=degraded_to or "serial",
+                failures=list(gr.failures),
+            )
+        return JobOutcome("ok", value=gr, failures=list(gr.failures))
+
+    def _execute_verify(self, job: JobTicket) -> JobOutcome:
+        from ..verify.checks import run_check
+
+        self._check_deadline(job)
+        _faults.perturb("serve", job.seq, job.label)
+        messages = run_check(job.spec.payload)
+        if messages:
+            return JobOutcome(
+                "failed", value=messages, reason="verify_failures",
+                failures=[TaskFailure(
+                    scope="serve", index=job.seq, label=job.label,
+                    kind="exception",
+                    error=f"{len(messages)} verify failure(s): {messages[0]}",
+                )],
+            )
+        return JobOutcome("ok", value=[])
+
+    # ------------------------------------------------------------- supervisor
+    def _supervise_loop(self) -> None:
+        while not self._stop_event.wait(self.supervise_interval_s):
+            self._check_hung()
+            self._publish_gauges()
+
+    def _check_hung(self) -> None:
+        with self._lock:
+            workers = list(self._active.values())
+            stopping = self._stopping
+        for worker in workers:
+            job = worker.current_job
+            busy = worker.hb.busy_for()
+            if job is None or busy is None or busy <= self.hang_timeout_s:
+                continue
+            # Abandon: settle the job as failed, retire the worker, and
+            # replace it.  The wedged thread discards its result when it
+            # wakes (settle-once) and exits via the retired flag.
+            abandoned = self._settle(job, JobOutcome(
+                "failed", reason="hung",
+                failures=[TaskFailure(
+                    scope="serve", index=job.seq, label=job.label,
+                    kind="timeout",
+                    error=f"hung for {busy:.3f}s > {self.hang_timeout_s}s; "
+                          f"worker {worker.name} abandoned",
+                )],
+            ))
+            worker.retired = True
+            with self._lock:
+                self._active.pop(worker.name, None)
+                self.workers_replaced += 1
+            self._registry.counter_inc("serve.workers.replaced")
+            _trace.add_event(
+                "serve.worker.abandoned", worker=worker.name,
+                label=job.label, busy_s=busy, settled=abandoned,
+            )
+            if not stopping:
+                self._spawn_worker()
+
+    def _publish_gauges(self) -> None:
+        reg = self._registry
+        qs = self._queue.stats()
+        reg.gauge_set("serve.queue.depth", float(qs["depth"]))
+        reg.gauge_set("serve.queue.high_water", float(qs["high_water"]))
+        if self.budget is not None:
+            bs = self.budget.stats()
+            reg.gauge_set("serve.budget.bytes", float(self.budget.current()))
+            reg.gauge_set("serve.budget.high_water", float(bs["high_water"]))
+        with self._lock:
+            breakers = list(self._breakers.values())
+            active = len(self._active)
+        for br in breakers:
+            reg.gauge_set(f"serve.breaker.{br.key}.state", br.state_code)
+        reg.gauge_set("serve.workers.active", float(active))
+        reg.gauge_set(
+            "serve.pool.threads_alive",
+            float(shared_pool_stats()["threads_alive"]),
+        )
+        from ..util.arena import publish_arena_gauges
+
+        publish_arena_gauges(reg)
+
+    # ------------------------------------------------------------ introspection
+    def census(self) -> list[str]:
+        """Names of service threads still alive (chaos asserts empty)."""
+        return [t.name for t in self._threads if t.is_alive()]
+
+    def breakers(self) -> dict[str, CircuitBreaker]:
+        with self._lock:
+            return dict(self._breakers)
+
+    def accounted(self) -> bool:
+        """The core invariant: every submitted job settled exactly once."""
+        with self._lock:
+            c = dict(self.counts)
+        return c["ok"] + c["shed"] + c["degraded"] + c["failed"] == c["submitted"]
+
+    def stats(self) -> dict:
+        with self._lock:
+            counts = dict(self.counts)
+            shed_reasons = dict(self.shed_reasons)
+            degraded_to = dict(self.degraded_to)
+            replaced = self.workers_replaced
+            active = len(self._active)
+            breakers = {k: b.to_dict() for k, b in self._breakers.items()}
+        return {
+            "counts": counts,
+            "shed_reasons": shed_reasons,
+            "degraded_to": degraded_to,
+            "queue": self._queue.stats(),
+            "budget": None if self.budget is None else self.budget.stats(),
+            "breakers": breakers,
+            "workers": {
+                "configured": self.num_workers,
+                "active": active,
+                "replaced": replaced,
+                "registered_heartbeats": len(self._monitor),
+            },
+            "accounted": (
+                counts["ok"] + counts["shed"] + counts["degraded"]
+                + counts["failed"] == counts["submitted"]
+            ),
+        }
+
+
+def _as_point(payload) -> GridPoint:
+    if not isinstance(payload, GridPoint):
+        raise TypeError(f"engine job payload must be a GridPoint, got {payload!r}")
+    return payload
+
+
+def _as_points(payload) -> list[GridPoint]:
+    points = list(payload)
+    for p in points:
+        _as_point(p)
+    return points
+
+
+def serve_grid(
+    points: Iterable[GridPoint],
+    service: JobService,
+    priority: int = 0,
+    deadline_s: float | None = None,
+    batch: bool = True,
+    timeout: float | None = 120.0,
+) -> GridResult:
+    """Route an experiment grid through a running service.
+
+    ``batch=True`` submits the whole grid as one job (one queue hop —
+    the overhead benchmark's path); ``batch=False`` submits one job per
+    point, exercising admission per point.  Either way the return value
+    is a :class:`~repro.bench.runner.GridResult` shaped exactly like
+    ``run_grid``'s: ``None`` holds the slot of any point that was shed
+    or failed, and the failure manifest says why.
+    """
+    points = list(points)
+    if batch:
+        ticket = service.submit(JobSpec(
+            "grid", points, priority=priority, deadline_s=deadline_s,
+            label=f"grid[{len(points)}]",
+        ))
+        out = ticket.result(timeout=timeout)
+        if isinstance(out.value, GridResult):
+            return out.value
+        # Shed at admission (or expired): no point ran.
+        detail = out.value.detail if isinstance(out.value, Rejected) else ""
+        return GridResult(
+            [None] * len(points),
+            failures=[TaskFailure(
+                scope="serve", index=None, label=ticket.label,
+                kind="cancelled", error=f"shed: {out.reason} {detail}".strip(),
+            )],
+            grid_hash=grid_hash(points),
+        )
+    tickets = [
+        service.submit(JobSpec(
+            p.engine, p, priority=priority, deadline_s=deadline_s,
+            label=point_key(p),
+        ))
+        for p in points
+    ]
+    results: list[SimResult | None] = []
+    failures: list[TaskFailure] = []
+    degraded = False
+    for ticket in tickets:
+        out = ticket.result(timeout=timeout)
+        failures.extend(out.failures)
+        if out.status in ("ok", "degraded") and isinstance(out.value, SimResult):
+            results.append(out.value)
+            degraded = degraded or out.status == "degraded"
+        else:
+            results.append(None)
+            if out.status == "shed":
+                failures.append(TaskFailure(
+                    scope="serve", index=ticket.seq, label=ticket.label,
+                    kind="cancelled", error=f"shed: {out.reason}",
+                ))
+    return GridResult(
+        results, failures=failures, degraded=degraded,
+        grid_hash=grid_hash(points),
+    )

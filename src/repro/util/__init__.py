@@ -1,7 +1,13 @@
 """Shared utilities: allocation accounting, scratch arena, perf counters, timers."""
 
 from .alloc import AllocationTracker, current_tracker, track_allocations
-from .arena import clear_arena, scratch_arena, scratch_scope
+from .arena import (
+    arena_stats,
+    clear_arena,
+    publish_arena_gauges,
+    scratch_arena,
+    scratch_scope,
+)
 from .perf import format_perf_report, perf, reset_perf
 from .timer import Timer
 
@@ -13,6 +19,8 @@ __all__ = [
     "scratch_arena",
     "scratch_scope",
     "clear_arena",
+    "arena_stats",
+    "publish_arena_gauges",
     "perf",
     "reset_perf",
     "format_perf_report",

@@ -48,6 +48,8 @@ __all__ = [
     "arena_enabled",
     "arena_take",
     "clear_arena",
+    "arena_stats",
+    "publish_arena_gauges",
 ]
 
 _lock = threading.Lock()
@@ -162,6 +164,93 @@ def arena_take(tag: str, shape: tuple[int, ...], dtype, order: str) -> np.ndarra
         p.inc("arena.bytes_allocated", arr.nbytes)
     st.scopes[-1].append((key, arr))
     return arr
+
+
+def _state_sizes(st: _ThreadState) -> tuple[int, int, int, int]:
+    """(free buffers, free bytes, live buffers, live bytes) of one state.
+
+    Best-effort: the owning thread mutates its free lists without the
+    module lock, so a concurrent resize can surface as a RuntimeError —
+    the caller retries or skips the thread rather than crashing.
+    """
+    free_n = free_b = live_n = live_b = 0
+    for stack in list(st.free.values()):
+        for arr in list(stack):
+            free_n += 1
+            free_b += arr.nbytes
+    for scope in list(st.scopes):
+        for _key, arr in list(scope):
+            live_n += 1
+            live_b += arr.nbytes
+    return free_n, free_b, live_n, live_b
+
+
+def arena_stats() -> dict:
+    """Live arena statistics across every registered thread.
+
+    One source of truth for the serve layer's byte-budget guard and the
+    attribution report: ``bytes_pinned`` is every byte the arena holds
+    (idle free-list buffers plus in-scope live buffers), alongside the
+    substrate hit/miss counters and the per-thread buffer census.
+    Reads are best-effort snapshots — owner threads keep mutating their
+    free lists — but ``bytes_pinned`` is exact whenever no scope is
+    actively allocating.
+    """
+    with _lock:
+        _sweep_dead_locked()
+        states = [s for _, s in _all_states]
+    free_n = free_b = live_n = live_b = 0
+    per_thread: list[int] = []
+    for st in states:
+        try:
+            n, b, ln, lb = _state_sizes(st)
+        except RuntimeError:  # owner resized a list mid-snapshot
+            continue
+        free_n += n
+        free_b += b
+        live_n += ln
+        live_b += lb
+        per_thread.append(n + ln)
+    p = perf()
+    return {
+        "enabled": arena_enabled(),
+        "threads": len(states),
+        "buffers_free": free_n,
+        "buffers_live": live_n,
+        "bytes_free": free_b,
+        "bytes_live": live_b,
+        "bytes_pinned": free_b + live_b,
+        "buffers_per_thread_max": max(per_thread, default=0),
+        "hits": p.get("arena.hits"),
+        "misses": p.get("arena.misses"),
+    }
+
+
+def publish_arena_gauges(registry=None) -> dict:
+    """Snapshot :func:`arena_stats` into ``repro.obs`` gauges.
+
+    Sets ``arena.bytes_pinned``, ``arena.buffers_free``,
+    ``arena.buffers_live``, ``arena.threads``,
+    ``arena.buffers_per_thread_max``, ``arena.hits`` and
+    ``arena.misses`` on the given registry (default: the process
+    registry), and returns the stats dict it published.
+    """
+    if registry is None:
+        from ..obs.metrics import default_registry
+
+        registry = default_registry()
+    stats = arena_stats()
+    for key in (
+        "bytes_pinned",
+        "buffers_free",
+        "buffers_live",
+        "threads",
+        "buffers_per_thread_max",
+        "hits",
+        "misses",
+    ):
+        registry.gauge_set(f"arena.{key}", float(stats[key]))
+    return stats
 
 
 def clear_arena() -> None:

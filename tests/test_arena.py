@@ -227,3 +227,71 @@ class TestDeadThreadSweep:
         clear_arena()
         with _arena._lock:
             assert all(t.is_alive() for t, _ in _arena._all_states)
+
+
+class TestArenaStats:
+    def test_disabled_baseline(self):
+        from repro.util import arena_stats
+
+        clear_arena()
+        stats = arena_stats()
+        assert stats["enabled"] is False
+        assert stats["buffers_free"] >= 0
+        assert stats["bytes_pinned"] == stats["bytes_free"] + stats["bytes_live"]
+
+    def test_live_and_free_bytes_tracked(self):
+        from repro.util import arena_stats
+
+        clear_arena()
+        with scratch_arena():
+            with scratch_scope():
+                arr = arena_take("t", (1024,), np.float64, "C")
+                assert arr is not None
+                stats = arena_stats()
+                assert stats["enabled"] is True
+                assert stats["buffers_live"] >= 1
+                assert stats["bytes_live"] >= arr.nbytes
+                assert stats["bytes_pinned"] >= arr.nbytes
+            # Scope closed: the buffer moved to this thread's free list.
+            stats = arena_stats()
+            assert stats["buffers_free"] >= 1
+            assert stats["bytes_free"] >= 8 * 1024
+            assert stats["buffers_per_thread_max"] >= 1
+        clear_arena()
+
+    def test_hit_miss_counters_surface(self):
+        from repro.util import arena_stats
+        from repro.util.perf import reset_perf
+
+        reset_perf()
+        clear_arena()
+        with scratch_arena():
+            with scratch_scope():
+                arena_take("t", (16,), np.float64, "C")
+            with scratch_scope():
+                arena_take("t", (16,), np.float64, "C")
+        stats = arena_stats()
+        assert stats["misses"] >= 1
+        assert stats["hits"] >= 1
+        clear_arena()
+        reset_perf()
+
+    def test_publish_arena_gauges(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.util import publish_arena_gauges
+
+        clear_arena()
+        reg = MetricsRegistry()
+        with scratch_arena():
+            with scratch_scope():
+                arena_take("g", (2048,), np.float64, "C")
+            stats = publish_arena_gauges(reg)
+        assert reg.gauge_value("arena.bytes_pinned") == float(
+            stats["bytes_pinned"]
+        )
+        assert reg.gauge_value("arena.buffers_free") == float(
+            stats["buffers_free"]
+        )
+        assert reg.gauge_value("arena.threads") == float(stats["threads"])
+        assert stats["bytes_pinned"] >= 8 * 2048
+        clear_arena()

@@ -228,3 +228,21 @@ class TestPerfShim:
         snap = pc.snapshot()
         assert snap["counts"]["a"] == 1
         assert snap["times"]["t"] == 1.0
+
+
+class TestGaugeSetMax:
+    def test_only_raises_the_mark(self):
+        reg = MetricsRegistry()
+        reg.gauge_set_max("hw", 5.0)
+        assert reg.gauge_value("hw") == 5.0
+        reg.gauge_set_max("hw", 3.0)
+        assert reg.gauge_value("hw") == 5.0
+        reg.gauge_set_max("hw", 9.0)
+        assert reg.gauge_value("hw") == 9.0
+
+    def test_handle_api(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set_max(2.0)
+        g.set_max(1.0)
+        assert g.value == 2.0

@@ -99,3 +99,15 @@ class TestValidation:
         plan = build_plan(Variant("series"), phi0, phi1)
         with pytest.raises(ValueError):
             run_plan(plan, 0)
+
+
+class TestSharedPoolStats:
+    def test_stats_reflect_pool(self):
+        from repro.parallel import shared_pool_stats
+        from repro.parallel.pool import get_shared_pool
+
+        get_shared_pool(2)
+        stats = shared_pool_stats()
+        assert stats["size"] >= 2
+        assert stats["alive"] is True
+        assert 0 <= stats["threads_alive"] <= stats["size"]

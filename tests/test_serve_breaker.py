@@ -1,0 +1,134 @@
+"""Circuit breaker: the deterministic count-based state machine."""
+
+import pytest
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def make(threshold=3, recovery=2, jitter=0, seed=0, on_transition=None):
+    return CircuitBreaker(
+        "m:simulate", failure_threshold=threshold, recovery_after=recovery,
+        probe_jitter=jitter, seed=seed, on_transition=on_transition,
+    )
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        br = make()
+        assert br.state == CLOSED
+        assert br.allow()
+
+    def test_stays_closed_under_threshold(self):
+        br = make(threshold=3)
+        br.record_failure()
+        br.record_failure()
+        assert br.state == CLOSED
+
+    def test_trips_open_at_threshold(self):
+        br = make(threshold=3)
+        for _ in range(3):
+            br.record_failure("injected")
+        assert br.state == OPEN
+        assert br.last_failure_kind == "injected"
+        assert not br.allow()
+
+    def test_success_resets_the_streak(self):
+        br = make(threshold=2)
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        assert br.state == CLOSED
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(threshold=0)
+        with pytest.raises(ValueError):
+            make(recovery=0)
+
+
+class TestRecovery:
+    def test_half_open_after_recovery_denials(self):
+        br = make(threshold=1, recovery=3, jitter=0)
+        br.record_failure()
+        assert br.state == OPEN
+        # Exactly `recovery` refusals sit out, then half-open.
+        for _ in range(2):
+            assert not br.allow()
+            assert br.state == OPEN
+        assert not br.allow()  # the transitioning denial
+        assert br.state == HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self):
+        br = make(threshold=1, recovery=1, jitter=0)
+        br.record_failure()
+        br.allow()  # -> half-open
+        assert br.allow()      # the probe
+        assert not br.allow()  # a second request while probe in flight
+
+    def test_probe_success_recloses(self):
+        br = make(threshold=1, recovery=1, jitter=0)
+        br.record_failure()
+        br.allow()
+        assert br.allow()
+        br.record_success()
+        assert br.state == CLOSED
+        assert br.allow()
+
+    def test_probe_failure_reopens_with_new_generation(self):
+        br = make(threshold=1, recovery=1, jitter=0)
+        br.record_failure()
+        gen = br.generation
+        br.allow()
+        assert br.allow()
+        br.record_failure("timeout")
+        assert br.state == OPEN
+        assert br.generation == gen + 1
+
+
+class TestDeterminism:
+    def _trajectory(self, seed):
+        br = CircuitBreaker(
+            "k", failure_threshold=2, recovery_after=2, probe_jitter=3,
+            seed=seed,
+        )
+        states = []
+        br.record_failure()
+        br.record_failure()
+        for _ in range(12):
+            br.allow()
+            states.append(br.state)
+        return states
+
+    def test_same_seed_same_trajectory(self):
+        assert self._trajectory(7) == self._trajectory(7)
+
+    def test_jitter_desynchronizes_keys(self):
+        # Different keys get different (deterministic) recovery budgets
+        # for at least some seed — probes do not stampede in lockstep.
+        budgets = set()
+        for key in ("m1:sim", "m2:sim", "m3:sim", "m4:sim", "m5:sim"):
+            br = CircuitBreaker(
+                key, failure_threshold=1, recovery_after=2, probe_jitter=5,
+                seed=3,
+            )
+            br.record_failure()
+            denials = 0
+            while not br.allow() and br.state != HALF_OPEN:
+                denials += 1
+            budgets.add(denials)
+        assert len(budgets) > 1
+
+    def test_transition_callback_sees_every_edge(self):
+        edges = []
+        br = make(
+            threshold=1, recovery=1, jitter=0,
+            on_transition=lambda k, old, new: edges.append((old, new)),
+        )
+        br.record_failure()   # closed -> open
+        br.allow()            # open -> half-open
+        assert br.allow()
+        br.record_success()   # half-open -> closed
+        assert edges == [
+            (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED),
+        ]
+        assert br.transitions == 3

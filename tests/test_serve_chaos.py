@@ -1,0 +1,66 @@
+"""Chaos soak: the four serving invariants under seeded mixed faults."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve.chaos import run_soak
+
+INVARIANTS = (
+    "no_hung_threads",
+    "queue_bound_held",
+    "accounting_exact",
+    "breakers_reclosed",
+)
+
+
+@pytest.mark.parametrize("seed", [2014, 5])
+def test_soak_invariants_hold(seed):
+    report = run_soak(seed, duration_cases=40)
+    assert report.ok, report.violations
+    for name in INVARIANTS:
+        assert report.invariants[name], name
+    counts = report.stats["counts"]
+    total = (
+        counts["ok"] + counts["shed"] + counts["degraded"] + counts["failed"]
+    )
+    assert total == counts["submitted"]
+
+
+def test_soak_exercises_worker_replacement():
+    # The schedule pins a stall (4x the hang budget) on the first point
+    # job, so every seed forces at least one abandonment + replacement.
+    report = run_soak(11, duration_cases=30)
+    assert report.ok, report.violations
+    assert report.stats["workers"]["replaced"] >= 1
+
+
+def test_soak_report_round_trips():
+    report = run_soak(3, duration_cases=20)
+    d = report.to_dict()
+    assert d["seed"] == 3 and d["ok"] is report.ok
+    assert set(d["invariants"]) == set(INVARIANTS)
+    json.dumps(d, default=str)  # artifact-serializable
+
+
+def test_chaos_cli_writes_metrics_artifact(tmp_path):
+    out = str(tmp_path / "chaos_metrics.json")
+    env = {**os.environ, "PYTHONPATH": "src"}
+    env.pop("REPRO_FAULT_SEED", None)
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.serve.chaos",
+            "--seed", "2014", "--duration-cases", "25",
+            "--metrics-out", out,
+        ],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "invariant accounting_exact: PASS" in proc.stdout
+    with open(out) as fh:
+        payload = json.load(fh)
+    assert payload["report"]["ok"] is True
+    assert "counters" in payload["metrics"] or payload["metrics"]
