@@ -1,7 +1,10 @@
-"""CI gate: fail when the observability no-op overhead regresses.
+"""CI gate: harness overhead budgets and the fig9 fast-path speedup.
 
 Compares the ``observability`` section of a freshly produced
-``BENCH_harness.json`` against the committed baseline::
+``BENCH_harness.json`` against the committed baseline, checks the
+serving-layer overhead bar, and requires the recorded cold-fig9
+speedups over the frozen pre-fast-path anchor to clear
+``--fig9-min-speedup`` (default 5x)::
 
     python benchmarks/check_overhead_regression.py \
         --baseline /tmp/BENCH_harness.baseline.json \
@@ -90,6 +93,26 @@ def check_serve(
     return []
 
 
+def check_fig9(fig9: dict, min_speedup: float) -> list[str]:
+    """The fast-path speedup bar, absolute against the frozen anchor.
+
+    ``bench_harness_overhead.py`` records cold fig9 wall time under each
+    engine mode together with the frozen pre-fast-path anchor; every
+    recorded speedup must clear ``min_speedup``.
+    """
+    problems: list[str] = []
+    frozen = fig9.get("frozen_cold_s")
+    for name, value in sorted(fig9.items()):
+        if not name.startswith("speedup_"):
+            continue
+        if value < min_speedup:
+            problems.append(
+                f"fig9 {name}: {value:.1f}x < required {min_speedup:.1f}x "
+                f"(frozen anchor {frozen} s)"
+            )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -102,12 +125,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="absolute noise allowance per metric (ns)")
     parser.add_argument("--serve-grace-s", type=float, default=0.010,
                         help="absolute allowance for the serve gate (s)")
+    parser.add_argument("--fig9-min-speedup", type=float, default=5.0,
+                        help="required cold-fig9 speedup over the frozen "
+                        "pre-fast-path anchor (default 5.0)")
     args = parser.parse_args(argv)
 
     try:
         baseline = load_observability(args.baseline)
         current = load_observability(args.current)
         serve = load_section(args.current, "serve")
+        fig9 = load_section(args.current, "fig9_fast_path")
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -139,6 +166,18 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         print(f"{args.current}: no serve section yet; serve gate skipped")
+
+    if fig9:
+        problems.extend(check_fig9(fig9, args.fig9_min_speedup))
+        print(
+            f"fig9 fast path: frozen {fig9.get('frozen_cold_s')} s -> "
+            f"exact {fig9.get('cold_exact_s')} s "
+            f"({fig9.get('speedup_exact_vs_frozen')}x), "
+            f"fast {fig9.get('cold_fast_s')} s "
+            f"({fig9.get('speedup_fast_vs_frozen')}x)"
+        )
+    else:
+        print(f"{args.current}: no fig9_fast_path section yet; gate skipped")
 
     if problems:
         print("overhead regression:", file=sys.stderr)

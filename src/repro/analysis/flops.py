@@ -79,11 +79,13 @@ def overlapped_box_flops(
     """
     grid = TileGrid(Box.cube(n, dim), tile)
     flux1 = flux2 = accumulate = 0
-    for tb in grid:
-        f = region_flops(tb.size(), ncomp)
-        flux1 += f.flux1
-        flux2 += f.flux2
-        accumulate += f.accumulate
+    # Exact integer arithmetic over the (at most 2^dim) distinct tile
+    # shapes instead of a walk over every tile.
+    for shape, count in grid.shape_counts().items():
+        f = region_flops(shape, ncomp)
+        flux1 += f.flux1 * count
+        flux2 += f.flux2 * count
+        accumulate += f.accumulate * count
     return FlopCount(flux1=flux1, flux2=flux2, accumulate=accumulate)
 
 

@@ -12,6 +12,9 @@ Usage::
     python -m repro.bench --trace out.jsonl fig9   # flat JSONL trace
     python -m repro.bench --metrics M.json fig9    # metrics snapshot
     python -m repro.bench --trace out.json --attribution fig10
+    python -m repro.bench --engine fast fig9       # vectorized fast path
+    python -m repro.bench --profile fig9           # cProfile top-25
+    python -m repro.bench --profile=40 fig9        # cProfile top-40
 """
 
 from __future__ import annotations
@@ -96,11 +99,19 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError:
             raise SystemExit(f"--jobs needs an integer, got {text!r}")
 
+    def _profile_top(text: str) -> int:
+        try:
+            return max(1, int(text))
+        except ValueError:
+            raise SystemExit(f"--profile needs an integer, got {text!r}")
+
     args = list(argv if argv is not None else sys.argv[1:])
     show_perf = False
     journal_path: str | None = None
     trace_path: str | None = None
     metrics_path: str | None = None
+    engine: str | None = None
+    profile_top = 0
     attribution = False
     resume = False
     names: list[str] = []
@@ -137,6 +148,17 @@ def main(argv: list[str] | None = None) -> int:
             metrics_path = args[i]
         elif a.startswith("--metrics="):
             metrics_path = a.split("=", 1)[1]
+        elif a == "--engine":
+            i += 1
+            if i >= len(args):
+                raise SystemExit("--engine needs a mode (exact|fast|auto)")
+            engine = args[i]
+        elif a.startswith("--engine="):
+            engine = a.split("=", 1)[1]
+        elif a == "--profile":
+            profile_top = 25
+        elif a.startswith("--profile="):
+            profile_top = _profile_top(a.split("=", 1)[1])
         elif a == "--attribution":
             attribution = True
         elif a == "--resume":
@@ -161,12 +183,34 @@ def main(argv: list[str] | None = None) -> int:
         from ..obs import start_tracing
 
         tracer = start_tracing()
+    if engine is not None:
+        from ..machine import ENGINE_MODES, set_engine_mode
+
+        if engine not in ENGINE_MODES:
+            raise SystemExit(
+                f"unknown engine {engine!r}; choose from "
+                + " ".join(ENGINE_MODES)
+            )
+        set_engine_mode(engine)
+    profiler = None
+    if profile_top:
+        import cProfile
+
+        profiler = cProfile.Profile()
     try:
         from ..obs import span
 
         for name in names or list(ALL):
             with span(f"bench.{name}"):
-                print(_run(name))
+                if profiler is not None:
+                    profiler.enable()
+                    try:
+                        text = _run(name)
+                    finally:
+                        profiler.disable()
+                else:
+                    text = _run(name)
+                print(text)
     finally:
         if journal is not None:
             set_grid_journal(None)
@@ -198,6 +242,14 @@ def main(argv: list[str] | None = None) -> int:
         from ..obs import attribution_rows, format_attribution
 
         print(format_attribution(attribution_rows(tracer)))
+    if profiler is not None:
+        import io
+        import pstats
+
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats("cumulative").print_stats(profile_top)
+        print(buf.getvalue().rstrip())
     if show_perf:
         print(format_perf_report())
     return 0

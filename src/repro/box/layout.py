@@ -165,6 +165,25 @@ class DisjointBoxLayout:
         """Total cell count across all boxes."""
         return sum(e.box.num_points() for e in self._entries)
 
+    def structure_key(self) -> tuple:
+        """Hashable content key: equal keys mean interchangeable layouts.
+
+        Covers everything exchange planning can observe — the domain
+        (extent and periodicity) and every box with its rank, in layout
+        index order.  Two layouts with equal keys produce identical
+        copy plans for any ghost width, which is what lets the copier
+        cache share plans across independently constructed but
+        content-equal layouts.  Computed once (layouts are immutable).
+        """
+        sk = self.__dict__.get("_skey")
+        if sk is None:
+            sk = (
+                self.domain,
+                tuple((e.box, e.rank) for e in self._entries),
+            )
+            self.__dict__["_skey"] = sk
+        return sk
+
     def neighbors(self, index: int, ghost: int) -> list[int]:
         """Indices of boxes whose data a ghost ring of width ``ghost`` touches.
 

@@ -5,14 +5,24 @@ generators, and the workload execution simulators (closed-form and
 event-driven) that regenerate the paper's scaling figures.
 """
 
-from .cache import CacheHierarchy, CacheStats, SetAssociativeCache
+from .cache import (
+    CacheHierarchy,
+    CacheStats,
+    SetAssociativeCache,
+    StackDistanceProfile,
+)
 from .cluster import GEMINI, ClusterSpec, InterconnectSpec, StepCost, step_cost
 from .counters import BandwidthProfile, BandwidthSample, profile_workload
 from .roofline import arithmetic_intensity, min_time_bound, roofline_gflops
 from .simulator import (
+    ENGINE_MODES,
     SimResult,
     achieved_bandwidth,
+    engine_mode,
     estimate_workload,
+    get_engine_mode,
+    resolve_engine_mode,
+    set_engine_mode,
     simulate_workload,
 )
 from .spec import (
@@ -29,6 +39,11 @@ from .workload import Phase, WorkItem, Workload, build_workload
 __all__ = [
     "BandwidthProfile",
     "BandwidthSample",
+    "ENGINE_MODES",
+    "engine_mode",
+    "get_engine_mode",
+    "resolve_engine_mode",
+    "set_engine_mode",
     "CacheHierarchy",
     "CacheStats",
     "ClusterSpec",
@@ -46,6 +61,7 @@ __all__ = [
     "SANDY_BRIDGE",
     "SetAssociativeCache",
     "SimResult",
+    "StackDistanceProfile",
     "WorkItem",
     "Workload",
     "achieved_bandwidth",

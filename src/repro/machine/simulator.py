@@ -15,21 +15,38 @@ Two engines that must agree:
 Both charge each item's traffic at the per-thread cache capacity the
 thread count implies — that coupling (more threads -> smaller L3 share
 -> more traffic) is what breaks large-box scaling in the paper.
+
+Both engines replay the workload's compressed ``phase_runs()``: each
+distinct cycle of phases is costed once and replayed ``repeat`` times,
+and the flops/bytes bookkeeping goes through one shared accumulation
+loop so the two engines agree *bitwise* (asserted by
+:mod:`repro.verify`).
+
+Engine modes (:func:`set_engine_mode` / ``REPRO_ENGINE_MODE``):
+
+* ``exact`` (default) — the pure-Python reference engines above.
+* ``fast`` — the NumPy-vectorized batched replay in
+  :mod:`repro.machine.fastpath`; bitwise-deterministic, validated
+  against ``exact`` by the ``fast_path`` verify family (falls back to
+  ``exact`` when NumPy is unavailable).
+* ``auto`` — ``fast`` when NumPy is available, else ``exact``.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
+import os
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
 from ..obs import trace as _trace
 from ..resilience import faults as _faults
 from ..util.perf import perf
 from .spec import MachineSpec
-from .workload import Phase, Workload
+from .workload import Phase, WorkItem, Workload
 
 __all__ = [
     "SimResult",
@@ -37,6 +54,11 @@ __all__ = [
     "simulate_workload",
     "achieved_bandwidth",
     "clear_phase_cost_cache",
+    "ENGINE_MODES",
+    "engine_mode",
+    "get_engine_mode",
+    "resolve_engine_mode",
+    "set_engine_mode",
 ]
 
 
@@ -77,6 +99,52 @@ class SimResult:
         return 1.0 if other.time_s == 0 else math.inf
 
 
+# ------------------------------------------------------------------ engine mode
+ENGINE_MODES = ("exact", "fast", "auto")
+
+_ENGINE_MODE = os.environ.get("REPRO_ENGINE_MODE", "exact")
+if _ENGINE_MODE not in ENGINE_MODES:
+    _ENGINE_MODE = "exact"
+
+
+def set_engine_mode(mode: str) -> None:
+    """Select the engine implementation (``exact`` | ``fast`` | ``auto``)."""
+    global _ENGINE_MODE
+    if mode not in ENGINE_MODES:
+        raise ValueError(f"unknown engine mode {mode!r}; use {ENGINE_MODES}")
+    _ENGINE_MODE = mode
+
+
+def get_engine_mode() -> str:
+    """The configured engine mode (before auto-resolution)."""
+    return _ENGINE_MODE
+
+
+def resolve_engine_mode() -> str:
+    """The mode that will actually run: ``exact`` or ``fast``.
+
+    ``auto`` resolves to ``fast`` when NumPy is importable; ``fast``
+    itself degrades to ``exact`` rather than failing when it is not.
+    """
+    if _ENGINE_MODE == "exact":
+        return "exact"
+    from . import fastpath
+
+    return "fast" if fastpath.HAVE_NUMPY else "exact"
+
+
+@contextmanager
+def engine_mode(mode: str) -> Iterator[None]:
+    """Temporarily pin the engine mode (tests, verify checks)."""
+    prev = _ENGINE_MODE
+    set_engine_mode(mode)
+    try:
+        yield
+    finally:
+        set_engine_mode(prev)
+
+
+# ------------------------------------------------------------------ item/phase costs
 def _item_cost(item, machine: MachineSpec, threads: int) -> tuple[float, float]:
     """(compute seconds, DRAM bytes) of one item at this thread count."""
     rate = machine.thread_compute_rate(threads)
@@ -111,17 +179,40 @@ def _phase_totals(
     return flops, total_bytes
 
 
-def _estimate_phase(phase: Phase, machine: MachineSpec, threads: int) -> tuple[float, float, float]:
-    """(time, flops, bytes) for one phase under list scheduling."""
-    flops, total_bytes = _phase_totals(phase, machine, threads)
-    if len(phase.groups) == 1:
-        item, m = phase.groups[0]
+def _merged_groups(phase: Phase) -> list[tuple[WorkItem, int]]:
+    """Groups merged by item content and sorted by content key.
+
+    The canonical form behind :meth:`Phase.cost_key`: a phase split into
+    several groups of one identical item is *uniform* for costing
+    purposes, and any two phases with equal cost keys reduce to the
+    same merged groups — so the memoized closed-form time can never
+    depend on which of them computed it first.
+    """
+    merged: dict[tuple, list] = {}
+    for item, count in phase.groups:
+        k = item.structure_key
+        rec = merged.get(k)
+        if rec is None:
+            merged[k] = [item, count]
+        else:
+            rec[1] += count
+    return [
+        (item, count)
+        for _, (item, count) in sorted(merged.items(), key=lambda kv: kv[0])
+    ]
+
+
+def _estimate_phase_time(phase: Phase, machine: MachineSpec, threads: int) -> float:
+    """Closed-form list-scheduling time for one phase."""
+    groups = _merged_groups(phase)
+    if len(groups) == 1:
+        item, m = groups[0]
         c, b = _item_cost(item, machine, threads)
         full, rem = divmod(m, threads)
         t = full * _round_time(c, b, threads, machine)
         if rem:
             t += _round_time(c, b, rem, machine)
-        return t, flops, total_bytes
+        return t
     # Heterogeneous phase: bound-based approximation (max of the
     # work-sharing bound, the bandwidth bound, and the largest item).
     # Every term is a true lower bound on the fluid simulation, so the
@@ -129,32 +220,159 @@ def _estimate_phase(phase: Phase, machine: MachineSpec, threads: int) -> tuple[f
     # single-thread bandwidth share, which an item's fair share can
     # never beat (available_bw(k) <= k * available_bw(1)).
     total_c = 0.0
+    total_bytes = 0.0
     max_item_t = 0.0
-    m = phase.num_items
-    k_typ = min(m, threads)
-    for item, count in phase.groups:
+    m = 0
+    for item, count in groups:
         c, b = _item_cost(item, machine, threads)
         total_c += c * count
+        total_bytes += b * count
         max_item_t = max(max_item_t, _round_time(c, b, 1, machine))
+        m += count
+    k_typ = min(m, threads)
     bw = machine.available_bw_gbs(k_typ) * 1e9
-    t = max(total_c / threads, total_bytes / bw if bw > 0 else 0.0, max_item_t)
-    return t, flops, total_bytes
+    return max(total_c / threads, total_bytes / bw if bw > 0 else 0.0, max_item_t)
 
 
-# Process-wide phase-cost cache: (machine, threads, phase structure) ->
-# (time, flops, bytes).  A phase's structural key determines its cost
-# exactly, so costs survive across estimate_workload calls — a thread
-# sweep over one workload, or the same per-box phase appearing in other
-# workloads, recompute nothing.  Bounded FIFO; cleared by tests.
-_PHASE_COST_CACHE: OrderedDict[tuple, tuple[float, float, float]] = OrderedDict()
+def _simulate_phase_time(phase: Phase, machine: MachineSpec, threads: int) -> float:
+    """Event-driven fluid time for one phase (barrier excluded).
+
+    Each running item holds remaining compute time and remaining bytes;
+    at every instant the active items split the available bandwidth
+    evenly, and compute and transfer overlap (an item completes when
+    both are drained).
+    """
+    now = 0.0
+    queue = phase.expand()
+    running: list[list] = []  # [remaining_c, remaining_b]
+    idx = 0
+    while idx < len(queue) and len(running) < threads:
+        c, b = _item_cost(queue[idx], machine, threads)
+        running.append([c, b])
+        idx += 1
+    while running:
+        k = len(running)
+        bw = machine.available_bw_gbs(k) * 1e9
+        share = bw / k if k else 0.0
+        # Earliest completion under the current allocation.
+        dt = min(
+            max(rc, (rb / share) if share > 0 else 0.0)
+            for rc, rb in running
+        )
+        dt = max(dt, 1e-15)
+        still: list[list] = []
+        for rec in running:
+            rec[0] = max(0.0, rec[0] - dt)
+            rec[1] = max(0.0, rec[1] - share * dt)
+            if rec[0] > 1e-12 or rec[1] > 1e-3:
+                still.append(rec)
+        running = still
+        now += dt
+        while idx < len(queue) and len(running) < threads:
+            c, b = _item_cost(queue[idx], machine, threads)
+            running.append([c, b])
+            idx += 1
+    return now
+
+
+# Process-wide phase-time caches.  A phase's content key determines its
+# time exactly, so costs survive across engine calls — a thread sweep
+# over one workload, or the same per-box phase appearing in other
+# workloads, recompute nothing.  The estimator keys on the *canonical*
+# cost key (group order and splitting are non-semantic for the closed
+# form); the event-driven engine keys on the order-sensitive structural
+# key, because its queue order follows group order.  Bounded FIFO;
+# cleared by tests.
+_PHASE_COST_CACHE: OrderedDict[tuple, float] = OrderedDict()
+_SIM_PHASE_CACHE: OrderedDict[tuple, float] = OrderedDict()
 _PHASE_COST_CACHE_MAX = 8192
 _PHASE_COST_LOCK = threading.Lock()
 
 
 def clear_phase_cost_cache() -> None:
-    """Drop every memoized phase cost."""
+    """Drop every memoized phase time (both engines' caches)."""
     with _PHASE_COST_LOCK:
         _PHASE_COST_CACHE.clear()
+        _SIM_PHASE_CACHE.clear()
+
+
+def _cached_phase_time(
+    cache: OrderedDict,
+    counter: str,
+    key: tuple,
+    compute: Callable[[], float],
+) -> float:
+    """Shared bounded-FIFO lookup for the two phase-time caches."""
+    with _PHASE_COST_LOCK:
+        t = cache.get(key)
+        if t is not None:
+            cache.move_to_end(key)
+    if t is None:
+        perf().inc(f"{counter}.misses")
+        t = compute()
+        with _PHASE_COST_LOCK:
+            cache[key] = t
+            while len(cache) > _PHASE_COST_CACHE_MAX:
+                cache.popitem(last=False)
+    else:
+        perf().inc(f"{counter}.hits")
+    return t
+
+
+# ------------------------------------------------------------------ shared replay
+def _replay_runs(
+    workload: Workload,
+    machine: MachineSpec,
+    threads: int,
+    phase_time: Callable[[Phase], float],
+    counter: str,
+) -> tuple[float, float, float, list[float]]:
+    """(time, flops, bytes, phase_times) over the compressed phase runs.
+
+    One accumulation loop serves both engines: each distinct cycle of
+    phases is costed once (``phase_time`` supplies the engine-specific
+    per-phase time) and replayed ``repeat`` times, with the flops/bytes
+    charged through :func:`_phase_totals` in identical expression order
+    — the basis of the engines' bitwise bookkeeping agreement.
+
+    ``counter`` names the perf family (``phase_cache`` or
+    ``sim_phase_cache``) whose hit/miss ratio measures the phase-cost
+    memoization stack.  The counters track *logical* phase-cost
+    requests — one per expanded phase — so the ``repeat`` compression
+    here records ``len(cycle) * (repeat - 1)`` hits in bulk: those
+    evaluations were avoided just as surely as a cache lookup.
+    """
+    time = 0.0
+    flops = 0.0
+    total_bytes = 0.0
+    phase_times: list[float] = []
+    barrier = machine.barrier_seconds(threads) if threads > 1 else 0.0
+    for cycle, repeat in workload.phase_runs():
+        cyc_t = 0.0
+        cyc_f = 0.0
+        cyc_b = 0.0
+        times: list[float] = []
+        for phase in cycle:
+            f, b = _phase_totals(phase, machine, threads)
+            t = phase_time(phase)
+            if threads > 1:
+                t += barrier
+            cyc_t += t
+            cyc_f += f
+            cyc_b += b
+            times.append(t)
+        if repeat == 1:
+            time += cyc_t
+            flops += cyc_f
+            total_bytes += cyc_b
+            phase_times.extend(times)
+        else:
+            time += cyc_t * repeat
+            flops += cyc_f * repeat
+            total_bytes += cyc_b * repeat
+            phase_times.extend(times * repeat)
+            perf().inc(f"{counter}.hits", len(times) * (repeat - 1))
+    return time, flops, total_bytes, phase_times
 
 
 def _fault_site(workload: Workload, machine: MachineSpec, threads: int) -> str | None:
@@ -214,42 +432,32 @@ def estimate_workload(
     fault_label = _fault_site(workload, machine, threads)
     if fault_label is not None:
         _faults.perturb("estimate", None, fault_label)
-    time = 0.0
-    flops = 0.0
-    total_bytes = 0.0
-    phase_times: list[float] = []
-    # Repeated per-box phases are structurally identical, so their cost
-    # is computed once and replayed.  Keys are *structural* (content),
-    # not id()-based: recycled object ids can never alias two distinct
-    # phases, and results are shared process-wide across calls.
-    local: dict[tuple, tuple[float, float, float]] = {}
-    p = perf()
-    for phase in workload.phases:
-        skey = phase.structure_key()
-        cost = local.get(skey)
-        if cost is None:
-            key = (machine, threads, skey)
-            with _PHASE_COST_LOCK:
-                cost = _PHASE_COST_CACHE.get(key)
-                if cost is not None:
-                    _PHASE_COST_CACHE.move_to_end(key)
-            if cost is None:
-                p.inc("phase_cache.misses")
-                cost = _estimate_phase(phase, machine, threads)
-                with _PHASE_COST_LOCK:
-                    _PHASE_COST_CACHE[key] = cost
-                    while len(_PHASE_COST_CACHE) > _PHASE_COST_CACHE_MAX:
-                        _PHASE_COST_CACHE.popitem(last=False)
-            else:
-                p.inc("phase_cache.hits")
-            local[skey] = cost
-        t, f, b = cost
-        if threads > 1:
-            t += machine.barrier_seconds(threads)
-        time += t
-        flops += f
-        total_bytes += b
-        phase_times.append(t)
+    if resolve_engine_mode() == "fast":
+        from . import fastpath
+
+        result = fastpath.estimate_workload_fast(workload, machine, threads)
+        return _maybe_corrupt(result, "estimate", fault_label)
+
+    local: dict[tuple, float] = {}
+
+    def phase_time(phase: Phase) -> float:
+        ckey = phase.cost_key()
+        t = local.get(ckey)
+        if t is None:
+            t = _cached_phase_time(
+                _PHASE_COST_CACHE,
+                "phase_cache",
+                (machine, threads, ckey),
+                lambda: _estimate_phase_time(phase, machine, threads),
+            )
+            local[ckey] = t
+        else:
+            perf().inc("phase_cache.hits")
+        return t
+
+    time, flops, total_bytes, phase_times = _replay_runs(
+        workload, machine, threads, phase_time, "phase_cache"
+    )
     result = SimResult(
         machine=machine.name,
         variant=workload.variant.label,
@@ -267,10 +475,13 @@ def simulate_workload(
 ) -> SimResult:
     """Event-driven fluid simulation with fair bandwidth sharing.
 
-    Each running item holds remaining compute time and remaining bytes;
-    at every instant the active items split the available bandwidth
-    evenly, and compute and transfer overlap (an item completes when
-    both are drained).  Phases are barriers.
+    Phases are barriers, so each phase's fluid time is a pure function
+    of its structure — computed once per distinct phase (memoized
+    process-wide, keyed on the order-sensitive structural key) and
+    replayed across the workload's repeated cycles.  In ``fast``/
+    ``auto`` engine mode, phases of identical items take the closed
+    form directly (for them the round-based fluid evolution *is* the
+    closed form); heterogeneous phases always run the event loop.
     """
     if threads > machine.max_threads:
         raise ValueError(
@@ -279,52 +490,35 @@ def simulate_workload(
     fault_label = _fault_site(workload, machine, threads)
     if fault_label is not None:
         _faults.perturb("simulate", None, fault_label)
-    now = 0.0
-    flops = 0.0
-    total_bytes = 0.0
-    phase_times: list[float] = []
-    for phase in workload.phases:
-        start = now
-        f, b_total = _phase_totals(phase, machine, threads)
-        flops += f
-        total_bytes += b_total
-        queue = phase.expand()
-        running: list[list] = []  # [remaining_c, remaining_b]
-        idx = 0
-        while idx < len(queue) and len(running) < threads:
-            c, b = _item_cost(queue[idx], machine, threads)
-            running.append([c, b])
-            idx += 1
-        while running:
-            k = len(running)
-            bw = machine.available_bw_gbs(k) * 1e9
-            share = bw / k if k else 0.0
-            # Earliest completion under the current allocation.
-            dt = min(
-                max(rc, (rb / share) if share > 0 else 0.0)
-                for rc, rb in running
-            )
-            dt = max(dt, 1e-15)
-            still: list[list] = []
-            for rec in running:
-                rec[0] = max(0.0, rec[0] - dt)
-                rec[1] = max(0.0, rec[1] - share * dt)
-                if rec[0] > 1e-12 or rec[1] > 1e-3:
-                    still.append(rec)
-            running = still
-            now += dt
-            while idx < len(queue) and len(running) < threads:
-                c, b = _item_cost(queue[idx], machine, threads)
-                running.append([c, b])
-                idx += 1
-        if threads > 1:
-            now += machine.barrier_seconds(threads)
-        phase_times.append(now - start)
+    fast = resolve_engine_mode() == "fast"
+    local: dict[tuple, float] = {}
+
+    def phase_time(phase: Phase) -> float:
+        skey = phase.structure_key()
+        t = local.get(skey)
+        if t is None:
+            if fast and len(_merged_groups(phase)) == 1:
+                t = _estimate_phase_time(phase, machine, threads)
+            else:
+                t = _cached_phase_time(
+                    _SIM_PHASE_CACHE,
+                    "sim_phase_cache",
+                    (machine, threads, skey),
+                    lambda: _simulate_phase_time(phase, machine, threads),
+                )
+            local[skey] = t
+        else:
+            perf().inc("sim_phase_cache.hits")
+        return t
+
+    time, flops, total_bytes, phase_times = _replay_runs(
+        workload, machine, threads, phase_time, "sim_phase_cache"
+    )
     result = SimResult(
         machine=machine.name,
         variant=workload.variant.label,
         threads=threads,
-        time_s=now,
+        time_s=time,
         flops=flops,
         dram_bytes=total_bytes,
         phase_times=phase_times,

@@ -139,6 +139,31 @@ class Variant:
             return True
         return self.tile_size < n
 
+    def structure_key(
+        self, box_size: int, ncomp: int = 5, dim: int = 3, ghost: int = 2
+    ) -> tuple:
+        """Canonical hash of the per-box task-graph structure.
+
+        Two (variant, box) configurations with equal keys produce
+        identical per-box phases/items — the memoization key for the
+        task-graph caches in :mod:`repro.machine.workload`.  Only the
+        semantic axes participate: ``granularity`` is dropped (it decides
+        how boxes map to phases at the *level*, not what one box's task
+        graph looks like), as is any field the category ignores (the
+        ``Variant`` validator already forces those to ``None``).
+        """
+        return (
+            self.category,
+            self.component_loop,
+            self.tile_size,
+            self.intra_tile,
+            self.inner_tile_size,
+            int(box_size),
+            int(ncomp),
+            int(dim),
+            int(ghost),
+        )
+
     def __str__(self) -> str:
         return self.label
 

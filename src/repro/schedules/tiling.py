@@ -21,6 +21,16 @@ from ..box.intvect import IntVect
 __all__ = ["TileGrid", "wavefront_schedule_depth"]
 
 
+def _poly_mul(a: list[int], b: list[int]) -> list[int]:
+    """Coefficient-list product (small generating polynomials)."""
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ai in enumerate(a):
+        if ai:
+            for j, bj in enumerate(b):
+                out[i + j] += ai * bj
+    return out
+
+
 @dataclass(frozen=True)
 class _Tile:
     coords: tuple[int, ...]
@@ -51,9 +61,19 @@ class TileGrid:
             (box.size(d) + self.tile_size[d] - 1) // self.tile_size[d]
             for d in range(box.dim)
         )
-        self._tiles: list[_Tile] = []
+        # Tiles are materialized lazily: the analytic accessors below
+        # (counts, shape_counts, wavefront_shape_counts, num_wavefronts,
+        # __len__) answer the simulator's questions without ever building
+        # the per-tile Box objects, which dominated workload construction
+        # at paper scale (hundreds of thousands of tiles per sweep).
+        self._tiles: list[_Tile] | None = None
         self._by_coords: dict[tuple[int, ...], int] = {}
-        self._build()
+
+    def _ensure_tiles(self) -> list[_Tile]:
+        if self._tiles is None:
+            self._tiles = []
+            self._build()
+        return self._tiles
 
     def _build(self) -> None:
         box, ts = self.box, self.tile_size
@@ -79,22 +99,26 @@ class TileGrid:
 
     # -- access -------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._tiles)
+        n = 1
+        for c in self.counts:
+            n *= c
+        return n
 
     def __iter__(self) -> Iterator[Box]:
-        return (t.box for t in self._tiles)
+        return (t.box for t in self._ensure_tiles())
 
     def tile_box(self, index: int) -> Box:
-        return self._tiles[index].box
+        return self._ensure_tiles()[index].box
 
     def tile_coords(self, index: int) -> tuple[int, ...]:
-        return self._tiles[index].coords
+        return self._ensure_tiles()[index].coords
 
     def index_of(self, coords: Sequence[int]) -> int | None:
+        self._ensure_tiles()
         return self._by_coords.get(tuple(coords))
 
     def wavefront_of(self, index: int) -> int:
-        return self._tiles[index].wavefront
+        return self._ensure_tiles()[index].wavefront
 
     @property
     def num_wavefronts(self) -> int:
@@ -104,17 +128,92 @@ class TileGrid:
     def wavefronts(self) -> list[list[int]]:
         """Tile indices grouped by wavefront number, in execution order."""
         groups: list[list[int]] = [[] for _ in range(self.num_wavefronts)]
-        for i, t in enumerate(self._tiles):
+        for i, t in enumerate(self._ensure_tiles()):
             groups[t.wavefront].append(i)
         return groups
 
     def wavefront_sizes(self) -> list[int]:
-        """Tiles per wavefront — the parallelism profile (§IV-C)."""
-        return [len(g) for g in self.wavefronts()]
+        """Tiles per wavefront — the parallelism profile (§IV-C).
+
+        Computed analytically: the size of wavefront ``w`` is the number
+        of coordinate tuples summing to ``w``, i.e. the coefficient of
+        ``x^w`` in ``prod_d (1 + x + ... + x^(counts[d]-1))``.
+        """
+        poly = [1]
+        for c in self.counts:
+            poly = _poly_mul(poly, [1] * c)
+        return poly
+
+    # -- analytic shape accounting ---------------------------------------------------
+    def _dim_classes(self) -> list[list[tuple[int, tuple[int, int]]]]:
+        """Per dimension: (tile edge, (first index, last index)) classes.
+
+        Along dimension ``d`` every tile has the full edge
+        ``tile_size[d]`` except possibly the last, which holds the
+        remainder — so each dimension contributes at most two size
+        classes, each covering a contiguous index range.
+        """
+        classes: list[list[tuple[int, tuple[int, int]]]] = []
+        for d in range(self.box.dim):
+            c, t, s = self.counts[d], self.tile_size[d], self.box.size(d)
+            last = s - (c - 1) * t
+            if c == 1 or last == t:
+                classes.append([(last if c == 1 else t, (0, c - 1))])
+            else:
+                classes.append([(t, (0, c - 2)), (last, (c - 1, c - 1))])
+        return classes
+
+    def shape_counts(self) -> dict[tuple[int, ...], int]:
+        """Tile count per distinct tile shape, without materializing tiles.
+
+        At most ``2^dim`` shapes exist (full or remainder edge per
+        dimension); counts are products of per-dimension index-range
+        lengths.  Equivalent to a Counter over ``tb.size() for tb in
+        self`` but O(2^dim) instead of O(tiles).
+        """
+        out: dict[tuple[int, ...], int] = {}
+        shapes: list[tuple[tuple[int, ...], int]] = [((), 1)]
+        for dim_class in self._dim_classes():
+            shapes = [
+                (shape + (size,), count * (hi - lo + 1))
+                for shape, count in shapes
+                for size, (lo, hi) in dim_class
+            ]
+        for shape, count in shapes:
+            out[shape] = count
+        return out
+
+    def wavefront_shape_counts(self) -> list[dict[tuple[int, ...], int]]:
+        """Per wavefront, tile count per distinct tile shape (analytic).
+
+        For each shape (one size class per dimension) the tiles of that
+        shape occupy a product of contiguous index ranges; the number in
+        wavefront ``w`` is the coefficient of ``x^w`` in the product of
+        the per-dimension range polynomials ``x^lo + ... + x^hi``.
+        Equivalent to grouping ``self.wavefronts()`` by ``tile_box``
+        shape but never builds a tile.
+        """
+        out: list[dict[tuple[int, ...], int]] = [
+            {} for _ in range(self.num_wavefronts)
+        ]
+        choices: list[tuple[tuple[int, ...], list[int]]] = [((), [1])]
+        for dim_class in self._dim_classes():
+            nxt = []
+            for shape, poly in choices:
+                for size, (lo, hi) in dim_class:
+                    # x^lo + ... + x^hi
+                    range_poly = [0] * lo + [1] * (hi - lo + 1)
+                    nxt.append((shape + (size,), _poly_mul(poly, range_poly)))
+            choices = nxt
+        for shape, poly in choices:
+            for w, count in enumerate(poly):
+                if count:
+                    out[w][shape] = count
+        return out
 
     def upstream_neighbors(self, index: int) -> list[int]:
         """Tiles one step lower in each direction (flux-cache producers)."""
-        coords = self._tiles[index].coords
+        coords = self._ensure_tiles()[index].coords
         out = []
         for d in range(self.box.dim):
             if coords[d] > 0:

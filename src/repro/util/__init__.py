@@ -8,7 +8,7 @@ from .arena import (
     scratch_arena,
     scratch_scope,
 )
-from .perf import format_perf_report, perf, reset_perf
+from .perf import format_perf_report, perf, publish_cache_gauges, reset_perf
 from .timer import Timer
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "arena_stats",
     "publish_arena_gauges",
     "perf",
+    "publish_cache_gauges",
     "reset_perf",
     "format_perf_report",
 ]

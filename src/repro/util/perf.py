@@ -30,12 +30,24 @@ from typing import Iterator
 from ..obs.metrics import MetricsRegistry, default_registry
 
 __all__ = [
+    "CACHE_FAMILIES",
     "PerfCounters",
     "perf",
+    "publish_cache_gauges",
     "reset_perf",
     "timed",
     "format_perf_report",
 ]
+
+#: The substrate's memoization layers, as (counter prefix, human label).
+CACHE_FAMILIES = (
+    ("arena", "scratch arena"),
+    ("workload_cache", "workload cache"),
+    ("phase_cache", "phase-cost cache"),
+    ("sim_phase_cache", "sim phase cache"),
+    ("copier_cache", "copier plan cache"),
+    ("fastpath_cache", "fast-path table cache"),
+)
 
 _COUNT = "count."
 _TIME = "time."
@@ -128,17 +140,37 @@ def timed(name: str) -> Iterator[None]:
         _PERF.add_time(name, time.perf_counter() - start)
 
 
+def publish_cache_gauges(registry=None) -> dict[str, float]:
+    """Snapshot every cache family's hit rate into ``repro.obs`` gauges.
+
+    Sets ``cache.<family>.hit_rate`` (plus ``.hits``/``.misses``) in the
+    registry for each family that saw any traffic, and returns the hit
+    rates.  The observational mirror of the memoization satellites: the
+    benchmark harness and the serving layer publish these so dashboards
+    can watch cache effectiveness without scraping counter pairs.
+    """
+    if registry is None:
+        registry = default_registry()
+    rates: dict[str, float] = {}
+    for prefix, _ in CACHE_FAMILIES:
+        hits = _PERF.get(f"{prefix}.hits")
+        misses = _PERF.get(f"{prefix}.misses")
+        if hits + misses == 0:
+            continue
+        rate = hits / (hits + misses)
+        rates[prefix] = rate
+        registry.gauge_set(f"cache.{prefix}.hit_rate", rate)
+        registry.gauge_set(f"cache.{prefix}.hits", float(hits))
+        registry.gauge_set(f"cache.{prefix}.misses", float(misses))
+    return rates
+
+
 def format_perf_report() -> str:
     """Human-readable summary of the substrate counters."""
     snap = _PERF.snapshot()
     counts, times = snap["counts"], snap["times"]
     out = ["substrate perf counters:"]
-    for prefix, label in (
-        ("arena", "scratch arena"),
-        ("workload_cache", "workload cache"),
-        ("phase_cache", "phase-cost cache"),
-        ("copier_cache", "copier plan cache"),
-    ):
+    for prefix, label in CACHE_FAMILIES:
         hits = counts.get(f"{prefix}.hits", 0)
         misses = counts.get(f"{prefix}.misses", 0)
         if hits + misses == 0:

@@ -3,7 +3,7 @@
 A seeded generator draws randomized configurations — domain shape
 (including anisotropic), box size, ghost width, per-axis periodicity,
 component count, schedule variants, simulated machine, thread count,
-and execution-substrate toggles — and drives four check families:
+and execution-substrate toggles — and drives five check families:
 
 * **bitwise** — every variant equals the reference kernel bitwise,
   under arena/pool/tracing toggle combinations;
@@ -12,7 +12,10 @@ and execution-substrate toggles — and drives four check families:
 * **invariants** — Table I temporaries vs instrumented allocations,
   traffic monotonicity in cache size, parallelism-profile bounds;
 * **metamorphic** — domain translation, component permutation, and
-  periodic-shift invariance.
+  periodic-shift invariance;
+* **fast_path** — the vectorized fast-path engine tracks the exact
+  engines within stated tolerances, deterministically, and the
+  stack-distance cache model matches the LRU simulator.
 
 Failures shrink to a minimal counterexample and serialize as replayable
 JSON repro files.  See :mod:`repro.verify.__main__` for the CLI.
@@ -21,6 +24,7 @@ JSON repro files.  See :mod:`repro.verify.__main__` for the CLI.
 from .checks import (
     check_bitwise,
     check_engines,
+    check_fast_path,
     check_invariants,
     check_metamorphic,
     run_check,
@@ -52,6 +56,7 @@ __all__ = [
     "run_check",
     "check_bitwise",
     "check_engines",
+    "check_fast_path",
     "check_invariants",
     "check_metamorphic",
     "run_verification",

@@ -37,8 +37,8 @@ __all__ = [
     "variant_registry",
 ]
 
-#: The four check families (see :mod:`repro.verify.checks`).
-FAMILIES = ("bitwise", "engines", "invariants", "metamorphic")
+#: The five check families (see :mod:`repro.verify.checks`).
+FAMILIES = ("bitwise", "engines", "invariants", "metamorphic", "fast_path")
 
 #: Box edges the generator draws from — small enough that a single case
 #: runs in milliseconds, varied enough to hit odd box/tile ratios

@@ -1,0 +1,211 @@
+"""Fast-path engine: mode selection, exact agreement, determinism,
+the stack-distance cache model, and the compressed phase replay."""
+
+import random
+
+import pytest
+
+from repro.machine import (
+    IVY_BRIDGE,
+    IVY_DESKTOP,
+    SANDY_BRIDGE,
+    SetAssociativeCache,
+    StackDistanceProfile,
+    build_workload,
+    engine_mode,
+    estimate_workload,
+    get_engine_mode,
+    resolve_engine_mode,
+    set_engine_mode,
+    simulate_workload,
+)
+from repro.machine.fastpath import HAVE_NUMPY, workload_table
+from repro.machine.trace import (
+    ArrayLayout,
+    replay,
+    scratch_write_read_trace,
+    stencil_sweep_trace,
+    stream_trace,
+)
+from repro.obs import trace as _trace
+from repro.schedules import Variant
+from repro.util.arena import scratch_arena
+
+VARIANTS = [
+    Variant("series", "P>=Box"),
+    Variant("series", "P<Box"),
+    Variant("shift_fuse", "P<Box", "CLI"),
+    Variant("blocked_wavefront", "P<Box", "CLO", tile_size=8),
+    Variant("overlapped", "P>=Box", "CLO", tile_size=8, intra_tile="basic"),
+]
+
+
+def rel(a, b):
+    return abs(a - b) / max(abs(a), abs(b), 1e-30)
+
+
+class TestEngineMode:
+    def test_default_is_exact(self):
+        assert get_engine_mode() == "exact"
+        assert resolve_engine_mode() == "exact"
+
+    def test_context_manager_restores(self):
+        with engine_mode("fast"):
+            assert get_engine_mode() == "fast"
+            with engine_mode("auto"):
+                assert get_engine_mode() == "auto"
+            assert get_engine_mode() == "fast"
+        assert get_engine_mode() == "exact"
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            set_engine_mode("warp")
+
+    def test_auto_resolves_by_numpy_presence(self):
+        with engine_mode("auto"):
+            expected = "fast" if HAVE_NUMPY else "exact"
+            assert resolve_engine_mode() == expected
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="fast path needs numpy")
+class TestFastVsExact:
+    @pytest.mark.parametrize("variant", VARIANTS, ids=lambda v: v.short_name)
+    def test_agreement_across_machines_and_threads(self, variant):
+        wl = build_workload(variant, 16, (64, 64, 64))
+        for machine in (SANDY_BRIDGE, IVY_BRIDGE, IVY_DESKTOP):
+            for threads in (1, 3, machine.max_threads):
+                exact = estimate_workload(wl, machine, threads)
+                with engine_mode("fast"):
+                    fast = estimate_workload(wl, machine, threads)
+                assert rel(exact.time_s, fast.time_s) < 1e-9
+                assert rel(exact.flops, fast.flops) < 1e-9
+                assert rel(exact.dram_bytes, fast.dram_bytes) < 1e-9
+                assert len(exact.phase_times) == len(fast.phase_times)
+                worst = max(
+                    rel(a, b)
+                    for a, b in zip(exact.phase_times, fast.phase_times)
+                )
+                assert worst < 1e-9
+
+    def test_fast_simulation_tracks_exact(self):
+        v = Variant("blocked_wavefront", "P<Box", "CLO", tile_size=8)
+        wl = build_workload(v, 32, (64, 64, 64))
+        s_exact = simulate_workload(wl, SANDY_BRIDGE, 4)
+        with engine_mode("fast"):
+            s_fast = simulate_workload(wl, SANDY_BRIDGE, 4)
+        assert rel(s_exact.time_s, s_fast.time_s) < 1e-9
+        assert s_exact.flops == s_fast.flops
+        assert s_exact.dram_bytes == s_fast.dram_bytes
+
+    def test_bitwise_determinism_under_toggles(self):
+        wl = build_workload(Variant("series", "P<Box"), 16, (64, 64, 64))
+        with engine_mode("fast"):
+            base = estimate_workload(wl, IVY_BRIDGE, 8)
+            with scratch_arena():
+                arena_run = estimate_workload(wl, IVY_BRIDGE, 8)
+            with _trace.tracing():
+                traced_run = estimate_workload(wl, IVY_BRIDGE, 8)
+        for other in (arena_run, traced_run):
+            assert other.time_s == base.time_s
+            assert other.flops == base.flops
+            assert other.dram_bytes == base.dram_bytes
+            assert other.phase_times == base.phase_times
+
+    def test_table_cached_on_workload(self):
+        wl = build_workload(Variant("series", "P<Box"), 16, (64, 64, 64))
+        assert workload_table(wl) is workload_table(wl)
+
+    def test_thread_bound_still_enforced(self):
+        wl = build_workload(Variant("series", "P>=Box"), 16, (32, 32, 32))
+        with engine_mode("fast"), pytest.raises(ValueError):
+            estimate_workload(wl, IVY_DESKTOP, 100)
+
+
+class TestStackDistanceProfile:
+    LINE = 64
+
+    def traces(self):
+        a = ArrayLayout(0, (32, 16, 4))
+        b = ArrayLayout(10**7, (64, 16))
+        yield list(stream_trace(a))
+        yield list(stencil_sweep_trace(a, 2))
+        yield list(scratch_write_read_trace(b))
+        rng = random.Random(11)
+        yield [
+            (rng.randrange(0, 1 << 14) * 8, rng.random() < 0.3)
+            for _ in range(5000)
+        ]
+
+    def test_exact_vs_fully_associative_lru(self):
+        # Misses AND writebacks match the simulator exactly, for every
+        # capacity, from one profiling pass.
+        for tr in self.traces():
+            prof = StackDistanceProfile.from_trace(tr, self.LINE)
+            for kb in (1, 4, 16, 64, 256):
+                cap = kb * 1024
+                sim = SetAssociativeCache(cap, self.LINE, ways=0)
+                replay(iter(tr), sim)
+                sim.flush()
+                assert prof.misses(cap) == sim.stats.misses
+                assert prof.writebacks(cap) == sim.stats.writebacks
+                assert prof.dram_bytes(cap) == (
+                    sim.stats.misses + sim.stats.writebacks
+                ) * self.LINE
+
+    def test_set_associative_within_tolerance(self):
+        a = ArrayLayout(0, (32, 16, 4))
+        tr = list(stencil_sweep_trace(a, 2))
+        prof = StackDistanceProfile.from_trace(tr, self.LINE)
+        for kb in (8, 32, 128):
+            cap = kb * 1024
+            sim = SetAssociativeCache(cap, self.LINE, ways=8)
+            replay(iter(tr), sim)
+            drift = abs(prof.misses(cap) - sim.stats.misses)
+            assert drift / max(prof.total_accesses, 1) < 0.15
+
+    def test_miss_curve_monotone(self):
+        tr = list(stencil_sweep_trace(ArrayLayout(0, (32, 16, 4)), 2))
+        prof = StackDistanceProfile.from_trace(tr, self.LINE)
+        caps = [1024 << k for k in range(10)]
+        curve = prof.miss_curve(caps)
+        assert curve == sorted(curve, reverse=True)
+        assert curve[0] <= prof.total_accesses
+        # Huge cache: only compulsory misses remain.
+        assert prof.misses(1 << 40) == prof.cold
+
+    def test_access_range_counts_match_per_line_loop(self):
+        # The inlined access_range is semantically a per-line access loop.
+        a = SetAssociativeCache(4096, 64, ways=8)
+        b = SetAssociativeCache(4096, 64, ways=8)
+        spans = [(0, 1024, False), (100, 700, True), (8192, 64, False), (0, 1024, False)]
+        for start, nbytes, write in spans:
+            a.access_range(start, nbytes, write)
+            addr = (start // 64) * 64
+            while addr < start + nbytes:
+                b.access(addr, write)
+                addr += 64
+        assert a.stats.accesses == b.stats.accesses
+        assert a.stats.misses == b.stats.misses
+        assert a.stats.writebacks == b.stats.writebacks
+        assert a.access_range(0, 0) == 0
+
+
+class TestCompressedReplay:
+    def test_phase_runs_compression_matches_phases(self):
+        for v in VARIANTS:
+            wl = build_workload(v, 16, (64, 64, 64))
+            expanded = []
+            for cycle, repeat in wl.phase_runs():
+                expanded.extend(list(cycle) * repeat)
+            assert expanded == wl.phases
+
+    def test_estimate_scales_with_distinct_phases_not_boxes(self):
+        # 4096 boxes replay one cached per-box cycle: phase_times has
+        # one entry per expanded phase but only one distinct value.
+        wl = build_workload(Variant("series", "P<Box"), 16, (256, 256, 256))
+        r = estimate_workload(wl, SANDY_BRIDGE, 4)
+        assert len(r.phase_times) == len(wl.phases) == 4096
+        assert len(set(r.phase_times)) == 1
+        assert r.time_s == pytest.approx(
+            r.phase_times[0] * 4096, rel=1e-9
+        )

@@ -134,11 +134,26 @@ class TestCopierCache:
         assert shared_copier(lay, 1) is not shared_copier(lay, 2)
         assert shared_copier(lay, 2) is shared_copier(lay, 2)
 
-    def test_distinct_layouts_distinct_plan(self):
+    def test_content_equal_layouts_share_plan(self):
+        # Independently constructed but content-equal layouts hit the
+        # same plan: the cache keys on layout content, not identity.
         clear_copier_cache()
-        assert shared_copier(self._layout(), 2) is not shared_copier(
-            self._layout(), 2
+        a = shared_copier(self._layout(), 2)
+        before = perf().get("copier_cache.hits")
+        assert shared_copier(self._layout(), 2) is a
+        assert perf().get("copier_cache.hits") == before + 1
+
+    def test_genuinely_distinct_layouts_distinct_plan(self):
+        clear_copier_cache()
+        assert shared_copier(self._layout(box=4), 2) is not shared_copier(
+            self._layout(box=8), 2
         )
+        # Same boxes, different rank assignment -> different plan key
+        # (off-rank accounting depends on ranks).
+        domain = ProblemDomain(Box.cube(8, 3), periodic=(True,) * 3)
+        one = decompose_domain(domain, 4, num_ranks=1)
+        two = decompose_domain(domain, 4, num_ranks=2)
+        assert shared_copier(one, 2) is not shared_copier(two, 2)
 
 
 class TestSharedPool:

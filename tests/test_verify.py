@@ -17,6 +17,7 @@ from repro.verify import (
     VerifyConfig,
     check_bitwise,
     check_engines,
+    check_fast_path,
     check_invariants,
     check_metamorphic,
     load_repro,
@@ -137,6 +138,27 @@ class TestCheckFamilies:
         cfg = small_config(family="metamorphic", periodic=(False, True), ncomp=5)
         assert check_metamorphic(cfg) == []
 
+    def test_fast_path_passes_small(self):
+        cfg = small_config(
+            family="fast_path",
+            variants=("shift_fuse-PltBox-cli", "series-PgeBox-clo"),
+        )
+        assert check_fast_path(cfg) == []
+
+    def test_fast_path_passes_under_toggles(self):
+        cfg = small_config(
+            family="fast_path",
+            variants=("blocked_wavefront-PltBox-clo-t4",),
+            arena=True,
+            tracing=True,
+        )
+        assert check_fast_path(cfg) == []
+
+    def test_fast_path_in_families(self):
+        assert "fast_path" in FAMILIES
+        cfg = small_config(family="fast_path")
+        assert run_check(cfg) == []
+
     def test_dispatch_unknown_family(self):
         cfg = small_config()
         object.__setattr__(cfg, "family", "weird")
@@ -249,7 +271,7 @@ class TestRunner:
         assert "all checks passed" in report.summary()
 
     def test_families_round_robin(self):
-        report = run_verification(seed=11, cases=8, check_fn=lambda c: [])
+        report = run_verification(seed=11, cases=10, check_fn=lambda c: [])
         fams = [c.config.family for c in report.cases]
         assert fams == list(FAMILIES) * 2
 

@@ -4,21 +4,28 @@ import pytest
 
 from repro.analysis.traffic import TrafficModel
 from repro.machine import SANDY_BRIDGE, build_workload, estimate_workload
-from repro.machine.workload import Phase, WorkItem, _repeat_phase
+from repro.machine.workload import Phase, WorkItem
 from repro.schedules import Variant
 
 
-class TestRepeatPhase:
-    def test_groups_shared_but_lists_independent(self):
-        base = Phase("p")
-        base.add(WorkItem("i", 1.0, TrafficModel(8.0)), 4)
-        copies = _repeat_phase(base, 3)
-        # The (item, count) tuples are shared (enables memoization)...
-        assert copies[0].groups[0] is copies[1].groups[0]
-        # ...but the group lists are independent.
-        copies[0].add(WorkItem("extra", 1.0, TrafficModel(8.0)))
-        assert copies[0].num_items == 5
-        assert copies[1].num_items == 4
+class TestCycleSharing:
+    def test_boxes_share_phase_objects(self):
+        # P<Box boxes repeat one shared cycle of Phase objects; the
+        # expanded list holds references, not per-box copies.
+        wl = build_workload(Variant("series", "P<Box", "CLO"), 16, (32, 32, 32))
+        assert wl.phases[0] is wl.phases[1]
+        (cycle, repeat), = wl.phase_runs()
+        assert repeat == wl.num_boxes == 8
+        assert wl.phases == list(cycle) * repeat
+
+    def test_hand_built_workload_is_single_run(self):
+        from repro.machine import Workload
+
+        wl = Workload(Variant("series"), 16, 1, 5, 3)
+        p = Phase("p")
+        p.add(WorkItem("i", 1.0, TrafficModel(8.0)), 4)
+        wl.phases = [p, p]
+        assert wl.phase_runs() == [((p, p), 1)]
 
 
 class TestMemoization:
