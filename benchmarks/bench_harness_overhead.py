@@ -213,6 +213,12 @@ def _serve_overhead() -> dict:
     repeats sheds scheduler noise at this millisecond scale.  The
     acceptance bar (``check_overhead_regression.py``): served within
     5% of direct, plus a small absolute grace for timer noise.
+
+    The shard measurement routes the same grid point-by-point through
+    two process shards — every point pays admission, a WAL-less lease,
+    a pickle round-trip over the pipe, and a ticket settle.  Process
+    isolation is allowed a wider bar (10% + 20 ms): it buys kill -9
+    survival, and the children fork warm so the tax is pure transport.
     """
     from repro.bench.experiments import scaling_grid_points
     from repro.bench.runner import run_grid
@@ -233,11 +239,17 @@ def _serve_overhead() -> dict:
     direct_s = best_of(lambda: run_grid(points))
     with JobService(workers=2, queue_limit=64) as svc:
         served_s = best_of(lambda: serve_grid(points, svc, batch=True))
+    with JobService(workers=2, queue_limit=64, shards=2) as svc:
+        served_shards_s = best_of(
+            lambda: serve_grid(points, svc, batch=False)
+        )
     return {
         "grid_points": len(points),
         "direct_run_grid_s": round(direct_s, 6),
         "served_batch_s": round(served_s, 6),
         "overhead_ratio": round(served_s / direct_s, 4),
+        "served_shards_s": round(served_shards_s, 6),
+        "shards_overhead_ratio": round(served_shards_s / direct_s, 4),
     }
 
 
@@ -326,6 +338,11 @@ def test_harness_overhead():
     serve = report["serve"]
     assert serve["served_batch_s"] <= (
         serve["direct_run_grid_s"] * 1.05 + 0.010
+    ), serve
+    # Process isolation gets a wider bar — 10% + 20 ms — covering the
+    # per-point pickle/pipe round-trips through two shards.
+    assert serve["served_shards_s"] <= (
+        serve["direct_run_grid_s"] * 1.10 + 0.020
     ), serve
 
 

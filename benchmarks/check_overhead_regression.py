@@ -83,14 +83,27 @@ def check_serve(
     served = serve.get("served_batch_s")
     if direct is None or served is None:
         return []
+    problems: list[str] = []
     limit = direct * (1.0 + tolerance) + grace_s
     if served > limit:
-        return [
+        problems.append(
             f"serve overhead: served {served * 1e3:.2f} ms > limit "
             f"{limit * 1e3:.2f} ms (direct {direct * 1e3:.2f} ms, "
             f"tolerance {tolerance:.0%} + {grace_s * 1e3:.0f} ms grace)"
-        ]
-    return []
+        )
+    # Process shards: per-point pipe round-trips through two child
+    # processes, gated at 10% + 20 ms — wider than the thread bar
+    # because each point pays a pickle/pipe hop, but still thin.
+    shards = serve.get("served_shards_s")
+    if shards is not None:
+        shard_limit = direct * 1.10 + 0.020
+        if shards > shard_limit:
+            problems.append(
+                f"shard overhead: served {shards * 1e3:.2f} ms > limit "
+                f"{shard_limit * 1e3:.2f} ms (direct {direct * 1e3:.2f} ms, "
+                f"tolerance 10% + 20 ms grace)"
+            )
+    return problems
 
 
 def check_fig9(fig9: dict, min_speedup: float) -> list[str]:
@@ -164,6 +177,12 @@ def main(argv: list[str] | None = None) -> int:
             f"-> served {serve.get('served_batch_s', 0) * 1e3:.2f} ms "
             f"(ratio {serve.get('overhead_ratio', 0):.3f})"
         )
+        if serve.get("served_shards_s") is not None:
+            print(
+                f"serve --shards 2: "
+                f"{serve['served_shards_s'] * 1e3:.2f} ms "
+                f"(ratio {serve.get('shards_overhead_ratio', 0):.3f})"
+            )
     else:
         print(f"{args.current}: no serve section yet; serve gate skipped")
 

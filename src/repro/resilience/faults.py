@@ -11,7 +11,13 @@ fault fires there and what kind:
 * ``stall`` — the site sleeps ``stall_s`` seconds before running,
   exercising deadline/timeout paths;
 * ``corrupt`` — the site's *output* is poisoned (a value flipped to
-  NaN) after it completes, exercising the numerical watchdog.
+  NaN) after it completes, exercising the numerical watchdog;
+* ``kill`` — the **process-level** fault family: the hosting process
+  SIGKILLs *itself* at the site, before any work runs.  Only the shard
+  children of :mod:`repro.serve.shards` honor it (via
+  :func:`die_if_planned`); thread-scope consumers filter it out, so a
+  kill fault can never take down the supervisor process that injected
+  it.
 
 Plans are seeded and consumed site-by-site under a lock, so a test (or
 a CI run with ``REPRO_FAULT_SEED``) gets the same faults every time.
@@ -42,6 +48,8 @@ from dataclasses import dataclass, field
 __all__ = [
     "SCOPES",
     "MODES",
+    "THREAD_MODES",
+    "PROCESS_MODES",
     "Fault",
     "FaultInjected",
     "FaultSpec",
@@ -54,14 +62,22 @@ __all__ = [
     "take",
     "perturb",
     "take_corrupt",
+    "take_kill",
+    "die_if_planned",
 ]
 
 #: Execution scopes faults can address.  ``serve`` addresses job
 #: attempts inside :mod:`repro.serve` workers (a ``stall`` there is how
-#: the hung-worker supervision path is exercised).
-SCOPES = ("pool", "grid", "estimate", "simulate", "serve")
-#: Fault modes.
-MODES = ("raise", "stall", "corrupt")
+#: the hung-worker supervision path is exercised); ``shard`` addresses
+#: job executions inside shard *child processes* (the only scope where
+#: ``kill`` faults make sense).
+SCOPES = ("pool", "grid", "estimate", "simulate", "serve", "shard")
+#: Fault modes (thread-level plus the process-level ``kill`` family).
+MODES = ("raise", "stall", "corrupt", "kill")
+#: Modes safe to fire on a thread inside a process that must survive.
+THREAD_MODES = ("raise", "stall", "corrupt")
+#: Modes that destroy the hosting process.
+PROCESS_MODES = ("kill",)
 
 
 class FaultInjected(RuntimeError):
@@ -157,7 +173,7 @@ class RandomFaultPlan(FaultPlan):
         seed: int,
         rate: float = 0.02,
         scopes: tuple[str, ...] = ("pool", "grid"),
-        modes: tuple[str, ...] = MODES,
+        modes: tuple[str, ...] = THREAD_MODES,
         stall_s: float = 0.01,
     ):
         super().__init__()
@@ -275,6 +291,32 @@ def perturb(scope: str, index: int | None = None, label: str = "") -> None:
 def take_corrupt(scope: str, index: int | None = None, label: str = "") -> bool:
     """True if a corrupt-mode fault fires at this site (consumed)."""
     return take(scope, index, label, modes=("corrupt",)) is not None
+
+
+def take_kill(scope: str, index: int | None = None, label: str = "") -> bool:
+    """True if a kill-mode fault fires at this site (consumed).
+
+    Split from :func:`die_if_planned` so tests can observe the decision
+    without dying; the trace event is emitted (and the budget spent) by
+    the shared :func:`take` path either way.
+    """
+    return take(scope, index, label, modes=PROCESS_MODES) is not None
+
+
+def die_if_planned(scope: str, index: int | None = None, label: str = "") -> None:
+    """SIGKILL the *current process* if a kill fault is planned here.
+
+    The process-level fault family: no exception, no cleanup, no
+    ``finally`` blocks — the exact failure mode of an OOM kill or a
+    segfault, which is what the shard supervision layer must absorb.
+    Fires before any work runs, so a re-dispatch of the same job on a
+    fresh shard is always safe.  Only ever call this from a process
+    whose death is supervised (a shard child), never the supervisor.
+    """
+    if take_kill(scope, index, label):
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
 
 
 # ------------------------------------------------- environment bootstrap

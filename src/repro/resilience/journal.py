@@ -32,6 +32,19 @@ from different threads without interleaving partial JSONL lines.  The
 write handle is always opened in append mode (``resume=False``
 truncates explicitly first), so even two handles never overwrite each
 other's records mid-file.
+
+Crash safety: both journals recover from a *torn tail* — the final
+record of a file interrupted mid-write (no newline, or a final line
+that no longer parses) is truncated away on load, so the next append
+starts at a clean line boundary instead of corrupting the record after
+the tear.  :class:`WALJournal` generalizes the storage discipline into
+a write-ahead log for arbitrary records: ``commit`` is durable (flush
++ fsync) before it returns, and ``rotate`` atomically replaces the log
+with a compacted snapshot (write aside, fsync the file, rename over,
+fsync the directory) — a crash at any instant leaves either the old
+complete log or the new complete log, never a mix.  The serve layer's
+shard supervisor leases jobs through a ``WALJournal``
+(``docs/resilience.md``, "The write-ahead log").
 """
 
 from __future__ import annotations
@@ -50,9 +63,11 @@ __all__ = [
     "sim_result_to_dict",
     "sim_result_from_dict",
     "GridJournal",
+    "WALJournal",
 ]
 
 _VERSION = 1
+_WAL_VERSION = 1
 
 #: Process-global per-path write locks: every GridJournal instance on
 #: the same (real) path shares one lock, so two instances appending to
@@ -65,6 +80,77 @@ def _path_lock(path: str) -> threading.Lock:
     key = os.path.realpath(path)
     with _PATH_LOCKS_GUARD:
         return _PATH_LOCKS.setdefault(key, threading.Lock())
+
+
+def _fsync_dir(path: str) -> None:
+    """fsync the directory entry so a completed rename survives a crash."""
+    dirname = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        fd = os.open(dirname, os.O_RDONLY)
+    except OSError:  # pragma: no cover - directory not openable (exotic fs)
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync unsupported on directories
+        pass
+    finally:
+        os.close(fd)
+
+
+def _recover_jsonl(path: str) -> tuple[list[dict], int, int]:
+    """Scan a JSONL file, distinguishing a torn tail from interior rot.
+
+    Returns ``(records, keep_bytes, skipped)``: every parseable record
+    in file order; the byte offset the file should be truncated to so
+    that it ends at a clean record boundary; and how many
+    complete-but-corrupt *interior* lines were skipped.
+
+    A *torn tail* — the signature of a crash mid-append: a final line
+    with no terminating newline, or a terminated final line that no
+    longer parses as a JSON object — is excluded from ``keep_bytes``,
+    so truncating to it drops exactly the interrupted record.  A
+    corrupt line in the middle of the file is not torn (every record
+    after it is intact), so it is skipped and counted instead of
+    truncated, which would discard good data.
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    lines = data.split(b"\n")
+    records: list[dict] = []
+    keep = len(data)
+    skipped = 0
+    pos = 0
+    last = len(lines) - 1
+    for idx, raw in enumerate(lines):
+        if idx == last:
+            # The remainder past the final newline: empty means the file
+            # ends cleanly; anything else is an unterminated torn tail.
+            if raw:
+                keep = pos
+            break
+        end = pos + len(raw) + 1
+        stripped = raw.strip()
+        if stripped:
+            try:
+                rec = json.loads(stripped.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                rec = None
+            if isinstance(rec, dict):
+                records.append(rec)
+            elif end == len(data):
+                keep = pos  # corrupt final record, newline intact: torn
+            else:
+                skipped += 1
+        pos = end
+    return records, keep, skipped
+
+
+def _truncate_to(path: str, keep: int) -> None:
+    """Durably truncate ``path`` to ``keep`` bytes (torn-tail removal)."""
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)
+        fh.flush()
+        os.fsync(fh.fileno())
 
 #: Fields a journaled result payload must carry to rebuild a SimResult.
 _RESULT_FIELDS = (
@@ -155,6 +241,8 @@ class GridJournal:
         self.path = str(path)
         self.hits = 0
         self.written = 0
+        #: Bytes of torn tail dropped by the last resume (0 = clean file).
+        self.recovered_bytes = 0
         self._lock = threading.Lock()
         self._path_lock = _path_lock(self.path)
         self._entries: dict[tuple[str, int], tuple[str, dict]] = {}
@@ -173,28 +261,29 @@ class GridJournal:
             self._write({"kind": "header", "version": _VERSION})
 
     def _load(self) -> None:
-        with open(self.path, encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    rec = json.loads(line)
-                except ValueError:
-                    continue  # truncated tail from an interrupted run
-                if not isinstance(rec, dict) or "grid" not in rec:
-                    continue
-                payload = rec.get("r")
-                if payload is None or not _valid_result_payload(payload):
-                    continue
-                try:
-                    index = int(rec["i"])
-                except (KeyError, TypeError, ValueError):
-                    continue  # corrupt record: no usable grid slot
-                self._entries[(rec["grid"], index)] = (
-                    rec.get("key", ""),
-                    payload,
-                )
+        records, keep, _skipped = _recover_jsonl(self.path)
+        size = os.path.getsize(self.path)
+        if keep < size:
+            # Torn final record from an interrupted append: truncate it
+            # away so the next append starts at a clean line boundary.
+            # Replaying a strict prefix is always safe — the dropped
+            # point is simply recomputed.
+            _truncate_to(self.path, keep)
+            self.recovered_bytes = size - keep
+        for rec in records:
+            if "grid" not in rec:
+                continue
+            payload = rec.get("r")
+            if payload is None or not _valid_result_payload(payload):
+                continue
+            try:
+                index = int(rec["i"])
+            except (KeyError, TypeError, ValueError):
+                continue  # corrupt record: no usable grid slot
+            self._entries[(rec["grid"], index)] = (
+                rec.get("key", ""),
+                payload,
+            )
 
     def _write(self, rec: dict) -> None:
         line = json.dumps(rec) + "\n"
@@ -222,6 +311,32 @@ class GridJournal:
             self._write({"grid": ghash, "i": index, "key": key, "r": d})
             self.written += 1
 
+    def rotate(self) -> None:
+        """Compact the journal to its live entries, atomically.
+
+        The snapshot is written beside the journal and fsync'd *before*
+        it is renamed over the live file, then the directory entry is
+        fsync'd — a crash at any instant leaves either the old complete
+        journal or the new complete journal on disk, never a mix and
+        never an empty file.
+        """
+        with self._lock, self._path_lock:
+            tmp = f"{self.path}.rotate"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps({"kind": "header", "version": _VERSION}))
+                fh.write("\n")
+                for (ghash, index), (key, payload) in self._entries.items():
+                    fh.write(json.dumps(
+                        {"grid": ghash, "i": index, "key": key, "r": payload}
+                    ))
+                    fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._fh.close()
+            os.replace(tmp, self.path)
+            _fsync_dir(self.path)
+            self._fh = open(self.path, "a", encoding="utf-8")
+
     def close(self) -> None:
         with self._lock:
             if not self._fh.closed:
@@ -237,4 +352,128 @@ class GridJournal:
         return (
             f"GridJournal({self.path!r}, entries={len(self._entries)}, "
             f"hits={self.hits}, written={self.written})"
+        )
+
+
+class WALJournal:
+    """Crash-safe write-ahead log over JSONL records.
+
+    The storage discipline :class:`GridJournal` uses for checkpoint
+    replay, generalized for *state machine* replay — the shard
+    supervisor leases jobs through one of these, and recovery after a
+    supervisor crash is a pure fold over the record stream
+    (:func:`repro.serve.shards.replay_wal_state`).  The contract:
+
+    * :meth:`commit` is **durable before it returns** — the line is
+      written, flushed, and fsync'd (``fsync=False`` drops the fsync
+      for tests that hammer the log);
+    * records are committed with sorted keys, so a byte-for-byte
+      identical state always serializes to a byte-for-byte identical
+      log suffix (replay comparisons can be exact);
+    * opening with ``resume=True`` recovers from a crash mid-commit by
+      truncating a torn final record (no newline, or an unparseable
+      final line) — every fully committed record survives;
+    * :meth:`rotate` atomically replaces the log with a compacted
+      snapshot: write aside, fsync the snapshot, ``os.replace`` over
+      the live path, fsync the directory.
+
+    Thread safety matches :class:`GridJournal`: instance appends are
+    serialized, and all instances on one path share the process-global
+    per-path lock.
+    """
+
+    def __init__(self, path: str, resume: bool = False, fsync: bool = True):
+        self.path = str(path)
+        self.fsync = bool(fsync)
+        self.committed = 0
+        #: Bytes of torn tail dropped by the last resume (0 = clean).
+        self.recovered_bytes = 0
+        #: Complete-but-corrupt interior lines skipped by the last resume.
+        self.skipped_records = 0
+        self._lock = threading.Lock()
+        self._path_lock = _path_lock(self.path)
+        self._records: list[dict] = []
+        with self._path_lock:
+            if resume and os.path.exists(self.path):
+                records, keep, skipped = _recover_jsonl(self.path)
+                size = os.path.getsize(self.path)
+                if keep < size:
+                    _truncate_to(self.path, keep)
+                    self.recovered_bytes = size - keep
+                self.skipped_records = skipped
+                self._records = [
+                    r for r in records if r.get("kind") != "wal-header"
+                ]
+            else:
+                open(self.path, "w", encoding="utf-8").close()
+            self._fh = open(self.path, "a", encoding="utf-8")
+        if os.path.getsize(self.path) == 0:
+            self.commit({"kind": "wal-header", "version": _WAL_VERSION})
+
+    def commit(self, record: dict) -> None:
+        """Durably append one record; it is on disk when this returns."""
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            with self._path_lock:
+                self._fh.write(line)
+                self._fh.flush()
+                if self.fsync:
+                    os.fsync(self._fh.fileno())
+            if record.get("kind") != "wal-header":
+                self._records.append(record)
+            self.committed += 1
+
+    def replay(self) -> list[dict]:
+        """Every committed record in commit order (header excluded)."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def rotate(self, records: Iterable[dict] | None = None) -> None:
+        """Atomically replace the log with a compacted snapshot.
+
+        ``records`` defaults to the current record list (a no-op
+        compaction that still exercises the atomic-replace path);
+        callers pass the survivor set after folding the state machine.
+        """
+        with self._lock:
+            snapshot = (
+                list(self._records) if records is None else list(records)
+            )
+            tmp = f"{self.path}.rotate"
+            with self._path_lock:
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    fh.write(json.dumps(
+                        {"kind": "wal-header", "version": _WAL_VERSION}
+                    ))
+                    fh.write("\n")
+                    for rec in snapshot:
+                        fh.write(json.dumps(rec, sort_keys=True))
+                        fh.write("\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                self._fh.close()
+                os.replace(tmp, self.path)
+                _fsync_dir(self.path)
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._records = snapshot
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "WALJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WALJournal({self.path!r}, records={len(self._records)}, "
+            f"committed={self.committed}, fsync={self.fsync})"
         )

@@ -27,6 +27,9 @@ __all__ = [
     "RetryExhausted",
     "DeadlineExceeded",
     "CorruptionError",
+    "WorkerLost",
+    "RemoteTaskError",
+    "PROCESS_FAILURE_KINDS",
     "classify_failure",
     "call_with_retry",
 ]
@@ -78,7 +81,8 @@ class TaskFailure:
     index: int | None
     label: str
     #: "exception" | "injected" | "timeout" | "deadline" | "cancelled"
-    #: | "corruption" | "nonfinite" | "divergent"
+    #: | "corruption" | "nonfinite" | "divergent" | "worker_lost"
+    #: | "signal_exit"
     kind: str
     error: str = ""
     attempts: int = 1
@@ -125,6 +129,53 @@ class CorruptionError(RuntimeError):
     """
 
 
+class WorkerLost(RuntimeError):
+    """A worker *process* died underneath a task (the process-level kind).
+
+    Distinct from every compute fault: the task itself may be perfectly
+    healthy — the shard hosting it was SIGKILLed, OOM-killed, or
+    segfaulted.  Classifies as ``"signal_exit"`` when the death is
+    attributable to a signal (negative exit code), ``"worker_lost"``
+    otherwise (broken pipe, vanished heartbeat, unexplained exit), so
+    breaker and degradation routing can treat shard death as a
+    lease-recovery event rather than an engine failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: str = "",
+        signal: int | None = None,
+        exitcode: int | None = None,
+    ):
+        super().__init__(message)
+        self.shard = shard
+        self.signal = signal
+        self.exitcode = exitcode
+
+
+class RemoteTaskError(RuntimeError):
+    """A task failed *inside* a worker process; re-raised in the parent.
+
+    The child classifies its own exception (:func:`classify_failure`)
+    and ships ``(kind, error)`` over the result pipe — exceptions never
+    cross the process boundary as pickles.  The parent-side re-raise
+    preserves the original classification, so an injected fault in a
+    shard still counts as ``"injected"``, a child-side NaN as
+    ``"corruption"``, and so on.
+    """
+
+    def __init__(self, kind: str, error: str):
+        super().__init__(f"remote task failed ({kind}): {error}")
+        self.kind = kind
+        self.error = error
+
+
+#: Failure kinds meaning "the hosting process died", not "the work is
+#: bad" — the serve layer re-queues these instead of tripping breakers.
+PROCESS_FAILURE_KINDS = ("worker_lost", "signal_exit")
+
+
 def classify_failure(exc: BaseException) -> str:
     """Map an exception to a stable :class:`TaskFailure` ``kind``.
 
@@ -135,11 +186,18 @@ def classify_failure(exc: BaseException) -> str:
     unchanged for callers that predate them.
     """
     import concurrent.futures
+    from concurrent.futures.process import BrokenProcessPool
 
     from .faults import FaultInjected
 
     if isinstance(exc, FaultInjected):
         return "injected"
+    if isinstance(exc, RemoteTaskError):
+        return exc.kind
+    if isinstance(exc, WorkerLost):
+        return "signal_exit" if exc.signal else "worker_lost"
+    if isinstance(exc, BrokenProcessPool):
+        return "worker_lost"
     if isinstance(exc, DeadlineExceeded):
         return "deadline"
     if isinstance(exc, TimeoutError):

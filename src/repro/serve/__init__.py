@@ -13,11 +13,15 @@ closed* under load instead of degrading unpredictably:
 * :mod:`repro.serve.service` — admission control, deadline
   propagation, the degradation ladder (simulate -> estimate ->
   journal), and hung-worker supervision;
+* :mod:`repro.serve.shards` — the crash-safe multi-process shard pool
+  (``shards=N``): WAL-backed leases, heartbeat supervision, kill -9
+  absorption, orphan-lease recovery;
 * :mod:`repro.serve.chaos` — the seeded invariant-checked soak
-  (``python -m repro.serve.chaos``).
+  (``python -m repro.serve.chaos``; ``--shards --kill-rate`` arms
+  process chaos).
 
-See ``docs/resilience.md`` for the breaker state diagram and the
-degradation ladder.
+See ``docs/resilience.md`` for the breaker state diagram, the
+degradation ladder, the shard lifecycle, and the WAL record format.
 """
 
 from .breaker import CLOSED, HALF_OPEN, OPEN, STATE_CODES, CircuitBreaker
@@ -31,6 +35,13 @@ from .service import (
     JobTicket,
     Rejected,
     serve_grid,
+)
+from .shards import (
+    LeaseUnavailable,
+    Shard,
+    ShardOverBudget,
+    ShardPool,
+    replay_wal_state,
 )
 
 __all__ = [
@@ -49,4 +60,9 @@ __all__ = [
     "JobService",
     "Rejected",
     "serve_grid",
+    "Shard",
+    "ShardPool",
+    "LeaseUnavailable",
+    "ShardOverBudget",
+    "replay_wal_state",
 ]

@@ -35,6 +35,14 @@ def main(argv: list[str] | None = None) -> int:
         help="which scaling figure's grid to serve (default fig2)",
     )
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="run point jobs on N supervised process shards",
+    )
+    parser.add_argument(
+        "--shard-wal", default="",
+        help="write-ahead log path for shard leases (requires --shards)",
+    )
     parser.add_argument("--queue-limit", type=int, default=64)
     parser.add_argument(
         "--byte-budget", type=int, default=None,
@@ -60,6 +68,10 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", help="print the stats dict as JSON"
     )
     args = parser.parse_args(argv)
+    if args.shards < 0:
+        parser.error(f"--shards must be >= 0, got {args.shards}")
+    if args.shard_wal and args.shards == 0:
+        parser.error("--shard-wal requires --shards >= 1")
 
     plan = None
     if args.chaos_seed is not None:
@@ -76,6 +88,8 @@ def main(argv: list[str] | None = None) -> int:
             byte_budget=args.byte_budget,
             default_deadline_s=deadline_s,
             seed=args.chaos_seed or 0,
+            shards=args.shards,
+            wal=args.shard_wal or None,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -127,6 +141,14 @@ def main(argv: list[str] | None = None) -> int:
         )
     w = stats["workers"]
     print(f"  workers: active={w['active']} replaced={w['replaced']}")
+    if stats.get("shards"):
+        sh = stats["shards"]
+        print(
+            f"  shards: alive={sh['alive']}/{sh['target']} "
+            f"({sh['start_method']}) restarts={sh['restarts_total']} "
+            f"leases granted={sh['leases']['granted']} "
+            f"orphaned={sh['leases']['orphaned']}"
+        )
     return 0 if stats["accounted"] else 1
 
 

@@ -17,18 +17,34 @@ then asserts the four serving invariants:
 4. **breakers re-close** — once the fault budget is spent, probe
    traffic walks every tripped breaker open -> half-open -> closed.
 
+**Process chaos** (``--shards N --kill-rate R``) runs the same story
+through the multi-process shard pool with a seeded kill schedule —
+``kill -9`` delivered to the shard hosting a job, mid-lease — and
+asserts two more invariants over the write-ahead log:
+
+5. **no orphaned leases** — after the drain every lease in the WAL is
+   closed by ``release``, ``orphan``, or ``recover``: no job is still
+   "running" on a shard that no longer exists;
+6. **WAL replay reconstructs ticket state** — folding the log exactly
+   as a restarted supervisor would (:func:`~repro.serve.shards
+   .replay_wal_state`) yields, for every settled ticket, the identical
+   ``(status, reason, degraded_to)`` the in-memory ticket reported —
+   the log alone is sufficient to survive a supervisor crash.
+
 Everything is a pure function of ``--seed``: the job stream, the fault
-schedule, the pressure window, and therefore the entire trajectory.
-CI runs two seeds; a failure dumps the obs metrics snapshot and the
-soak report as a JSON artifact (``--metrics-out``).
+schedule, the kill schedule, the pressure window, and therefore the
+entire trajectory.  CI runs two seeds; a failure dumps the obs metrics
+snapshot and the soak report as a JSON artifact (``--metrics-out``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
+import tempfile
 from dataclasses import dataclass, field
 
 from ..bench.runner import GridPoint
@@ -39,6 +55,7 @@ from ..schedules.base import Variant
 from .breaker import CLOSED
 from .budget import ByteBudget
 from .service import JobService, JobSpec
+from .shards import replay_wal_state
 
 __all__ = ["SoakReport", "run_soak", "main"]
 
@@ -147,8 +164,20 @@ def run_soak(
     fault_rate: float = 0.08,
     hang_timeout_s: float = 0.1,
     burst: int = 12,
+    shards: int = 0,
+    kill_rate: float = 0.0,
+    wal_path: str = "",
 ) -> SoakReport:
-    """Run one seeded soak and evaluate the four invariants."""
+    """Run one seeded soak and evaluate the serving invariants.
+
+    ``shards > 0`` routes point jobs through the multi-process
+    :class:`~repro.serve.shards.ShardPool` behind a WAL (created in a
+    temp dir when ``wal_path`` is empty) and evaluates invariants 5-6;
+    ``kill_rate`` arms the seeded process-level kill schedule — each
+    shard-side job attempt is SIGKILLed with that probability, decided
+    by a pure function of ``(seed, job, attempt)`` so the trajectory
+    replays exactly.
+    """
     rng = random.Random(seed)
     specs = _job_stream(rng, duration_cases)
     plan = _fault_schedule(rng, specs, fault_rate, hang_timeout_s)
@@ -158,6 +187,18 @@ def run_soak(
     pressure = {"bytes": 0}
     budget = ByteBudget(1 << 20, probe=lambda: pressure["bytes"])
     window = (duration_cases // 3, duration_cases // 3 + max(4, burst))
+
+    wal_file = wal_path
+    if shards > 0 and not wal_file:
+        wal_file = os.path.join(
+            tempfile.mkdtemp(prefix="repro-chaos-"), f"soak{seed}.wal"
+        )
+    shard_faults = None
+    if shards > 0 and kill_rate > 0:
+        shard_faults = {
+            "seed": seed, "rate": kill_rate,
+            "scopes": ("shard",), "modes": ("kill",),
+        }
 
     service = JobService(
         workers=workers,
@@ -169,6 +210,9 @@ def run_soak(
         breaker_threshold=3,
         breaker_recovery_after=2,
         breaker_probe_jitter=2,
+        shards=shards,
+        wal=wal_file if shards > 0 else None,
+        shard_faults=shard_faults,
     )
     tickets = []
     with inject_faults(plan), service:
@@ -203,6 +247,7 @@ def run_soak(
                     eng, GridPoint(_VARIANTS[0], machine, 1, 16, engine=eng),
                     label=f"probe{probe_rounds}.{key}",
                 ))
+                tickets.append(t)
                 try:
                     t.result(timeout=30.0)
                 except TimeoutError:
@@ -237,6 +282,55 @@ def run_soak(
     report.invariants["breakers_reclosed"] = not open_breakers
     if open_breakers:
         report.violations.append(f"breakers still tripped: {open_breakers}")
+
+    if shards > 0:
+        # Fold the WAL exactly as a restarted supervisor would: the
+        # service has stopped and closed its handle, so this read is
+        # the post-crash view — nothing but the bytes on disk.
+        wal_state = replay_wal_state(wal_file)
+        report.stats["wal"] = {
+            "path": wal_file,
+            "counts": wal_state["counts"],
+            "open_leases": len(wal_state["open_leases"]),
+        }
+
+        report.invariants["no_orphaned_leases"] = not wal_state["open_leases"]
+        if wal_state["open_leases"]:
+            report.violations.append(
+                f"{len(wal_state['open_leases'])} lease(s) still open "
+                f"after drain: {sorted(wal_state['open_leases'])[:5]}"
+            )
+
+        mismatches = []
+        settled_tickets = [t for t in tickets if t.done()]
+        for t in settled_tickets:
+            out = t.result(timeout=0.0)
+            rec = wal_state["settled"].get(str(t.seq))
+            expect = (out.status, out.reason, out.degraded_to)
+            got = None if rec is None else (
+                rec["status"], rec["reason"], rec["degraded_to"]
+            )
+            if got != expect:
+                mismatches.append(f"seq={t.seq}: wal={got} ticket={expect}")
+        replay_consistent = (
+            not mismatches
+            and len(wal_state["settled"]) == len(settled_tickets)
+        )
+        report.invariants["wal_replay_consistent"] = replay_consistent
+        if not replay_consistent:
+            report.violations.append(
+                f"WAL replay diverges from ticket state: "
+                f"{len(wal_state['settled'])} settles in log vs "
+                f"{len(settled_tickets)} settled tickets; "
+                + "; ".join(mismatches[:5])
+            )
+
+        if kill_rate > 0 and stats["shards"]["restarts_total"] == 0:
+            report.invariants["no_orphaned_leases"] = False
+            report.violations.append(
+                f"kill schedule armed (rate={kill_rate}) but no shard "
+                "was ever killed: the chaos did not bite"
+            )
     return report
 
 
@@ -251,10 +345,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--queue-limit", type=int, default=8)
     parser.add_argument("--fault-rate", type=float, default=0.08)
     parser.add_argument(
+        "--shards", type=int, default=0,
+        help="run point jobs on N process shards (arms invariants 5-6)",
+    )
+    parser.add_argument(
+        "--kill-rate", type=float, default=0.0,
+        help="seeded probability a shard-side job attempt is SIGKILLed",
+    )
+    parser.add_argument(
+        "--wal", default="",
+        help="write-ahead log path (default: a temp file when --shards)",
+    )
+    parser.add_argument(
         "--metrics-out", default="",
         help="write the obs metrics snapshot + soak report JSON here",
     )
     args = parser.parse_args(argv)
+    if args.shards < 0:
+        parser.error(f"--shards must be >= 0, got {args.shards}")
+    if args.shards == 0 and (args.kill_rate > 0 or args.wal):
+        parser.error("--kill-rate/--wal require --shards >= 1")
 
     report = run_soak(
         args.seed,
@@ -262,6 +372,9 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         queue_limit=args.queue_limit,
         fault_rate=args.fault_rate,
+        shards=args.shards,
+        kill_rate=args.kill_rate,
+        wal_path=args.wal,
     )
     payload = {
         "report": report.to_dict(),
@@ -278,6 +391,16 @@ def main(argv: list[str] | None = None) -> int:
         f"failed={counts['failed']} "
         f"replaced_workers={report.stats['workers']['replaced']}"
     )
+    sh = report.stats.get("shards")
+    if sh:
+        wal = report.stats.get("wal", {})
+        print(
+            f"  shards: target={sh['target']} "
+            f"spawned={sh['spawned_total']} restarts={sh['restarts_total']} "
+            f"leases={sh['leases']['granted']} "
+            f"orphaned={sh['leases']['orphaned']} "
+            f"wal_settles={wal.get('counts', {}).get('settles', 0)}"
+        )
     for name, held in report.invariants.items():
         print(f"  invariant {name}: {'PASS' if held else 'FAIL'}")
     if not report.ok:

@@ -24,6 +24,15 @@ that *fails closed* under load (see ``docs/resilience.md``):
   :class:`~repro.resilience.watchdog.Heartbeat` records; a supervisor
   thread abandons any task over the hang budget, settles it as failed,
   retires the worker, and spawns a replacement.
+* **Process isolation** (``shards=N``) — point jobs execute in
+  supervised child processes (:class:`~repro.serve.shards.ShardPool`)
+  behind the same front: a shard that segfaults, OOMs, or is
+  SIGKILLed takes down only itself; its leased job raises
+  ``worker_lost``, is re-queued on the replacement by the retry
+  budget, or walks the same degradation ladder.  With a
+  :class:`~repro.resilience.journal.WALJournal` attached, every lease
+  and every settle is durable — ticket state is reconstructible from
+  the log alone after a supervisor crash.
 
 Accounting is exact and is the chaos soak's core invariant: every
 submitted job settles exactly once as accepted, shed, degraded, or
@@ -50,13 +59,15 @@ from ..obs import trace as _trace
 from ..obs.metrics import default_registry
 from ..parallel.pool import shared_pool_stats
 from ..resilience import faults as _faults
-from ..resilience.journal import GridJournal, grid_hash, point_key
+from ..resilience.journal import GridJournal, WALJournal, grid_hash, point_key
 from ..resilience.retry import (
+    PROCESS_FAILURE_KINDS,
     CorruptionError,
     DeadlineExceeded,
     RetryExhausted,
     RetryPolicy,
     TaskFailure,
+    WorkerLost,
     call_with_retry,
     classify_failure,
 )
@@ -64,6 +75,7 @@ from ..resilience.watchdog import HeartbeatMonitor, is_finite_result
 from .breaker import STATE_CODES, CircuitBreaker
 from .budget import ByteBudget
 from .queue import BoundedPriorityQueue
+from .shards import ShardOverBudget, ShardPool
 
 __all__ = [
     "JOB_KINDS",
@@ -166,6 +178,21 @@ class JobTicket:
         return True
 
 
+class _ShedJob(BaseException):
+    """Internal signal: settle the current job as ``shed``, not failed.
+
+    Subclasses :class:`BaseException` deliberately so it passes through
+    ``call_with_retry``'s ``except Exception`` (no retry budget spent on
+    a decision that is already final) and ``_run_job``'s broad handler,
+    to be caught by name at the top of the worker.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(f"shed({reason}): {detail}")
+        self.reason = reason
+        self.detail = detail
+
+
 class _Worker:
     """One dedicated worker thread's bookkeeping."""
 
@@ -196,6 +223,11 @@ class JobService:
         seed: int = 0,
         hang_timeout_s: float = 30.0,
         supervise_interval_s: float = 0.05,
+        shards: int = 0,
+        wal: WALJournal | str | None = None,
+        shard_faults: dict | None = None,
+        shard_heartbeat_timeout_s: float = 5.0,
+        shard_byte_budget: int | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -209,6 +241,16 @@ class JobService:
         self.seed = int(seed)
         self.hang_timeout_s = float(hang_timeout_s)
         self.supervise_interval_s = float(supervise_interval_s)
+        # Process isolation: shards=N routes point jobs through a
+        # supervised multi-process ShardPool; the WAL (an instance or a
+        # path) makes every lease and settle durable.
+        self.num_shards = int(shards)
+        self._owns_wal = isinstance(wal, str)
+        self.wal = WALJournal(wal, resume=True) if isinstance(wal, str) else wal
+        self.shard_faults = shard_faults
+        self.shard_heartbeat_timeout_s = float(shard_heartbeat_timeout_s)
+        self.shard_byte_budget = shard_byte_budget
+        self._shards: ShardPool | None = None
         self._breaker_kw = dict(
             failure_threshold=breaker_threshold,
             recovery_after=breaker_recovery_after,
@@ -243,6 +285,14 @@ class JobService:
             if self._started:
                 return self
             self._started = True
+        if self.num_shards > 0:
+            self._shards = ShardPool(
+                self.num_shards,
+                wal=self.wal,
+                byte_budget_bytes=self.shard_byte_budget,
+                fault_params=self.shard_faults,
+                heartbeat_timeout_s=self.shard_heartbeat_timeout_s,
+            ).start()
         for _ in range(self.num_workers):
             self._spawn_worker()
         self._supervisor = threading.Thread(
@@ -280,7 +330,11 @@ class JobService:
         self._stop_event.set()
         if self._supervisor is not None:
             self._supervisor.join(max(0.0, deadline - time.monotonic()))
+        if self._shards is not None:
+            self._shards.stop()
         self._publish_gauges()
+        if self._owns_wal and self.wal is not None:
+            self.wal.close()
 
     def __enter__(self) -> "JobService":
         return self.start()
@@ -346,6 +400,12 @@ class JobService:
                 self.degraded_to[outcome.degraded_to] = (
                     self.degraded_to.get(outcome.degraded_to, 0) + 1
                 )
+        if self.wal is not None:
+            self.wal.commit({
+                "op": "settle", "seq": ticket.seq, "status": outcome.status,
+                "reason": outcome.reason,
+                "degraded_to": outcome.degraded_to,
+            })
         name = {"ok": "accepted"}.get(outcome.status, outcome.status)
         self._registry.counter_inc(f"serve.{name}")
         if outcome.status == "shed":
@@ -402,6 +462,9 @@ class JobService:
                 "serve.job", kind=job.spec.kind, label=job.label, seq=job.seq
             ):
                 outcome = self._execute(job)
+        except _ShedJob as sj:
+            self._shed(job, sj.reason, sj.detail)
+            return
         except Exception as exc:  # noqa: BLE001 - nothing escapes a worker
             kind = classify_failure(exc)
             outcome = JobOutcome(
@@ -456,6 +519,41 @@ class JobService:
     def _journal_key(self, point: GridPoint) -> tuple[str, str]:
         return grid_hash([point]), point_key(point)
 
+    def _run_on_shard(
+        self, job: JobTicket, point: GridPoint, eng: str, site: str,
+        attempt_no: int,
+    ) -> SimResult:
+        """One attempt on the shard pool, with shed-vs-retry routing.
+
+        The attempt number salts the fault-plan site label so a retried
+        job rolls fresh faults on its replacement shard (a fresh child
+        has a fresh plan — without the salt, a planned kill at the bare
+        site would kill every replacement forever).
+        """
+        assert self._shards is not None
+        try:
+            return self._shards.run(
+                job.seq, point, eng, site=f"{site}#{attempt_no}",
+                deadline_at=job.deadline_at,
+            )
+        except ShardOverBudget as exc:
+            # Child-side admission refusal: nothing ran, shed like a
+            # parent-side byte_budget refusal.
+            raise _ShedJob("byte_budget", str(exc)) from None
+        except WorkerLost as exc:  # LeaseUnavailable subclasses WorkerLost
+            if (
+                job.deadline_at is not None
+                and time.monotonic() >= job.deadline_at
+            ):
+                # The deadline expired *while the shard was being
+                # replaced* — the job never got to run to completion,
+                # so it sheds (load) rather than fails (work).
+                raise _ShedJob(
+                    "deadline",
+                    f"expired while shard was being replaced: {exc}",
+                ) from None
+            raise
+
     def _execute_engine(self, job: JobTicket) -> JobOutcome:
         point = _as_point(job.spec.payload)
         requested = job.spec.kind
@@ -470,15 +568,22 @@ class JobService:
                 )
                 continue
             site = f"{job.label}|{eng}"
+            attempt_counter = itertools.count()
 
             def attempt() -> SimResult:
+                attempt_no = next(attempt_counter)
                 self._check_deadline(job)
                 _faults.perturb("serve", job.seq, site)
                 t0 = time.perf_counter()
                 with _trace.span(
                     "serve.point", engine=eng, **span_attrs(point, job.seq)
                 ) as s:
-                    r = point.evaluate(engine=eng)
+                    if self._shards is not None:
+                        r = self._run_on_shard(
+                            job, point, eng, site, attempt_no
+                        )
+                    else:
+                        r = point.evaluate(engine=eng)
                     if _faults.take_corrupt("serve", job.seq, site):
                         r.time_s = float("nan")
                     if not is_finite_result(r):
@@ -496,8 +601,21 @@ class JobService:
             except RetryExhausted as exc:
                 failures.extend(exc.failures)
                 last_kind = exc.failures[-1].kind
-                br.record_failure(last_kind)
+                if last_kind not in PROCESS_FAILURE_KINDS:
+                    # Shard death is a lease-recovery event, not an
+                    # engine fault: replacing the worker fixed the
+                    # capacity, so the breaker must not trip on it.
+                    br.record_failure(last_kind)
                 if last_kind == "deadline":
+                    if any(
+                        f.kind in PROCESS_FAILURE_KINDS
+                        for f in failures[:-1]
+                    ):
+                        # The budget was eaten by shard replacement, not
+                        # by the work itself: shed, don't fail.
+                        raise _ShedJob(
+                            "deadline", "expired during shard replacement"
+                        ) from None
                     # The job's budget is spent; degrading cannot help.
                     return JobOutcome(
                         "failed", reason="deadline", failures=failures
@@ -642,6 +760,8 @@ class JobService:
             "serve.pool.threads_alive",
             float(shared_pool_stats()["threads_alive"]),
         )
+        if self._shards is not None:
+            self._shards.publish_gauges(reg)
         from ..util.arena import publish_arena_gauges
 
         publish_arena_gauges(reg)
@@ -682,6 +802,9 @@ class JobService:
                 "replaced": replaced,
                 "registered_heartbeats": len(self._monitor),
             },
+            "shards": (
+                None if self._shards is None else self._shards.stats()
+            ),
             "accounted": (
                 counts["ok"] + counts["shed"] + counts["degraded"]
                 + counts["failed"] == counts["submitted"]

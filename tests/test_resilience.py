@@ -567,3 +567,251 @@ class TestConcurrentJournalWriters:
 
         path = tmp_path / "same.jsonl"
         assert _path_lock(str(path)) is _path_lock(str(path))
+
+# ------------------------------------------------------------- WAL journal
+class TestWALJournal:
+    def test_commit_replay_resume_roundtrip(self, tmp_path):
+        from repro.resilience.journal import WALJournal
+
+        path = str(tmp_path / "w.wal")
+        records = [
+            {"op": "lease", "lid": "l0", "seq": 0},
+            {"op": "release", "lid": "l0"},
+            {"op": "settle", "seq": 0, "status": "ok"},
+        ]
+        with WALJournal(path) as w:
+            for rec in records:
+                w.commit(rec)
+            assert w.replay() == records
+            assert w.committed == len(records) + 1  # + header
+        with WALJournal(path, resume=True) as w2:
+            assert w2.replay() == records
+            assert w2.recovered_bytes == 0
+            assert w2.skipped_records == 0
+
+    def test_commits_are_byte_stable(self, tmp_path):
+        # Same logical records, different dict insertion order: the
+        # sorted-keys discipline makes the logs byte-for-byte identical,
+        # which is what lets replay comparisons be exact.
+        from repro.resilience.journal import WALJournal
+
+        a, b = str(tmp_path / "a.wal"), str(tmp_path / "b.wal")
+        with WALJournal(a) as w:
+            w.commit({"op": "lease", "lid": "l0", "seq": 4})
+        with WALJournal(b) as w:
+            w.commit({"seq": 4, "lid": "l0", "op": "lease"})
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_open_without_resume_truncates(self, tmp_path):
+        from repro.resilience.journal import WALJournal
+
+        path = str(tmp_path / "w.wal")
+        with WALJournal(path) as w:
+            w.commit({"op": "lease", "lid": "l0"})
+        with WALJournal(path) as w2:  # resume=False: fresh log
+            assert w2.replay() == []
+        with WALJournal(path, resume=True) as w3:
+            assert w3.replay() == []
+
+    def test_rotate_compacts_to_survivor_set(self, tmp_path):
+        from repro.resilience.journal import WALJournal
+
+        path = str(tmp_path / "w.wal")
+        with WALJournal(path) as w:
+            w.commit({"op": "lease", "lid": "l0"})
+            w.commit({"op": "release", "lid": "l0"})
+            w.commit({"op": "lease", "lid": "l1"})
+            w.rotate(records=[{"op": "lease", "lid": "l1"}])
+            assert w.replay() == [{"op": "lease", "lid": "l1"}]
+            # Appends after rotation land in the new file.
+            w.commit({"op": "release", "lid": "l1"})
+        assert not os.path.exists(path + ".rotate")
+        with WALJournal(path, resume=True) as w2:
+            assert w2.replay() == [
+                {"op": "lease", "lid": "l1"},
+                {"op": "release", "lid": "l1"},
+            ]
+
+    def test_interior_corruption_skipped_and_counted(self, tmp_path):
+        from repro.resilience.journal import WALJournal
+
+        path = str(tmp_path / "w.wal")
+        with WALJournal(path) as w:
+            w.commit({"op": "lease", "lid": "l0"})
+            w.commit({"op": "release", "lid": "l0"})
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        lines.insert(2, "{torn-interior-garbage")
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with WALJournal(path, resume=True) as w2:
+            assert w2.replay() == [
+                {"op": "lease", "lid": "l0"},
+                {"op": "release", "lid": "l0"},
+            ]
+            assert w2.skipped_records == 1
+
+
+class TestTailCorruptionByteByByte:
+    """Satellite: crash-consistency sweep over every tail byte.
+
+    A crash mid-append can stop the write after *any* byte of the final
+    record; whatever the cut or corruption point, resume must (a) never
+    raise, (b) keep every fully committed prefix record, and (c) leave
+    the file appendable."""
+
+    def test_wal_truncated_at_every_byte(self, tmp_path):
+        from repro.resilience.journal import WALJournal
+
+        base = str(tmp_path / "base.wal")
+        with WALJournal(base) as w:
+            w.commit({"op": "lease", "lid": "l0", "seq": 0})
+            w.commit({"op": "lease", "lid": "l1", "seq": 1})
+        with open(base, "rb") as fh:
+            pristine = fh.read()
+        lines = pristine.splitlines(keepends=True)
+        prefix, final = b"".join(lines[:-1]), lines[-1]
+        path = str(tmp_path / "cut.wal")
+        for cut in range(len(final)):
+            with open(path, "wb") as fh:
+                fh.write(prefix + final[:cut])
+            with WALJournal(path, resume=True) as w:
+                assert w.replay() == [{"op": "lease", "lid": "l0", "seq": 0}]
+                if cut:
+                    assert w.recovered_bytes == cut
+                w.commit({"op": "release", "lid": "l0"})
+            with WALJournal(path, resume=True) as w2:
+                assert w2.replay() == [
+                    {"op": "lease", "lid": "l0", "seq": 0},
+                    {"op": "release", "lid": "l0"},
+                ]
+
+    def test_wal_corrupted_at_every_byte(self, tmp_path):
+        from repro.resilience.journal import WALJournal
+
+        base = str(tmp_path / "base.wal")
+        with WALJournal(base) as w:
+            w.commit({"op": "lease", "lid": "l0", "seq": 0})
+            w.commit({"op": "lease", "lid": "l1", "seq": 1})
+        with open(base, "rb") as fh:
+            pristine = fh.read()
+        lines = pristine.splitlines(keepends=True)
+        prefix, final = b"".join(lines[:-1]), lines[-1]
+        path = str(tmp_path / "corrupt.wal")
+        for i in range(len(final)):
+            stomped = final[:i] + b"\x00" + final[i + 1:]
+            with open(path, "wb") as fh:
+                fh.write(prefix + stomped)
+            with WALJournal(path, resume=True) as w:
+                # The corrupt final record is dropped; the prefix survives.
+                assert w.replay() == [{"op": "lease", "lid": "l0", "seq": 0}]
+                w.commit({"op": "release", "lid": "l0"})
+            with WALJournal(path, resume=True) as w2:
+                assert len(w2.replay()) == 2
+
+    def test_grid_journal_truncated_at_every_byte(self, tmp_path):
+        points = small_grid(n_threads=(1,), boxes=(16, 32))  # 2 points
+        base = str(tmp_path / "base.jsonl")
+        with GridJournal(base) as j:
+            run_grid(points, journal=j)
+        with open(base, "rb") as fh:
+            pristine = fh.read()
+        lines = pristine.splitlines(keepends=True)
+        prefix, final = b"".join(lines[:-1]), lines[-1]
+        ghash = grid_hash(points)
+        path = str(tmp_path / "cut.jsonl")
+        for cut in range(0, len(final), 7):  # stride keeps runtime sane
+            with open(path, "wb") as fh:
+                fh.write(prefix + final[:cut])
+            with GridJournal(path, resume=True) as j:
+                assert len(j) == 1  # first record always survives
+                assert j.lookup(ghash, 0, point_key(points[0])) is not None
+                assert j.recovered_bytes == cut  # the torn partial line
+            with GridJournal(path, resume=True) as j2:
+                out = run_grid(points, journal=j2)  # recomputes the tail
+            assert all(r is not None for r in out)
+
+
+class TestGridJournalRotate:
+    def test_rotate_then_resume_replays_everything(self, tmp_path):
+        points = small_grid()
+        path = str(tmp_path / "j.jsonl")
+        with GridJournal(path) as j:
+            first = run_grid(points, journal=j)
+            j.rotate()
+            assert len(j) == len(points)
+        assert not os.path.exists(path + ".rotate")
+        with GridJournal(path, resume=True) as j2:
+            second = run_grid(points, journal=j2)
+            assert j2.hits == len(points) and j2.written == 0
+        assert results_equal(first, second)
+
+    def test_rotate_drops_superseded_lines(self, tmp_path):
+        points = small_grid(n_threads=(1,), boxes=(16,))
+        path = str(tmp_path / "j.jsonl")
+        r = points[0].evaluate()
+        with GridJournal(path) as j:
+            for _ in range(5):  # re-record the same slot five times
+                j.record(grid_hash(points), 0, point_key(points[0]), r)
+            before = os.path.getsize(path)
+            j.rotate()
+            after = os.path.getsize(path)
+        assert after < before
+        with GridJournal(path, resume=True) as j2:
+            assert len(j2) == 1
+
+
+# ------------------------------------------------- process failure kinds
+class TestClassifyProcessFailures:
+    def test_process_kind_map(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.resilience.retry import (
+            PROCESS_FAILURE_KINDS,
+            RemoteTaskError,
+            WorkerLost,
+            classify_failure,
+        )
+
+        assert classify_failure(WorkerLost("gone", signal=9)) == "signal_exit"
+        assert classify_failure(WorkerLost("gone")) == "worker_lost"
+        assert classify_failure(BrokenProcessPool("broke")) == "worker_lost"
+        assert set(PROCESS_FAILURE_KINDS) == {"worker_lost", "signal_exit"}
+
+    def test_remote_error_carries_child_classification(self):
+        from repro.resilience.retry import RemoteTaskError, classify_failure
+
+        # The child classifies its own exception; the parent must not
+        # re-classify the wrapper as a generic "exception".
+        assert classify_failure(
+            RemoteTaskError("corruption", "CorruptionError('nan')")
+        ) == "corruption"
+        assert classify_failure(
+            RemoteTaskError("exception", "ValueError('boom')")
+        ) == "exception"
+
+    def test_lease_unavailable_is_a_process_failure(self):
+        from repro.resilience.retry import (
+            PROCESS_FAILURE_KINDS,
+            classify_failure,
+        )
+        from repro.serve.shards import LeaseUnavailable
+
+        assert classify_failure(LeaseUnavailable("none")) in (
+            PROCESS_FAILURE_KINDS
+        )
+
+    def test_worker_lost_attrs(self):
+        from repro.resilience.retry import WorkerLost
+
+        exc = WorkerLost("s3 died", shard="s3", signal=9, exitcode=-9)
+        assert exc.shard == "s3"
+        assert exc.signal == 9 and exc.exitcode == -9
+
+    def test_take_kill_budget_consumed(self):
+        plan = FaultPlan([FaultSpec("shard", "kill", label="x", count=1)])
+        with inject_faults(plan):
+            assert faults.take_kill("shard", 0, "x-site")
+            assert not faults.take_kill("shard", 0, "x-site")  # spent
+            assert not faults.take_kill("shard", 0, "other")

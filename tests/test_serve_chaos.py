@@ -46,6 +46,52 @@ def test_soak_report_round_trips():
     json.dumps(d, default=str)  # artifact-serializable
 
 
+PROCESS_INVARIANTS = INVARIANTS + (
+    "no_orphaned_leases",
+    "wal_replay_consistent",
+)
+
+
+@pytest.mark.parametrize("seed", [2014, 7])
+def test_process_chaos_invariants_hold(seed, tmp_path):
+    report = run_soak(
+        seed, duration_cases=40, shards=2, kill_rate=0.15,
+        wal_path=str(tmp_path / f"soak{seed}.wal"),
+    )
+    assert report.ok, report.violations
+    for name in PROCESS_INVARIANTS:
+        assert report.invariants[name], name
+    # The kill schedule must actually bite: shards died and were
+    # replaced, their leases orphaned and closed.
+    sh = report.stats["shards"]
+    assert sh["restarts_total"] >= 1
+    assert sh["leases"]["orphaned"] >= 1
+    assert report.stats["wal"]["open_leases"] == 0
+
+
+def test_process_chaos_cli(tmp_path):
+    out = str(tmp_path / "metrics.json")
+    wal = str(tmp_path / "soak.wal")
+    env = {**os.environ, "PYTHONPATH": "src"}
+    env.pop("REPRO_FAULT_SEED", None)
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.serve.chaos",
+            "--seed", "2014", "--duration-cases", "30",
+            "--shards", "2", "--kill-rate", "0.15", "--wal", wal,
+            "--metrics-out", out,
+        ],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "invariant no_orphaned_leases: PASS" in proc.stdout
+    assert "invariant wal_replay_consistent: PASS" in proc.stdout
+    assert os.path.exists(wal)
+    with open(out) as fh:
+        payload = json.load(fh)
+    assert payload["report"]["ok"] is True
+
+
 def test_chaos_cli_writes_metrics_artifact(tmp_path):
     out = str(tmp_path / "chaos_metrics.json")
     env = {**os.environ, "PYTHONPATH": "src"}
