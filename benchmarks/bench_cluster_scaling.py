@@ -4,10 +4,21 @@ The paper's §I argument chain: MPI parallelization prefers larger boxes
 (less ghost exchange), but large boxes break on-node scaling under the
 baseline schedule — and the new schedules fix that.  This bench runs
 the cluster model (simulated nodes + interconnect + real copier-derived
-exchange volumes) across box sizes and node counts."""
+exchange volumes via :mod:`repro.cluster.halo`) across box sizes and
+node counts, plus the full per-rank weak/strong sweeps whose winning
+on-node variant flips with scale."""
 
 from repro.bench import SeriesData, format_series, format_table
-from repro.machine import GEMINI, MAGNY_COURS, ClusterSpec, step_cost
+from repro.cluster import (
+    DEFAULT_VARIANTS,
+    GEMINI,
+    HDR,
+    ClusterSpec,
+    step_cost,
+)
+from repro.cluster import strong_scaling as strong_sweep
+from repro.cluster import weak_scaling as weak_sweep
+from repro.machine import MAGNY_COURS
 from repro.schedules import Variant
 
 DOMAIN = (256, 256, 256)
@@ -75,3 +86,105 @@ def test_cluster_strong_scaling(benchmark, save_result):
         assert all(b <= a * 1.02 for a, b in zip(ys, ys[1:])), label
     ot = data.lines["Shift-Fuse OT-8"]
     assert ot[0] / ot[-1] > 0.6 * 8
+
+
+def test_weak_scaling_variant_crossover(benchmark, save_result):
+    """The best on-node schedule flips with node count and fabric.
+
+    Constant work per node (8 boxes of 16^3): on the Gemini-class
+    fabric the bulk-synchronous fusion schedule wins small runs but the
+    overlapped-tile schedule takes over as exchange grows; on an
+    HDR-class fabric the exchange never dominates and the ranking stays
+    put — the paper's claim that the right schedule depends on the
+    machine *and* the scale."""
+    counts = (1, 4, 16, 64)
+
+    def sweep():
+        return {
+            "gemini": weak_sweep(
+                counts, DEFAULT_VARIANTS, machine=MAGNY_COURS,
+                interconnect=GEMINI,
+            ),
+            "hdr": weak_sweep(
+                counts, DEFAULT_VARIANTS, machine=MAGNY_COURS,
+                interconnect=HDR,
+            ),
+        }
+
+    sweeps = benchmark(sweep)
+    table = [
+        {
+            "interconnect": fabric,
+            "nodes": row["nodes"],
+            "best": row["best"],
+            "best_step_ms": round(
+                row["variants"][row["best"]]["step_s"] * 1e3, 3
+            ),
+            "exchange_frac": round(
+                row["variants"][row["best"]]["exchange_fraction"], 3
+            ),
+        }
+        for fabric, rows in sweeps.items()
+        for row in rows
+    ]
+    save_result(
+        "cluster_weak_crossover",
+        format_table("Weak scaling: best variant vs nodes and fabric", table),
+    )
+    gemini_best = [r["best"] for r in sweeps["gemini"]]
+    hdr_best = [r["best"] for r in sweeps["hdr"]]
+    # The winner changes with node count on the latency-bound fabric...
+    assert len(set(gemini_best)) > 1, gemini_best
+    # ...and the two fabrics disagree somewhere: interconnect matters.
+    assert gemini_best != hdr_best, (gemini_best, hdr_best)
+    # Exchange fraction grows along the gemini weak sweep.
+    fracs = [
+        max(v["exchange_fraction"] for v in row["variants"].values())
+        for row in sweeps["gemini"]
+    ]
+    assert fracs[-1] > fracs[0]
+
+
+def test_strong_scaling_attribution(benchmark, save_result):
+    """Strong scaling to 256 nodes with compute/exchange/imbalance split.
+
+    The fixed 1536-box domain runs out of parallelism per rank: the
+    P>=Box baseline's efficiency collapses once ranks hold fewer boxes
+    than threads, while the P<Box overlapped schedule keeps scaling —
+    the crossover the node-level task graph exists to expose."""
+    counts = (1, 4, 16, 64, 256)
+
+    def sweep():
+        return strong_sweep(
+            counts, DEFAULT_VARIANTS, machine=MAGNY_COURS,
+            interconnect=GEMINI,
+        )
+
+    rows = benchmark(sweep)
+    table = [
+        {
+            "nodes": row["nodes"],
+            "best": row["best"],
+            **{
+                f"{k}_ms": round(row["variants"][row["best"]][k] * 1e3, 3)
+                for k in ("step_s", "compute_s", "exchange_s", "imbalance_s")
+            },
+            "efficiency": round(
+                row["variants"][row["best"]]["efficiency"], 3
+            ),
+        }
+        for row in rows
+    ]
+    save_result(
+        "cluster_strong_attribution",
+        format_table("Strong scaling attribution (best variant)", table),
+    )
+    # The winner flips along the sweep (series/shift_fuse small, OT big).
+    bests = [r["best"] for r in rows]
+    assert len(set(bests)) > 1, bests
+    # Efficiency is sane everywhere and the attribution adds up.
+    for row in rows:
+        for v in row["variants"].values():
+            assert v["efficiency"] <= 1.0 + 1e-12
+            total = v["compute_s"] + v["exchange_s"] + v["imbalance_s"]
+            assert abs(total - v["step_s"]) <= 1e-12 * max(v["step_s"], 1e-30)

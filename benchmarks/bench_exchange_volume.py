@@ -1,12 +1,16 @@
 """Ghost-exchange volume and cost across box sizes (the paper's §I
 motivation: larger boxes cut the exchange volume roughly like Fig. 1).
-Runs real exchanges on a scaled-down level."""
+Runs real exchanges on a scaled-down level, with volumes cross-derived
+from the rank-level halo analysis (:mod:`repro.cluster.halo`) — the
+same copier-driven plan the distributed scaling model charges to the
+interconnect."""
 
 import pytest
 
 from repro.analysis import ghost_ratio
 from repro.bench import format_table
 from repro.box import Box, LevelData, ProblemDomain, decompose_domain
+from repro.cluster import decompose_ranks, halo_plan
 
 
 @pytest.mark.parametrize("box", [4, 8, 16])
@@ -27,12 +31,14 @@ def test_exchange_volume_scales_like_fig1(benchmark, save_result):
             layout = decompose_domain(domain, box)
             ld = LevelData(layout, ncomp=5, ghost=2)
             ld.exchange()
+            plan = halo_plan(layout, ghost=2)
             rows.append(
                 {
                     "box_size": box,
-                    "ghost_points": ld.stats.points,
+                    "ghost_points": plan.total_points,
+                    "executed_points": ld.stats.points,
                     "bytes": ld.stats.bytes,
-                    "ratio": 1 + ld.stats.points / layout.total_cells(),
+                    "ratio": 1 + plan.total_points / layout.total_cells(),
                     "fig1_ratio": ghost_ratio(box, 3, 2),
                 }
             )
@@ -42,8 +48,57 @@ def test_exchange_volume_scales_like_fig1(benchmark, save_result):
     save_result(
         "exchange_volume", format_table("Ghost exchange volume vs box size", rows)
     )
+    # The halo plan and the executed exchange agree point-for-point:
+    # both sides come from the same copier, one analyzed, one run.
+    for r in rows:
+        assert r["ghost_points"] == r["executed_points"]
     # Volume drops monotonically with box size and matches Fig. 1.
     vols = [r["ghost_points"] for r in rows]
     assert all(a > b for a, b in zip(vols, vols[1:]))
     for r in rows:
         assert r["ratio"] == pytest.approx(r["fig1_ratio"], rel=1e-12)
+
+
+def test_off_rank_volume_by_policy(benchmark, save_result):
+    """Surface-minimizing decomposition beats round-robin on the wire.
+
+    All policies see the same total ghost traffic (it is a property of
+    the geometry); what a policy controls is how much crosses a rank
+    boundary — the part the interconnect charges for.
+    """
+
+    def off_rank():
+        rows = []
+        for policy in ("round_robin", "block", "surface"):
+            dec = decompose_ranks((32, 32, 32), 8, 8, policy)
+            plan = halo_plan(dec.layout, ghost=2)
+            rows.append(
+                {
+                    "policy": policy,
+                    "total_points": plan.total_points,
+                    "off_rank_points": plan.off_rank_points,
+                    "off_rank_bytes": plan.off_rank_bytes(ncomp=5),
+                    "messages": plan.total_messages(),
+                }
+            )
+        return rows
+
+    rows = benchmark(off_rank)
+    save_result(
+        "exchange_off_rank",
+        format_table("Off-rank exchange volume by rank policy", rows),
+    )
+    by_policy = {r["policy"]: r for r in rows}
+    totals = {r["total_points"] for r in rows}
+    assert len(totals) == 1  # geometry fixes the total
+    assert (
+        by_policy["surface"]["off_rank_points"]
+        <= by_policy["block"]["off_rank_points"]
+        <= by_policy["round_robin"]["off_rank_points"]
+    )
+    # Round-robin at 8 ranks on a 4^3 box grid puts every neighbor
+    # off-rank; compact policies must strictly improve on that.
+    assert (
+        by_policy["surface"]["off_rank_points"]
+        < by_policy["round_robin"]["off_rank_points"]
+    )

@@ -38,6 +38,7 @@ FIG9_FROZEN_COLD_S = 6.63
 
 def _clear_all_caches() -> None:
     from repro.box.copier import clear_copier_cache
+    from repro.cluster.halo import clear_halo_cache
     from repro.machine.simulator import clear_phase_cost_cache
     from repro.machine.workload import clear_workload_cache
     from repro.util import clear_arena, reset_perf
@@ -45,6 +46,7 @@ def _clear_all_caches() -> None:
     clear_workload_cache()
     clear_phase_cost_cache()
     clear_copier_cache()
+    clear_halo_cache()
     clear_arena()
     reset_perf()
 
@@ -253,6 +255,57 @@ def _serve_overhead() -> dict:
     }
 
 
+def _cluster_overhead() -> dict:
+    """Multi-node scaling tax: a ``ClusterPoint`` direct vs served.
+
+    The served path builds the same decomposition + halo plan parent-
+    side and routes only the per-distinct-box-count engine evaluations
+    through the queue/breaker/shard machinery, so the tax is one queue
+    hop plus one ticket settle per rank shape.  Same bar as the shard
+    path (``check_overhead_regression.py``): served within 10% of
+    direct, plus a 20 ms absolute grace.
+    """
+    from repro.cluster import GEMINI, ClusterPoint
+    from repro.machine import MAGNY_COURS
+    from repro.schedules import Variant
+    from repro.serve import JobService, JobSpec
+
+    point = ClusterPoint(
+        Variant("series", "P>=Box", "CLO"),
+        MAGNY_COURS,
+        GEMINI,
+        nodes=16,
+        box_size=16,
+        domain_cells=(64, 64, 64),
+    )
+    point.evaluate()  # prime the halo-plan and engine caches
+    repeats = 7
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    direct_s = best_of(point.evaluate)
+
+    def served(svc) -> None:
+        out = svc.submit(JobSpec("cluster", point, label="bench.cluster"))
+        outcome = out.result(timeout=30.0)
+        assert outcome.status == "ok", outcome
+
+    with JobService(workers=2, queue_limit=64) as svc:
+        served_s = best_of(lambda: served(svc))
+    return {
+        "nodes": point.nodes,
+        "direct_step_s": round(direct_s, 6),
+        "served_step_s": round(served_s, 6),
+        "overhead_ratio": round(served_s / direct_s, 4),
+    }
+
+
 def collect() -> dict:
     from repro.util.perf import perf, publish_cache_gauges
 
@@ -267,6 +320,8 @@ def collect() -> dict:
 
     _run_arena_probe()
     _engine_probe()
+    # Before the hit-rate read-out: gives the halo-plan cache traffic.
+    cluster = _cluster_overhead()
 
     p = perf()
     # Also sets cache.<family>.hit_rate gauges on the default registry,
@@ -295,6 +350,7 @@ def collect() -> dict:
         },
         "observability": _obs_overhead(),
         "serve": _serve_overhead(),
+        "cluster": cluster,
         # Last: clears every cache per timing, so it cannot run before
         # the hit-rate read-out above.
         "fig9_fast_path": _fig9_fast_path(),
@@ -344,6 +400,14 @@ def test_harness_overhead():
     assert serve["served_shards_s"] <= (
         serve["direct_run_grid_s"] * 1.10 + 0.020
     ), serve
+    # The cluster job kind pays the same thin-front bar as the shard
+    # path: served multi-node step within 10% + 20 ms of direct.
+    cluster = report["cluster"]
+    assert cluster["served_step_s"] <= (
+        cluster["direct_step_s"] * 1.10 + 0.020
+    ), cluster
+    # The halo-plan cache must record real traffic once cluster jobs run.
+    assert report["hit_rates"]["halo_cache"] > 0, report["hit_rates"]
 
 
 if __name__ == "__main__":

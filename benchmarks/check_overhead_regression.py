@@ -106,6 +106,28 @@ def check_serve(
     return problems
 
 
+def check_cluster(cluster: dict) -> list[str]:
+    """The served multi-node scaling bar, absolute against the run.
+
+    A ``cluster`` job routes only its per-rank-shape engine evaluations
+    through the service — the decomposition and halo plan are built
+    parent-side — so the served step must stay within the shard bar:
+    10% of the direct ``ClusterPoint.evaluate``, plus 20 ms grace.
+    """
+    direct = cluster.get("direct_step_s")
+    served = cluster.get("served_step_s")
+    if direct is None or served is None:
+        return []
+    limit = direct * 1.10 + 0.020
+    if served > limit:
+        return [
+            f"cluster overhead: served {served * 1e3:.2f} ms > limit "
+            f"{limit * 1e3:.2f} ms (direct {direct * 1e3:.2f} ms, "
+            f"tolerance 10% + 20 ms grace)"
+        ]
+    return []
+
+
 def check_fig9(fig9: dict, min_speedup: float) -> list[str]:
     """The fast-path speedup bar, absolute against the frozen anchor.
 
@@ -147,6 +169,7 @@ def main(argv: list[str] | None = None) -> int:
         baseline = load_observability(args.baseline)
         current = load_observability(args.current)
         serve = load_section(args.current, "serve")
+        cluster = load_section(args.current, "cluster")
         fig9 = load_section(args.current, "fig9_fast_path")
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -185,6 +208,17 @@ def main(argv: list[str] | None = None) -> int:
             )
     else:
         print(f"{args.current}: no serve section yet; serve gate skipped")
+
+    if cluster:
+        problems.extend(check_cluster(cluster))
+        print(
+            f"cluster ({cluster.get('nodes')} nodes): direct "
+            f"{cluster.get('direct_step_s', 0) * 1e3:.2f} ms -> served "
+            f"{cluster.get('served_step_s', 0) * 1e3:.2f} ms "
+            f"(ratio {cluster.get('overhead_ratio', 0):.3f})"
+        )
+    else:
+        print(f"{args.current}: no cluster section yet; cluster gate skipped")
 
     if fig9:
         problems.extend(check_fig9(fig9, args.fig9_min_speedup))

@@ -184,6 +184,27 @@ class DisjointBoxLayout:
             self.__dict__["_skey"] = sk
         return sk
 
+    def with_ranks(self, ranks: Sequence[int]) -> "DisjointBoxLayout":
+        """A layout over the same boxes with a new rank assignment.
+
+        Boxes were validated (disjointness, containment) when this
+        layout was built and are immutable, so the copy skips the
+        O(n log n) disjointness re-check — rank sweeps over one
+        geometry (the cluster scaling model re-ranks a layout once per
+        node count) stay cheap.  The grid index is shared; the content
+        key is recomputed lazily since ranks participate in it.
+        """
+        if len(ranks) != len(self._entries):
+            raise ValueError("ranks must match boxes")
+        clone = object.__new__(DisjointBoxLayout)
+        clone.domain = self.domain
+        clone._entries = [
+            _Entry(e.index, e.box, int(r))
+            for e, r in zip(self._entries, ranks)
+        ]
+        clone._grid_index = self._grid_index
+        return clone
+
     def neighbors(self, index: int, ghost: int) -> list[int]:
         """Indices of boxes whose data a ghost ring of width ``ghost`` touches.
 

@@ -1,0 +1,81 @@
+"""Distributed-memory halo-exchange subsystem.
+
+The paper's benchmark lives inside one node, but its whole motivation
+is distributed: boxes are the coarsest grain of parallelism, spread
+across ranks, and larger boxes exist to cut ghost-cell exchange (§I,
+§II).  This package closes that loop as a first-class subsystem:
+
+* :mod:`~repro.cluster.topology` — interconnect specs (latency /
+  bandwidth / link contention; Gemini-, fat-tree- and HDR-class named
+  instances) and the N-node :class:`ClusterSpec`;
+* :mod:`~repro.cluster.decompose` — rank-level decomposition over the
+  box substrate (round-robin, block, surface-minimizing policies);
+* :mod:`~repro.cluster.halo` — per-rank exchange volumes and message
+  counts from the *real* copier plans, content-key cached;
+* :mod:`~repro.cluster.nodegraph` — node-level task graphs composed
+  from the on-node schedule variants, compute from the real engines,
+  exchange interleaved per variant (bulk-synchronous vs overlapped);
+* :mod:`~repro.cluster.scaling` — weak/strong scaling sweeps with
+  compute/exchange/imbalance attribution, plus the seed-compatible
+  :func:`step_cost` and the served :class:`ClusterPoint` payload.
+
+``python -m repro.cluster`` prints weak/strong scaling sweeps; the
+``cluster`` job kind in :mod:`repro.serve` serves the same model with
+rank evaluation fanned out over the shard layer.
+"""
+
+from .decompose import POLICIES, RankDecomposition, decompose_ranks
+from .halo import HaloPlan, RankHalo, clear_halo_cache, halo_plan
+from .nodegraph import NodeGraph, RankCost, RankTask, rank_workload_cells
+from .scaling import (
+    DEFAULT_VARIANTS,
+    ClusterPoint,
+    ClusterStep,
+    StepCost,
+    assemble_step,
+    cluster_step,
+    near_cubic_grid,
+    step_cost,
+    strong_scaling,
+    weak_scaling,
+)
+from .topology import (
+    FAT_TREE,
+    GEMINI,
+    HDR,
+    INTERCONNECTS,
+    ClusterSpec,
+    InterconnectSpec,
+    interconnect_by_name,
+)
+
+__all__ = [
+    "ClusterPoint",
+    "ClusterSpec",
+    "ClusterStep",
+    "DEFAULT_VARIANTS",
+    "FAT_TREE",
+    "GEMINI",
+    "HDR",
+    "HaloPlan",
+    "INTERCONNECTS",
+    "InterconnectSpec",
+    "NodeGraph",
+    "POLICIES",
+    "RankCost",
+    "RankDecomposition",
+    "RankHalo",
+    "RankTask",
+    "StepCost",
+    "assemble_step",
+    "clear_halo_cache",
+    "cluster_step",
+    "decompose_ranks",
+    "halo_plan",
+    "interconnect_by_name",
+    "near_cubic_grid",
+    "rank_workload_cells",
+    "step_cost",
+    "strong_scaling",
+    "weak_scaling",
+]

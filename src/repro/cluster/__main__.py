@@ -1,0 +1,132 @@
+"""CLI for the cluster scaling model.
+
+Examples
+--------
+Weak + strong sweep to 64 nodes on the paper's Magny-Cours testbed::
+
+    python -m repro.cluster --nodes 64
+
+Strong scaling only, 1024 nodes over an HDR-class fabric::
+
+    python -m repro.cluster --strong --nodes 1024 --interconnect hdr
+
+JSON rows for figure scripts::
+
+    python -m repro.cluster --nodes 256 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..machine.spec import MAGNY_COURS, machine_by_name
+from .scaling import DEFAULT_VARIANTS, strong_scaling, weak_scaling
+from .topology import INTERCONNECTS, interconnect_by_name
+
+
+def _node_counts(max_nodes: int) -> list[int]:
+    counts = []
+    n = 1
+    while n <= max_nodes:
+        counts.append(n)
+        n *= 2
+    if counts[-1] != max_nodes:
+        counts.append(max_nodes)
+    return counts
+
+
+def _print_rows(kind: str, rows: list[dict]) -> None:
+    print(f"\n{kind} scaling ({rows[0]['interconnect']}, box {rows[0]['box_size']}):")
+    names = list(rows[0]["variants"])
+    header = f"{'nodes':>6} " + " ".join(f"{n:>28}" for n in names) + "  best"
+    print(header)
+    for row in rows:
+        cells = []
+        for name in names:
+            v = row["variants"][name]
+            cell = (
+                f"{v['step_s'] * 1e3:8.3f}ms"
+                f" x{v['exchange_fraction']:4.2f}"
+                f" i{v['imbalance_s'] * 1e3:6.3f}"
+            )
+            if "efficiency" in v:
+                cell += f" e{v['efficiency']:4.2f}"
+            cells.append(f"{cell:>28}")
+        print(f"{row['nodes']:>6} " + " ".join(cells) + f"  {row['best']}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="Weak/strong scaling sweeps of the distributed halo-exchange model.",
+    )
+    parser.add_argument("--weak", action="store_true", help="run the weak-scaling sweep")
+    parser.add_argument("--strong", action="store_true", help="run the strong-scaling sweep")
+    parser.add_argument("--nodes", type=int, default=64, help="maximum node count (default 64)")
+    parser.add_argument("--box", type=int, default=16, help="box size (default 16)")
+    parser.add_argument("--boxes-per-node", type=int, default=8, help="weak scaling boxes per node")
+    parser.add_argument(
+        "--domain", type=int, nargs=3, default=None, metavar=("NX", "NY", "NZ"),
+        help="strong-scaling global domain (default 256 192 128: 1536 boxes of 16)",
+    )
+    parser.add_argument("--machine", default=MAGNY_COURS.name, help="node machine spec")
+    parser.add_argument(
+        "--interconnect", default="gemini",
+        choices=[s.name for s in INTERCONNECTS], help="interconnect spec",
+    )
+    parser.add_argument(
+        "--policy", default="surface",
+        choices=("surface", "round_robin", "block"), help="rank decomposition policy",
+    )
+    parser.add_argument("--engine", default="estimate", choices=("estimate", "simulate"))
+    parser.add_argument("--threads", type=int, default=None, help="threads per node")
+    parser.add_argument("--json", action="store_true", help="emit JSON rows")
+    args = parser.parse_args(argv)
+
+    if not args.weak and not args.strong:
+        args.weak = args.strong = True
+    try:
+        machine = machine_by_name(args.machine)
+        interconnect = interconnect_by_name(args.interconnect)
+        counts = _node_counts(args.nodes)
+        common = dict(
+            machine=machine,
+            interconnect=interconnect,
+            policy=args.policy,
+            engine=args.engine,
+            threads=args.threads,
+        )
+        report: dict[str, list[dict]] = {}
+        if args.weak:
+            report["weak"] = weak_scaling(
+                counts,
+                DEFAULT_VARIANTS,
+                box_size=args.box,
+                boxes_per_node=args.boxes_per_node,
+                **common,
+            )
+        if args.strong:
+            report["strong"] = strong_scaling(
+                counts,
+                DEFAULT_VARIANTS,
+                domain_cells=tuple(args.domain) if args.domain else (256, 192, 128),
+                box_size=args.box,
+                **common,
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        for kind, rows in report.items():
+            _print_rows(kind, rows)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

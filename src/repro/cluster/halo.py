@@ -1,0 +1,189 @@
+"""Per-rank halo-exchange volumes from the real copier plans.
+
+The seed cluster model approximated exchange volume with the closed-form
+ghost ring scaled by pair fractions from a shrunken proxy layout.  This
+module derives it from the *actual* exchange plan instead: the
+:class:`~repro.box.copier.ExchangeCopier` enumerates every ghost copy
+(periodic images included), and the halo plan folds those copies per
+rank — points a rank sends off-node, points it receives, which peer
+ranks it talks to, and how many messages that costs (one aggregated
+message per neighbor rank per exchange, as an MPI implementation packs
+them).
+
+Two-level content-keyed cache, mirroring the PR 6 exchange-plan cache:
+
+* a *geometry tally* keyed by ``(domain, boxes, ghost)`` — rank
+  assignment stripped — holding per box-pair point counts.  Scaling
+  sweeps revisit one geometry with many rank maps (strong scaling), so
+  the expensive box-calculus pass runs once per geometry;
+* a *plan cache* keyed by ``(layout.structure_key(), ghost)`` holding
+  the folded per-rank plan.
+
+Counters ``halo_cache.hits/misses`` feed the substrate's cache
+observability (``repro.util.perf``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..box.copier import ExchangeCopier
+from ..box.layout import DisjointBoxLayout
+from ..util.perf import perf
+
+__all__ = ["HaloPlan", "RankHalo", "clear_halo_cache", "halo_plan"]
+
+
+@dataclass(frozen=True)
+class RankHalo:
+    """One rank's share of the exchange: volumes, peers, messages."""
+
+    rank: int
+    send_points: int  #: points this rank sends to other ranks
+    recv_points: int  #: points this rank receives from other ranks
+    local_points: int  #: ghost points filled by on-rank copies
+    neighbors: tuple[int, ...]  #: peer ranks exchanged with (sorted)
+
+    @property
+    def messages(self) -> int:
+        """Messages sent per exchange (one aggregated per neighbor)."""
+        return len(self.neighbors)
+
+    def send_bytes(self, ncomp: int, itemsize: int = 8) -> int:
+        return self.send_points * ncomp * itemsize
+
+    def recv_bytes(self, ncomp: int, itemsize: int = 8) -> int:
+        return self.recv_points * ncomp * itemsize
+
+
+@dataclass(frozen=True)
+class HaloPlan:
+    """Folded per-rank exchange volumes for one layout + ghost width."""
+
+    ghost: int
+    ranks: tuple[RankHalo, ...]
+    total_points: int  #: all ghost points copied (on-rank + off-rank)
+    off_rank_points: int  #: points crossing a rank boundary
+
+    def rank(self, r: int) -> RankHalo:
+        return self.ranks[r]
+
+    def off_rank_bytes(self, ncomp: int, itemsize: int = 8) -> int:
+        """Bytes crossing rank boundaries per exchange (counted once)."""
+        return self.off_rank_points * ncomp * itemsize
+
+    def bytes_per_exchange(self, ncomp: int, itemsize: int = 8) -> int:
+        """Total bytes one exchange copies (matches the copier's figure)."""
+        return self.total_points * ncomp * itemsize
+
+    def max_send_points(self) -> int:
+        return max((r.send_points for r in self.ranks), default=0)
+
+    def total_messages(self) -> int:
+        return sum(r.messages for r in self.ranks)
+
+
+# Geometry tally: (domain, boxes, ghost) -> {(src_box, dst_box): points}.
+# Rank-free on purpose — strong-scaling sweeps refold one geometry under
+# many rank assignments without rebuilding the copier.
+_TALLY_CACHE: OrderedDict[tuple, dict[tuple[int, int], int]] = OrderedDict()
+_TALLY_CACHE_MAX = 64
+# Folded plans: (layout.structure_key(), ghost) -> HaloPlan.
+_PLAN_CACHE: OrderedDict[tuple, HaloPlan] = OrderedDict()
+_PLAN_CACHE_MAX = 256
+_LOCK = threading.Lock()
+
+
+def _geometry_key(layout: DisjointBoxLayout, ghost: int) -> tuple:
+    return (layout.domain, tuple(layout.boxes), int(ghost))
+
+
+def _pair_tally(layout: DisjointBoxLayout, ghost: int) -> dict[tuple[int, int], int]:
+    key = _geometry_key(layout, ghost)
+    with _LOCK:
+        tally = _TALLY_CACHE.get(key)
+        if tally is not None:
+            _TALLY_CACHE.move_to_end(key)
+            return tally
+    copier = ExchangeCopier(layout, ghost)
+    tally = {}
+    for item in copier.items:
+        pair = (item.src, item.dst)
+        tally[pair] = tally.get(pair, 0) + item.num_points
+    with _LOCK:
+        tally = _TALLY_CACHE.setdefault(key, tally)
+        while len(_TALLY_CACHE) > _TALLY_CACHE_MAX:
+            _TALLY_CACHE.popitem(last=False)
+    return tally
+
+
+def _fold(layout: DisjointBoxLayout, ghost: int) -> HaloPlan:
+    tally = _pair_tally(layout, ghost)
+    nranks = max((layout.rank(i) for i in layout), default=-1) + 1
+    send = [0] * nranks
+    recv = [0] * nranks
+    local = [0] * nranks
+    peers: list[set[int]] = [set() for _ in range(nranks)]
+    total = 0
+    off_rank = 0
+    for (src, dst), points in tally.items():
+        total += points
+        rs, rd = layout.rank(src), layout.rank(dst)
+        if rs == rd:
+            local[rs] += points
+        else:
+            off_rank += points
+            send[rs] += points
+            recv[rd] += points
+            peers[rs].add(rd)
+            peers[rd].add(rs)
+    ranks = tuple(
+        RankHalo(
+            rank=r,
+            send_points=send[r],
+            recv_points=recv[r],
+            local_points=local[r],
+            neighbors=tuple(sorted(peers[r])),
+        )
+        for r in range(nranks)
+    )
+    return HaloPlan(
+        ghost=int(ghost),
+        ranks=ranks,
+        total_points=total,
+        off_rank_points=off_rank,
+    )
+
+
+def halo_plan(layout: DisjointBoxLayout, ghost: int) -> HaloPlan:
+    """The cached per-rank halo plan for (layout content, ghost width).
+
+    Totals agree exactly with the copier the plan is derived from:
+    ``plan.total_points == ExchangeCopier(layout, ghost).total_ghost_points()``
+    and ``plan.off_rank_points == copier.off_rank_points()``.
+    """
+    if ghost < 0:
+        raise ValueError(f"ghost width must be >= 0, got {ghost}")
+    key = (layout.structure_key(), int(ghost))
+    with _LOCK:
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            _PLAN_CACHE.move_to_end(key)
+            perf().inc("halo_cache.hits")
+            return plan
+    perf().inc("halo_cache.misses")
+    plan = _fold(layout, ghost)
+    with _LOCK:
+        plan = _PLAN_CACHE.setdefault(key, plan)
+        while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+def clear_halo_cache() -> None:
+    """Drop the geometry tallies and folded plans."""
+    with _LOCK:
+        _TALLY_CACHE.clear()
+        _PLAN_CACHE.clear()

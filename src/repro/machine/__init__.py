@@ -11,7 +11,10 @@ from .cache import (
     SetAssociativeCache,
     StackDistanceProfile,
 )
-from .cluster import GEMINI, ClusterSpec, InterconnectSpec, StepCost, step_cost
+# Re-exported from their new home (repro.cluster); the old
+# repro.machine.cluster module remains as a deprecation shim.
+from ..cluster.scaling import StepCost, step_cost
+from ..cluster.topology import GEMINI, ClusterSpec, InterconnectSpec
 from .counters import BandwidthProfile, BandwidthSample, profile_workload
 from .roofline import arithmetic_intensity, min_time_bound, roofline_gflops
 from .simulator import (

@@ -1,168 +1,27 @@
-"""Distributed (MPI-everywhere) execution model across nodes.
+"""Deprecated compatibility shim — the cluster model moved to :mod:`repro.cluster`.
 
-The paper's benchmark lives inside one node, but its whole motivation is
-distributed: "the boxes are the coarsest grain of parallelism and are
-spread across nodes" (§II), and larger boxes exist to cut ghost-cell
-exchange (§I).  This module closes that loop: a cluster of simulated
-nodes, an interconnect, and a per-time-step cost =
-on-node compute (from :mod:`repro.machine.simulator`) + ghost exchange
-(volume from the *real* copier plans, off-rank fraction included).
+The seed's single-module distributed model grew into a first-class
+subsystem (PR 8): topology in :mod:`repro.cluster.topology`, rank
+decomposition in :mod:`repro.cluster.decompose`, copier-derived halo
+volumes in :mod:`repro.cluster.halo`, node-level task graphs in
+:mod:`repro.cluster.nodegraph`, and scaling sweeps plus the
+seed-contract :func:`step_cost` in :mod:`repro.cluster.scaling`.
+
+This module keeps the old import paths working and will be removed once
+callers migrate.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Sequence
+import warnings
 
-from ..box.copier import ExchangeCopier
-from ..box.layout import decompose_domain
-from ..box.problem_domain import ProblemDomain
-from ..box.box import Box
-from ..exemplar.problem import PAPER_DOMAIN_CELLS
-from ..schedules.base import Variant
-from .simulator import estimate_workload
-from .spec import MachineSpec
-from .workload import build_workload
+from ..cluster.scaling import StepCost, step_cost
+from ..cluster.topology import GEMINI, ClusterSpec, InterconnectSpec
 
 __all__ = ["InterconnectSpec", "ClusterSpec", "StepCost", "step_cost", "GEMINI"]
 
-
-@dataclass(frozen=True)
-class InterconnectSpec:
-    """A node interconnect: per-node injection bandwidth and latency."""
-
-    name: str
-    bandwidth_gbs: float
-    latency_us: float = 2.0
-
-    def transfer_seconds(self, bytes_per_node: float, messages: int) -> float:
-        """Time one node needs to exchange its ghost traffic."""
-        if bytes_per_node < 0 or messages < 0:
-            raise ValueError("volumes must be non-negative")
-        return (
-            bytes_per_node / (self.bandwidth_gbs * 1e9)
-            + messages * self.latency_us * 1e-6
-        )
-
-
-#: Cray Gemini-class interconnect (the paper's Cray XT6m era).
-GEMINI = InterconnectSpec("gemini", bandwidth_gbs=5.0, latency_us=1.5)
-
-
-@dataclass(frozen=True)
-class ClusterSpec:
-    """Homogeneous nodes joined by an interconnect."""
-
-    node: MachineSpec
-    interconnect: InterconnectSpec
-    nodes: int
-
-    def __post_init__(self):
-        if self.nodes <= 0:
-            raise ValueError("nodes must be positive")
-
-
-@dataclass(frozen=True)
-class StepCost:
-    """Per-time-step cost decomposition for one node."""
-
-    compute_s: float
-    exchange_s: float
-    ghost_bytes_per_node: float
-    messages_per_node: float
-
-    @property
-    def total_s(self) -> float:
-        return self.compute_s + self.exchange_s
-
-    @property
-    def exchange_fraction(self) -> float:
-        return self.exchange_s / self.total_s if self.total_s > 0 else 0.0
-
-
-def _scaled_exchange_stats(
-    domain_cells: Sequence[int], box_size: int, nodes: int, ghost: int
-):
-    """Off-rank ghost points/messages per node, from a real copier.
-
-    Built on a scaled-down level with the same boxes-per-node topology
-    (one box per 'cell' of the box grid), which preserves the off-rank
-    surface fractions; volumes then scale by the true box surface.
-    """
-    grid = tuple(c // box_size for c in domain_cells)
-    domain = ProblemDomain(Box.from_extents((0,) * len(grid), grid))
-    layout = decompose_domain(domain, 1, num_ranks=nodes, rank_assignment="block")
-    copier = ExchangeCopier(layout, 1)
-    total_pairs = len(copier.items)
-    off_rank_pairs = sum(
-        1
-        for item in copier.items
-        if layout.rank(item.src) != layout.rank(item.dst)
-    )
-    return total_pairs, off_rank_pairs
-
-
-def step_cost(
-    cluster: ClusterSpec,
-    variant: Variant,
-    box_size: int,
-    domain_cells: Sequence[int] = PAPER_DOMAIN_CELLS,
-    threads: int | None = None,
-    ncomp: int = 5,
-    ghost: int = 2,
-) -> StepCost:
-    """Per-step cost of one node: on-node compute + ghost exchange.
-
-    The global domain divides evenly across nodes (block assignment);
-    each node runs ``variant`` over its boxes with ``threads`` threads
-    and exchanges the off-node ghost surface over the interconnect.
-    """
-    threads = threads or cluster.node.cores
-    dim = len(domain_cells)
-    num_boxes = 1
-    for c in domain_cells:
-        if c % box_size:
-            raise ValueError("domain must divide by the box size")
-        num_boxes *= c // box_size
-    if num_boxes % cluster.nodes:
-        raise ValueError(
-            f"{num_boxes} boxes do not divide across {cluster.nodes} nodes"
-        )
-
-    # Compute: this node's share of the level.  When the block split is
-    # a clean slab along the slowest axis, simulate the node's actual
-    # sub-domain; otherwise simulate the whole level and divide (the
-    # workload is uniform, so the estimate is exact either way up to
-    # box-count rounding at barriers).
-    last = int(domain_cells[-1])
-    if last % (box_size * cluster.nodes) == 0:
-        node_cells = list(domain_cells)
-        node_cells[-1] = last // cluster.nodes
-        wl = build_workload(variant, box_size, node_cells, ncomp=ncomp, dim=dim)
-        compute = estimate_workload(wl, cluster.node, threads).time_s
-    else:
-        wl = build_workload(variant, box_size, domain_cells, ncomp=ncomp, dim=dim)
-        compute = estimate_workload(wl, cluster.node, threads).time_s / cluster.nodes
-
-    # Exchange: off-node surface from a real (topology-preserving) copier.
-    total_pairs, off_pairs = _scaled_exchange_stats(
-        domain_cells, box_size, cluster.nodes, ghost
-    )
-    # Every box's ghost ring holds ((N+2g)^dim - N^dim) points; the
-    # off-node share follows the pair fractions of the box-grid copier.
-    ghost_points_per_box = (box_size + 2 * ghost) ** dim - box_size**dim
-    total_ghost_points = ghost_points_per_box * num_boxes
-    off_fraction = off_pairs / total_pairs if total_pairs else 0.0
-    off_bytes = total_ghost_points * off_fraction * ncomp * 8
-    bytes_per_node = off_bytes / cluster.nodes
-    messages_per_node = off_pairs / cluster.nodes
-    exchange = cluster.interconnect.transfer_seconds(
-        bytes_per_node, math.ceil(messages_per_node)
-    )
-    return StepCost(
-        compute_s=compute,
-        exchange_s=exchange,
-        ghost_bytes_per_node=bytes_per_node,
-        messages_per_node=messages_per_node,
-    )
+warnings.warn(
+    "repro.machine.cluster is deprecated; import from repro.cluster instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

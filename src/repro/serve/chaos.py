@@ -48,6 +48,8 @@ import tempfile
 from dataclasses import dataclass, field
 
 from ..bench.runner import GridPoint
+from ..cluster.scaling import ClusterPoint
+from ..cluster.topology import GEMINI
 from ..machine.spec import IVY_BRIDGE, MAGNY_COURS, SANDY_BRIDGE
 from ..obs.metrics import default_registry
 from ..resilience.faults import FaultPlan, FaultSpec, inject_faults
@@ -94,7 +96,7 @@ class SoakReport:
 
 
 def _job_stream(rng: random.Random, cases: int) -> list[JobSpec]:
-    """The deterministic mixed workload: mostly points, some batches."""
+    """The deterministic mixed workload: points, batches, cluster steps."""
     specs: list[JobSpec] = []
     for i in range(cases):
         machine = rng.choice(_MACHINES)
@@ -109,6 +111,22 @@ def _job_stream(rng: random.Random, cases: int) -> list[JobSpec]:
             specs.append(JobSpec(
                 "grid", points, priority=rng.randrange(3),
                 label=f"soak{i}.grid",
+            ))
+            continue
+        if roll < 0.2:
+            # A distributed step over a tiny 8-box geometry: its rank
+            # compute tasks ride the same breakers/retries/shards as
+            # point jobs, so every serving invariant covers them.
+            point = ClusterPoint(
+                variant, machine, GEMINI,
+                nodes=rng.choice((2, 3, 4)), box_size=16,
+                domain_cells=(32, 32, 32),
+                policy=rng.choice(("surface", "round_robin", "block")),
+                engine=rng.choice(("estimate", "simulate")),
+            )
+            specs.append(JobSpec(
+                "cluster", point, priority=rng.randrange(3),
+                label=f"soak{i}.cluster",
             ))
             continue
         kind = "simulate" if roll < 0.55 else "estimate"
@@ -137,7 +155,9 @@ def _fault_schedule(
         # spends; the ladder degrades them to estimate meanwhile.
         FaultSpec(scope="serve", mode="raise", label="|simulate", count=8),
     ]
-    point_jobs = [s for s in specs if s.kind in ("estimate", "simulate")]
+    point_jobs = [
+        s for s in specs if s.kind in ("estimate", "simulate", "cluster")
+    ]
     if point_jobs:
         # The first point job is taken from the initially-empty queue
         # before any shedding can occur, so this stall reliably lands

@@ -54,6 +54,8 @@ from ..bench.runner import (
     run_grid,
     span_attrs,
 )
+from ..cluster.nodegraph import rank_workload_cells
+from ..cluster.scaling import ClusterPoint, assemble_step
 from ..machine.simulator import SimResult
 from ..obs import trace as _trace
 from ..obs.metrics import default_registry
@@ -88,7 +90,7 @@ __all__ = [
 ]
 
 #: Work the service knows how to execute.
-JOB_KINDS = ("estimate", "simulate", "grid", "verify")
+JOB_KINDS = ("estimate", "simulate", "grid", "verify", "cluster")
 
 #: Outcome statuses (the four accounting buckets).
 STATUSES = ("ok", "shed", "degraded", "failed")
@@ -484,6 +486,8 @@ class JobService:
             return self._execute_engine(job)
         if kind == "grid":
             return self._execute_grid(job)
+        if kind == "cluster":
+            return self._execute_cluster(job)
         return self._execute_verify(job)
 
     def _remaining_s(self, job: JobTicket) -> float | None:
@@ -655,6 +659,119 @@ class JobService:
         reason = failures[-1].kind if failures else "breaker_open"
         return JobOutcome("failed", reason=reason, failures=failures)
 
+    def _execute_cluster(self, job: JobTicket) -> JobOutcome:
+        """One distributed cluster step through the served front.
+
+        The geometry side — rank decomposition and the copier-derived
+        halo plan — is deterministic and is built parent-side.  Only
+        the engine evaluations (one per *distinct* per-rank box count;
+        uniform decompositions have at most two) are failure-prone, and
+        each rides the exact machinery point jobs ride: breaker-gated
+        ladder (simulate -> estimate), ``call_with_retry``, fault
+        perturbation, and — with ``shards=N`` — process-isolated
+        execution, since a rank compute task *is* a :class:`GridPoint`
+        over the rank's synthetic sub-domain.  Per-rank costs are then
+        folded through the same :func:`~repro.cluster.scaling
+        .assemble_step` as the direct path, so served and direct
+        cluster steps report identical attribution and obs gauges.
+        """
+        point = _as_cluster_point(job.spec.payload)
+        graph = point.graph()
+        requested = point.engine
+        ladder = (
+            ("simulate", "estimate") if requested == "simulate"
+            else ("estimate",)
+        )
+        dim = len(graph.domain_cells)
+        failures: list[TaskFailure] = []
+        for eng in ladder:
+            br = self.breaker(point.machine.name, eng)
+            if not br.allow():
+                _trace.add_event(
+                    "serve.breaker_refused", key=br.key, seq=job.seq,
+                    label=job.label,
+                )
+                continue
+            sims: dict[int, SimResult] = {}
+            rung_failed = False
+            for k in graph.distinct_box_counts():
+                gp = GridPoint(
+                    point.variant, point.machine, graph.threads,
+                    point.box_size,
+                    rank_workload_cells(point.box_size, k, dim),
+                    ncomp=point.ncomp, engine=eng,
+                )
+                site = f"{job.label}|{eng}|r{k}"
+                attempt_counter = itertools.count()
+
+                def attempt(gp=gp, site=site, counter=attempt_counter,
+                            eng=eng) -> SimResult:
+                    attempt_no = next(counter)
+                    self._check_deadline(job)
+                    _faults.perturb("serve", job.seq, site)
+                    t0 = time.perf_counter()
+                    with _trace.span(
+                        "serve.point", engine=eng, **span_attrs(gp, job.seq)
+                    ) as s:
+                        if self._shards is not None:
+                            r = self._run_on_shard(
+                                job, gp, eng, site, attempt_no
+                            )
+                        else:
+                            r = gp.evaluate(engine=eng)
+                        if _faults.take_corrupt("serve", job.seq, site):
+                            r.time_s = float("nan")
+                        if not is_finite_result(r):
+                            raise CorruptionError(
+                                f"non-finite result for {site!r}"
+                            )
+                        record_point_metrics(s, r, time.perf_counter() - t0)
+                    return r
+
+                try:
+                    r, retried = call_with_retry(
+                        attempt, self.retry_policy, scope="serve",
+                        index=job.seq, label=site,
+                    )
+                except RetryExhausted as exc:
+                    failures.extend(exc.failures)
+                    last_kind = exc.failures[-1].kind
+                    if last_kind not in PROCESS_FAILURE_KINDS:
+                        br.record_failure(last_kind)
+                    if last_kind == "deadline":
+                        if any(
+                            f.kind in PROCESS_FAILURE_KINDS
+                            for f in failures[:-1]
+                        ):
+                            raise _ShedJob(
+                                "deadline", "expired during shard replacement"
+                            ) from None
+                        return JobOutcome(
+                            "failed", reason="deadline", failures=failures
+                        )
+                    rung_failed = True
+                    break
+                failures.extend(retried)
+                if self.journal is not None:
+                    ghash, key = self._journal_key(gp)
+                    self.journal.record(ghash, 0, key, r)
+                sims[k] = r
+            if rung_failed:
+                continue
+            br.record_success()
+            step = assemble_step(graph, graph.assemble(sims), eng)
+            if eng != requested:
+                for f in failures:
+                    f.recovered = True
+                    if f.degraded_to is None:
+                        f.degraded_to = eng
+                return JobOutcome(
+                    "degraded", value=step, degraded_to=eng, failures=failures
+                )
+            return JobOutcome("ok", value=step, failures=failures)
+        reason = failures[-1].kind if failures else "breaker_open"
+        return JobOutcome("failed", reason=reason, failures=failures)
+
     def _execute_grid(self, job: JobTicket) -> JobOutcome:
         points = _as_points(job.spec.payload)
         self._check_deadline(job)
@@ -815,6 +932,14 @@ class JobService:
 def _as_point(payload) -> GridPoint:
     if not isinstance(payload, GridPoint):
         raise TypeError(f"engine job payload must be a GridPoint, got {payload!r}")
+    return payload
+
+
+def _as_cluster_point(payload) -> ClusterPoint:
+    if not isinstance(payload, ClusterPoint):
+        raise TypeError(
+            f"cluster job payload must be a ClusterPoint, got {payload!r}"
+        )
     return payload
 
 

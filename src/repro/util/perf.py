@@ -46,6 +46,7 @@ CACHE_FAMILIES = (
     ("phase_cache", "phase-cost cache"),
     ("sim_phase_cache", "sim phase cache"),
     ("copier_cache", "copier plan cache"),
+    ("halo_cache", "halo plan cache"),
     ("fastpath_cache", "fast-path table cache"),
 )
 

@@ -23,6 +23,7 @@ JSON repro files.  See :mod:`repro.verify.__main__` for the CLI.
 
 from .checks import (
     check_bitwise,
+    check_cluster,
     check_engines,
     check_fast_path,
     check_invariants,
@@ -55,6 +56,7 @@ __all__ = [
     "variant_by_short_name",
     "run_check",
     "check_bitwise",
+    "check_cluster",
     "check_engines",
     "check_fast_path",
     "check_invariants",

@@ -1,4 +1,4 @@
-"""The five differential check families.
+"""The six differential check families.
 
 Every check takes a :class:`~repro.verify.config.VerifyConfig` and
 returns a list of failure messages — empty means the config passed.
@@ -36,6 +36,15 @@ Families
     stack-distance cache model matches the fully-associative LRU
     simulator exactly (misses *and* writebacks) with set-associative
     conflict misses bounded by tolerance.
+``cluster``
+    The distributed-memory scaling model (:mod:`repro.cluster`) obeys
+    its structural invariants on config-shaped geometries: every rank
+    decomposition policy conserves boxes and cells exactly; a
+    one-node cluster step reduces to the single-node engine (bitwise
+    in exact mode, within tolerance in fast mode) with zero exchange;
+    strong-scaling efficiency over a power-of-two node chain stays
+    <= 1 and monotone non-increasing; and at constant work per node
+    the exchange fraction is monotone in interconnect latency.
 """
 
 from __future__ import annotations
@@ -88,6 +97,7 @@ __all__ = [
     "check_invariants",
     "check_metamorphic",
     "check_fast_path",
+    "check_cluster",
 ]
 
 #: Relative time tolerance for uniform phases, where the closed form is
@@ -645,10 +655,221 @@ def _fast_path_stack_distance(config: VerifyConfig) -> list[str]:
     return failures
 
 
+# ------------------------------------------------------------------ family 6
+#: Fast-mode tolerance for the nodes=1 reduction (exact mode is bitwise).
+CLUSTER_FAST_RTOL = 1e-9
+
+
+def check_cluster(config: VerifyConfig) -> list[str]:
+    """Structural invariants of the distributed scaling model."""
+    failures: list[str] = []
+    failures += _cluster_conservation(config)
+    failures += _cluster_single_node(config)
+    failures += _cluster_strong_efficiency(config)
+    failures += _cluster_latency_monotone(config)
+    return failures
+
+
+def _cluster_variants(config: VerifyConfig):
+    """At most two applicable variants (the family is about the model
+    *around* the engines, so one bulk-synchronous sample suffices;
+    a second catches category-dependent assembly bugs)."""
+    return _applicable_variants(config)[:2]
+
+
+def _cluster_conservation(config: VerifyConfig) -> list[str]:
+    """Every policy assigns each box to exactly one rank."""
+    from ..cluster.decompose import POLICIES, decompose_ranks
+
+    failures: list[str] = []
+    num_boxes = 1
+    for m in config.domain_mult:
+        num_boxes *= m
+    domain = config.domain_cells
+    for num_ranks in sorted({1, 2, num_boxes} - {0}):
+        if num_ranks > num_boxes:
+            continue
+        for policy in POLICIES:
+            dec = decompose_ranks(
+                domain, config.box_size, num_ranks, policy,
+                periodic=config.periodic,
+            )
+            tag = f"cluster: {policy}@{num_ranks} ranks over {num_boxes} boxes"
+            if sum(dec.boxes_per_rank()) != num_boxes:
+                failures.append(
+                    f"{tag}: boxes not conserved "
+                    f"({sum(dec.boxes_per_rank())} != {num_boxes})"
+                )
+            total_cells = num_boxes * config.box_size ** config.dim
+            if sum(dec.cells_per_rank()) != total_cells:
+                failures.append(
+                    f"{tag}: cells not conserved "
+                    f"({sum(dec.cells_per_rank())} != {total_cells})"
+                )
+            if dec.num_ranks != num_ranks:
+                failures.append(f"{tag}: rank count mismatch")
+    return failures
+
+
+def _cluster_single_node(config: VerifyConfig) -> list[str]:
+    """A one-node cluster is the single-node engine plus zero exchange.
+
+    Exact mode must agree bitwise (the per-rank workload is — by the
+    box-count-only property of the workload builder — the *same*
+    workload object contents); fast mode within ``CLUSTER_FAST_RTOL``.
+    """
+    from ..cluster.scaling import cluster_step
+    from ..cluster.topology import GEMINI, ClusterSpec
+
+    failures: list[str] = []
+    machine = machine_by_name(config.machine)
+    threads = min(config.threads, machine.max_threads)
+    cluster = ClusterSpec(machine, GEMINI, 1)
+    for variant in _cluster_variants(config):
+        wl = build_workload(
+            variant,
+            config.box_size,
+            domain_cells=config.domain_cells,
+            ncomp=config.ncomp,
+            dim=config.dim,
+        )
+        for mode, rtol in (("exact", 0.0), ("fast", CLUSTER_FAST_RTOL)):
+            with engine_mode(mode):
+                step = cluster_step(
+                    cluster, variant, config.box_size, config.domain_cells,
+                    ncomp=config.ncomp, ghost=config.ghost, threads=threads,
+                    periodic=config.periodic,
+                )
+                direct = estimate_workload(wl, machine, threads)
+            tag = f"cluster: nodes=1 {variant.short_name} [{mode}]"
+            delta = abs(step.cost.compute_s - direct.time_s)
+            if delta > rtol * max(abs(direct.time_s), 1e-30):
+                failures.append(
+                    f"{tag}: compute {step.cost.compute_s!r} != single-node "
+                    f"engine {direct.time_s!r}"
+                )
+            if step.cost.exchange_s != 0.0 or step.cost.ghost_bytes_per_node:
+                failures.append(
+                    f"{tag}: one node has nonzero exchange "
+                    f"({step.cost.exchange_s!r} s, "
+                    f"{step.cost.ghost_bytes_per_node!r} B)"
+                )
+            if step.cost.imbalance_s != 0.0:
+                failures.append(
+                    f"{tag}: one node has imbalance {step.cost.imbalance_s!r}"
+                )
+            if abs(step.step_s - step.cost.total_s) > 1e-15 * max(
+                step.step_s, 1e-30
+            ):
+                failures.append(
+                    f"{tag}: step_s {step.step_s!r} != attributed total "
+                    f"{step.cost.total_s!r}"
+                )
+    return failures
+
+
+def _cluster_strong_efficiency(config: VerifyConfig) -> list[str]:
+    """Strong-scaling efficiency <= 1, monotone non-increasing.
+
+    Over a power-of-two node chain whose box count divides evenly at
+    every count — uniform per-rank box counts make the subadditivity
+    of the ceil-based phase costs an exact monotonicity guarantee
+    (ragged counts can legitimately violate it through imbalance).
+    """
+    from ..cluster.scaling import strong_scaling
+    from ..cluster.topology import GEMINI
+
+    failures: list[str] = []
+    machine = machine_by_name(config.machine)
+    threads = min(config.threads, machine.max_threads)
+    b = config.box_size
+    domain = (b,) * (config.dim - 1) + (8 * b,)
+    rows = strong_scaling(
+        (1, 2, 4, 8),
+        _cluster_variants(config),
+        domain_cells=domain,
+        box_size=b,
+        machine=machine,
+        interconnect=GEMINI,
+        ncomp=config.ncomp,
+        ghost=config.ghost,
+        threads=threads,
+        policy="block",
+    )
+    prev: dict[str, float] = {}
+    for row in rows:
+        for name, v in row["variants"].items():
+            eff = v["efficiency"]
+            tag = f"cluster: strong {name}@{row['nodes']} nodes"
+            if eff > 1.0 + 1e-12:
+                failures.append(f"{tag}: efficiency {eff!r} exceeds 1")
+            if name in prev and eff > prev[name] + 1e-12:
+                failures.append(
+                    f"{tag}: efficiency {eff!r} rose from {prev[name]!r} "
+                    f"at the previous node count"
+                )
+            prev[name] = eff
+    return failures
+
+
+def _cluster_latency_monotone(config: VerifyConfig) -> list[str]:
+    """Exchange time and fraction rise with interconnect latency.
+
+    Run at constant work per node on a fully periodic, fully symmetric
+    geometry (one box per rank, rank grid == box grid), so every rank
+    is congruent: the exchange fraction is then strictly monotone in
+    latency at fixed bandwidth, with zero imbalance.
+    """
+    from ..cluster.scaling import cluster_step
+    from ..cluster.topology import ClusterSpec, InterconnectSpec
+
+    failures: list[str] = []
+    machine = machine_by_name(config.machine)
+    threads = min(config.threads, machine.max_threads)
+    b = config.box_size
+    nodes = 2 ** config.dim
+    domain = (2 * b,) * config.dim
+    periodic = (True,) * config.dim
+    for variant in _cluster_variants(config)[:1]:
+        prev_ex = prev_frac = None
+        for latency_us in (0.5, 2.0, 8.0, 32.0):
+            ic = InterconnectSpec(
+                f"lat{latency_us}", bandwidth_gbs=5.0, latency_us=latency_us
+            )
+            step = cluster_step(
+                ClusterSpec(machine, ic, nodes), variant, b, domain,
+                ncomp=config.ncomp, ghost=config.ghost, threads=threads,
+                policy="surface", periodic=periodic,
+            )
+            tag = (
+                f"cluster: latency {variant.short_name} "
+                f"@{latency_us}us/{nodes} nodes"
+            )
+            ex, frac = step.cost.exchange_s, step.cost.exchange_fraction
+            if step.cost.imbalance_s > 1e-15:
+                failures.append(
+                    f"{tag}: symmetric geometry shows imbalance "
+                    f"{step.cost.imbalance_s!r}"
+                )
+            if prev_ex is not None and ex < prev_ex - 1e-15:
+                failures.append(
+                    f"{tag}: exchange time fell with latency "
+                    f"({prev_ex!r} -> {ex!r})"
+                )
+            if prev_frac is not None and frac < prev_frac - 1e-15:
+                failures.append(
+                    f"{tag}: exchange fraction fell with latency "
+                    f"({prev_frac!r} -> {frac!r})"
+                )
+            prev_ex, prev_frac = ex, frac
+    return failures
+
+
 _FAMILY_CHECKS = {
     "bitwise": check_bitwise,
     "engines": check_engines,
     "invariants": check_invariants,
     "metamorphic": check_metamorphic,
     "fast_path": check_fast_path,
+    "cluster": check_cluster,
 }

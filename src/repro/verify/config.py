@@ -37,8 +37,10 @@ __all__ = [
     "variant_registry",
 ]
 
-#: The five check families (see :mod:`repro.verify.checks`).
-FAMILIES = ("bitwise", "engines", "invariants", "metamorphic", "fast_path")
+#: The six check families (see :mod:`repro.verify.checks`).
+FAMILIES = (
+    "bitwise", "engines", "invariants", "metamorphic", "fast_path", "cluster",
+)
 
 #: Box edges the generator draws from — small enough that a single case
 #: runs in milliseconds, varied enough to hit odd box/tile ratios

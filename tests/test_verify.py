@@ -271,7 +271,8 @@ class TestRunner:
         assert "all checks passed" in report.summary()
 
     def test_families_round_robin(self):
-        report = run_verification(seed=11, cases=10, check_fn=lambda c: [])
+        cases = 2 * len(FAMILIES)
+        report = run_verification(seed=11, cases=cases, check_fn=lambda c: [])
         fams = [c.config.family for c in report.cases]
         assert fams == list(FAMILIES) * 2
 
