@@ -306,6 +306,71 @@ def _cluster_overhead() -> dict:
     }
 
 
+def _memo_overhead() -> dict:
+    """Memo-path tax and payoff: the fig2 grid cold vs 100%-hit warm.
+
+    Cold clears every substrate cache per repeat and serves into a fresh
+    in-memory :class:`MemoStore`, so the number is the full miss path:
+    canonical key, grid evaluation from scratch, result encode + put.
+    The bar is the usual thin-front envelope against an equally cold
+    direct ``run_grid``: within 5% + 10 ms.
+
+    Warm re-serves the identical grid against the populated store — a
+    100% hit rate, so the job collapses to key + decode — and must come
+    back at least 5x faster than cold with a bitwise-identical grid
+    hash (``check_overhead_regression.py --memo-min-speedup``).
+    """
+    from repro.bench.experiments import scaling_grid_points
+    from repro.bench.runner import run_grid
+    from repro.serve import JobService, serve_grid
+
+    points = scaling_grid_points("fig2")
+    cold_repeats = 3
+
+    def best_cold(fn) -> float:
+        best = float("inf")
+        for _ in range(cold_repeats):
+            _clear_all_caches()
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    direct_cold_s = best_cold(lambda: run_grid(points))
+
+    served_cold_s = float("inf")
+    gr_cold = None
+    for _ in range(cold_repeats):
+        with JobService(workers=2, queue_limit=64, memo=True) as svc:
+            _clear_all_caches()
+            t0 = time.perf_counter()
+            gr_cold = serve_grid(points, svc, batch=True)
+            served_cold_s = min(served_cold_s, time.perf_counter() - t0)
+
+    with JobService(workers=2, queue_limit=64, memo=True) as svc:
+        serve_grid(points, svc, batch=True)  # populate the store
+        best = float("inf")
+        gr_warm = None
+        for _ in range(7):
+            t0 = time.perf_counter()
+            gr_warm = serve_grid(points, svc, batch=True)
+            best = min(best, time.perf_counter() - t0)
+        served_warm_s = best
+        memo_stats = svc.stats()["memo"]
+
+    return {
+        "grid_points": len(points),
+        "direct_cold_s": round(direct_cold_s, 6),
+        "served_cold_s": round(served_cold_s, 6),
+        "cold_overhead_ratio": round(served_cold_s / direct_cold_s, 4),
+        "served_warm_s": round(served_warm_s, 6),
+        "warm_speedup": round(served_cold_s / served_warm_s, 1),
+        "warm_hits": memo_stats["hits"],
+        "warm_misses": memo_stats["misses"],
+        "bitwise_equal": gr_cold.grid_hash == gr_warm.grid_hash,
+    }
+
+
 def collect() -> dict:
     from repro.util.perf import perf, publish_cache_gauges
 
@@ -351,9 +416,10 @@ def collect() -> dict:
         "observability": _obs_overhead(),
         "serve": _serve_overhead(),
         "cluster": cluster,
-        # Last: clears every cache per timing, so it cannot run before
-        # the hit-rate read-out above.
+        # Last two: both clear every cache per timing, so they cannot
+        # run before the hit-rate read-out above.
         "fig9_fast_path": _fig9_fast_path(),
+        "memo": _memo_overhead(),
     }
     return report
 
@@ -408,6 +474,16 @@ def test_harness_overhead():
     ), cluster
     # The halo-plan cache must record real traffic once cluster jobs run.
     assert report["hit_rates"]["halo_cache"] > 0, report["hit_rates"]
+    # Memo path: the cold miss leg pays the thin-front envelope against
+    # an equally cold direct run, the 100%-hit warm leg repays at least
+    # 5x, and the cached grid is bitwise-identical to the computed one.
+    memo = report["memo"]
+    assert memo["served_cold_s"] <= (
+        memo["direct_cold_s"] * 1.05 + 0.010
+    ), memo
+    assert memo["warm_speedup"] >= 5.0, memo
+    assert memo["warm_misses"] == 1 and memo["warm_hits"] >= 7, memo
+    assert memo["bitwise_equal"], memo
 
 
 if __name__ == "__main__":

@@ -128,6 +128,42 @@ def check_cluster(cluster: dict) -> list[str]:
     return []
 
 
+def check_memo(memo: dict, tolerance: float, min_speedup: float) -> list[str]:
+    """The memo-path bars, absolute against the current run.
+
+    The cold (miss) leg pays the thin-front envelope against an equally
+    cold direct ``run_grid`` — within ``tolerance`` plus 10 ms grace —
+    so keying + encoding + the LRU put stay invisible next to the grid
+    evaluation they front.  The warm (100% hit) leg must repay at least
+    ``min_speedup`` over cold with a bitwise-identical grid hash; a
+    hit that is fast but different is a correctness bug, not a win.
+    """
+    direct = memo.get("direct_cold_s")
+    cold = memo.get("served_cold_s")
+    if direct is None or cold is None:
+        return []
+    problems: list[str] = []
+    limit = direct * (1.0 + tolerance) + 0.010
+    if cold > limit:
+        problems.append(
+            f"memo cold overhead: served {cold * 1e3:.2f} ms > limit "
+            f"{limit * 1e3:.2f} ms (direct {direct * 1e3:.2f} ms, "
+            f"tolerance {tolerance:.0%} + 10 ms grace)"
+        )
+    speedup = memo.get("warm_speedup")
+    if speedup is not None and speedup < min_speedup:
+        problems.append(
+            f"memo warm speedup: {speedup:.1f}x < required "
+            f"{min_speedup:.1f}x (cold {cold * 1e3:.2f} ms, warm "
+            f"{memo.get('served_warm_s', 0) * 1e3:.2f} ms)"
+        )
+    if memo.get("bitwise_equal") is False:
+        problems.append(
+            "memo warm grid is not bitwise-identical to the cold grid"
+        )
+    return problems
+
+
 def check_fig9(fig9: dict, min_speedup: float) -> list[str]:
     """The fast-path speedup bar, absolute against the frozen anchor.
 
@@ -163,6 +199,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fig9-min-speedup", type=float, default=5.0,
                         help="required cold-fig9 speedup over the frozen "
                         "pre-fast-path anchor (default 5.0)")
+    parser.add_argument("--memo-min-speedup", type=float, default=5.0,
+                        help="required 100%%-hit memo speedup over the "
+                        "cold serve leg (default 5.0)")
     args = parser.parse_args(argv)
 
     try:
@@ -171,6 +210,7 @@ def main(argv: list[str] | None = None) -> int:
         serve = load_section(args.current, "serve")
         cluster = load_section(args.current, "cluster")
         fig9 = load_section(args.current, "fig9_fast_path")
+        memo = load_section(args.current, "memo")
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -219,6 +259,20 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         print(f"{args.current}: no cluster section yet; cluster gate skipped")
+
+    if memo:
+        problems.extend(
+            check_memo(memo, args.tolerance, args.memo_min_speedup)
+        )
+        print(
+            f"memo: cold {memo.get('served_cold_s', 0) * 1e3:.2f} ms "
+            f"(direct {memo.get('direct_cold_s', 0) * 1e3:.2f} ms) -> "
+            f"warm {memo.get('served_warm_s', 0) * 1e3:.2f} ms "
+            f"({memo.get('warm_speedup', 0)}x, bitwise_equal="
+            f"{memo.get('bitwise_equal')})"
+        )
+    else:
+        print(f"{args.current}: no memo section yet; memo gate skipped")
 
     if fig9:
         problems.extend(check_fig9(fig9, args.fig9_min_speedup))

@@ -49,8 +49,10 @@ shard supervisor leases jobs through a ``WALJournal``
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
+import numbers
 import os
 import threading
 from typing import Iterable
@@ -58,6 +60,8 @@ from typing import Iterable
 from ..machine.simulator import SimResult
 
 __all__ = [
+    "canonical_number",
+    "canonical_fragment",
     "point_key",
     "grid_hash",
     "sim_result_to_dict",
@@ -73,13 +77,124 @@ _WAL_VERSION = 1
 #: the same (real) path shares one lock, so two instances appending to
 #: one file cannot interleave partial lines.
 _PATH_LOCKS: dict[str, threading.Lock] = {}
+#: Process-global per-path rotation epochs: ``rotate()`` bumps the
+#: epoch after ``os.replace`` swaps the inode under the live path, and
+#: every instance revalidates its append handle against it before the
+#: next write — a handle opened before someone else's rotation would
+#: otherwise keep appending to the unlinked old inode, silently losing
+#: every record it writes.
+_PATH_EPOCHS: dict[str, int] = {}
 _PATH_LOCKS_GUARD = threading.Lock()
 
 
+def _path_key(path: str) -> str:
+    return os.path.realpath(path)
+
+
 def _path_lock(path: str) -> threading.Lock:
-    key = os.path.realpath(path)
     with _PATH_LOCKS_GUARD:
-        return _PATH_LOCKS.setdefault(key, threading.Lock())
+        return _PATH_LOCKS.setdefault(_path_key(path), threading.Lock())
+
+
+def _path_epoch(path: str) -> int:
+    """The path's current rotation epoch (0 = never rotated)."""
+    with _PATH_LOCKS_GUARD:
+        return _PATH_EPOCHS.get(_path_key(path), 0)
+
+
+def _bump_path_epoch(path: str) -> int:
+    """Advance the rotation epoch; call while holding the path lock."""
+    with _PATH_LOCKS_GUARD:
+        key = _path_key(path)
+        _PATH_EPOCHS[key] = _PATH_EPOCHS.get(key, 0) + 1
+        return _PATH_EPOCHS[key]
+
+
+# ------------------------------------------------------------- canonical keys
+def canonical_number(x) -> str:
+    """repr-stable text for one number (cache-key material).
+
+    The invariant: **equal finite numbers always format identically**
+    — regardless of type — or identical configs hash to different
+    cache entries:
+
+    * ``-0.0``, ``0.0``, and ``0`` all collapse to ``"0"`` (they
+      compare equal);
+    * an integral-valued float formats as its exact integer (floats
+      convert to ``int`` exactly), so a float-typed thread count
+      (``2.0``), a NumPy scalar, and the plain-int twin ``2`` key
+      identically — and ``1e22`` spelled any way (``1e+22``,
+      ``10.0**22``) yields one string;
+    * non-integral floats go through ``repr`` of a genuine Python
+      ``float`` — shortest-roundtrip, NumPy scalars lose their
+      type-dependent ``repr``;
+    * integers (including NumPy integers) format via ``int``; bools
+      are kept distinct with ``true``/``false`` tokens;
+    * non-finite floats use fixed tokens (``nan``/``inf``/``-inf``).
+    """
+    if isinstance(x, bool):
+        return "true" if x else "false"
+    if isinstance(x, numbers.Integral):
+        return str(int(x))
+    x = float(x)
+    if x != x:
+        return "nan"
+    if x == float("inf"):
+        return "inf"
+    if x == float("-inf"):
+        return "-inf"
+    if x == 0.0:
+        return "0"
+    if x.is_integer():
+        return str(int(x))
+    return repr(x)
+
+
+def canonical_fragment(obj) -> str:
+    """Deterministic content text for a JSON-shaped object.
+
+    The invariants cache keys need:
+
+    * **dict-order invariance** — mappings serialize sorted by their
+      canonically encoded key, so insertion order can never split one
+      semantic config into two hashes;
+    * **repr-stable numbers** — every number routes through
+      :func:`canonical_number`;
+    * **unambiguous structure** — strings are JSON-quoted, sequence
+      types bracketed, dataclasses tagged with their class name, so no
+      two distinct values can collide by concatenation.
+
+    Sets serialize sorted by element encoding.  Anything else raises
+    ``TypeError`` — a cache key silently built from ``str(object)``
+    (identity-dependent ``repr``) would be a correctness bug.
+    """
+    if obj is None:
+        return "null"
+    if isinstance(obj, bool):
+        return canonical_number(obj)
+    if isinstance(obj, str):
+        return json.dumps(obj, ensure_ascii=True)
+    if isinstance(obj, (numbers.Integral, numbers.Real)):
+        return canonical_number(obj)
+    if isinstance(obj, (list, tuple)):
+        return "[" + ",".join(canonical_fragment(v) for v in obj) + "]"
+    if isinstance(obj, (set, frozenset)):
+        return "{" + ",".join(sorted(canonical_fragment(v) for v in obj)) + "}"
+    if isinstance(obj, dict):
+        items = sorted(
+            (canonical_fragment(k), canonical_fragment(v))
+            for k, v in obj.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)
+        }
+        return type(obj).__name__ + canonical_fragment(fields)
+    raise TypeError(
+        f"canonical_fragment: unsupported type {type(obj).__name__} "
+        f"(keys must be built from JSON-shaped content, not object repr)"
+    )
 
 
 def _fsync_dir(path: str) -> None:
@@ -187,15 +302,23 @@ def _valid_result_payload(r) -> bool:
 
 
 def point_key(p) -> str:
-    """Content key of one grid point (any GridPoint-shaped object)."""
+    """Content key of one grid point (any GridPoint-shaped object).
+
+    Numeric components route through :func:`canonical_number`, so a
+    point built from NumPy scalars (a sweep over ``np.arange``), a
+    float-typed thread count, or a ``-0.0`` that leaked into a domain
+    extent keys identically to its plain-int twin — the journal must
+    never recompute (or, worse, replay the wrong slot for) a point
+    because of number formatting.
+    """
     return "|".join(
         (
             p.variant.short_name,
             p.machine.name,
-            str(p.threads),
-            str(p.box_size),
-            "x".join(str(c) for c in p.domain_cells),
-            str(p.ncomp),
+            canonical_number(p.threads),
+            canonical_number(p.box_size),
+            "x".join(canonical_number(c) for c in p.domain_cells),
+            canonical_number(p.ncomp),
             p.engine,
         )
     )
@@ -254,6 +377,7 @@ class GridJournal:
             elif os.path.exists(self.path):
                 self._load()
             self._fh = open(self.path, "a", encoding="utf-8")
+            self._epoch = _path_epoch(self.path)
             needs_header = not self._entries and (
                 not resume or os.path.getsize(self.path) == 0
             )
@@ -285,14 +409,35 @@ class GridJournal:
                 payload,
             )
 
+    def _revalidate_handle(self) -> None:
+        """Reopen the append handle if another instance rotated the path.
+
+        Call while holding the path lock.  After a rotation by *any*
+        instance, every other instance's handle points at the unlinked
+        old inode — appending there loses records silently.  The
+        rotation epoch makes staleness visible: on mismatch, reopen at
+        the live path (append mode — whole lines land at EOF).
+        """
+        current = _path_epoch(self.path)
+        if current != self._epoch:
+            self._fh.close()
+            self._fh = open(self.path, "a", encoding="utf-8")
+            self._epoch = current
+
     def _write(self, rec: dict) -> None:
         line = json.dumps(rec) + "\n"
         with self._path_lock:
+            self._revalidate_handle()
             self._fh.write(line)
             self._fh.flush()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def epoch(self) -> int:
+        """Rotation epoch this instance's handle is valid for."""
+        return self._epoch
 
     def lookup(self, ghash: str, index: int, key: str) -> SimResult | None:
         """Replay a journaled result for this exact grid slot, if any."""
@@ -319,13 +464,41 @@ class GridJournal:
         fsync'd — a crash at any instant leaves either the old complete
         journal or the new complete journal on disk, never a mix and
         never an empty file.
+
+        Safe against concurrent instances on the same path: the whole
+        rotation — disk re-scan, snapshot write, ``os.replace``, epoch
+        bump, handle reopen — happens under the process-global per-path
+        lock, so a concurrent ``record``/``lookup``/``_load`` can never
+        observe the window between the replace and the reopen.  The
+        snapshot is the *union* of what is on disk and this instance's
+        entries (another instance may have appended records this one
+        never loaded — compacting from memory alone would drop them),
+        and the epoch bump tells every other instance to reopen its
+        now-stale append handle before its next write.
         """
         with self._lock, self._path_lock:
+            merged: dict[tuple[str, int], tuple[str, dict]] = {}
+            if os.path.exists(self.path):
+                disk_records, _, _ = _recover_jsonl(self.path)
+                for rec in disk_records:
+                    if "grid" not in rec:
+                        continue
+                    payload = rec.get("r")
+                    if payload is None or not _valid_result_payload(payload):
+                        continue
+                    try:
+                        index = int(rec["i"])
+                    except (KeyError, TypeError, ValueError):
+                        continue
+                    merged[(rec["grid"], index)] = (
+                        rec.get("key", ""), payload
+                    )
+            merged.update(self._entries)
             tmp = f"{self.path}.rotate"
             with open(tmp, "w", encoding="utf-8") as fh:
                 fh.write(json.dumps({"kind": "header", "version": _VERSION}))
                 fh.write("\n")
-                for (ghash, index), (key, payload) in self._entries.items():
+                for (ghash, index), (key, payload) in merged.items():
                     fh.write(json.dumps(
                         {"grid": ghash, "i": index, "key": key, "r": payload}
                     ))
@@ -335,6 +508,7 @@ class GridJournal:
             self._fh.close()
             os.replace(tmp, self.path)
             _fsync_dir(self.path)
+            self._epoch = _bump_path_epoch(self.path)
             self._fh = open(self.path, "a", encoding="utf-8")
 
     def close(self) -> None:
@@ -407,6 +581,7 @@ class WALJournal:
             else:
                 open(self.path, "w", encoding="utf-8").close()
             self._fh = open(self.path, "a", encoding="utf-8")
+            self._epoch = _path_epoch(self.path)
         if os.path.getsize(self.path) == 0:
             self.commit({"kind": "wal-header", "version": _WAL_VERSION})
 
@@ -415,6 +590,13 @@ class WALJournal:
         line = json.dumps(record, sort_keys=True) + "\n"
         with self._lock:
             with self._path_lock:
+                current = _path_epoch(self.path)
+                if current != self._epoch:
+                    # Another instance rotated the path: our handle
+                    # points at the unlinked old inode.  Reopen first.
+                    self._fh.close()
+                    self._fh = open(self.path, "a", encoding="utf-8")
+                    self._epoch = current
                 self._fh.write(line)
                 self._fh.flush()
                 if self.fsync:
@@ -427,6 +609,11 @@ class WALJournal:
         """Every committed record in commit order (header excluded)."""
         with self._lock:
             return list(self._records)
+
+    @property
+    def epoch(self) -> int:
+        """Rotation epoch this instance's handle is valid for."""
+        return self._epoch
 
     def __len__(self) -> int:
         with self._lock:
@@ -458,6 +645,7 @@ class WALJournal:
                 self._fh.close()
                 os.replace(tmp, self.path)
                 _fsync_dir(self.path)
+                self._epoch = _bump_path_epoch(self.path)
                 self._fh = open(self.path, "a", encoding="utf-8")
             self._records = snapshot
 

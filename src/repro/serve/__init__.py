@@ -16,16 +16,23 @@ closed* under load instead of degrading unpredictably:
 * :mod:`repro.serve.shards` — the crash-safe multi-process shard pool
   (``shards=N``): WAL-backed leases, heartbeat supervision, kill -9
   absorption, orphan-lease recovery;
+* :mod:`repro.serve.memo` — canonical content keys for every job kind
+  plus the persistent content-addressed :class:`MemoStore` (cache hits
+  bitwise-equal to cold execution, LRU byte-budget eviction), feeding
+  the service's single-flight request coalescing;
 * :mod:`repro.serve.chaos` — the seeded invariant-checked soak
   (``python -m repro.serve.chaos``; ``--shards --kill-rate`` arms
-  process chaos).
+  process chaos, ``--duplicate-rate --memo`` arms the coalescing mix).
 
 See ``docs/resilience.md`` for the breaker state diagram, the
-degradation ladder, the shard lifecycle, and the WAL record format.
+degradation ladder, the shard lifecycle, and the WAL record format;
+``docs/serving.md`` for key derivation, eviction, and the coalescing
+state machine.
 """
 
 from .breaker import CLOSED, HALF_OPEN, OPEN, STATE_CODES, CircuitBreaker
 from .budget import ByteBudget, process_rss_bytes
+from .memo import MemoStore, canonical_job_key, memo_bytes
 from .queue import BoundedPriorityQueue
 from .service import (
     JOB_KINDS,
@@ -60,6 +67,9 @@ __all__ = [
     "JobService",
     "Rejected",
     "serve_grid",
+    "MemoStore",
+    "canonical_job_key",
+    "memo_bytes",
     "Shard",
     "ShardPool",
     "LeaseUnavailable",

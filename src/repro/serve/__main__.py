@@ -65,6 +65,23 @@ def main(argv: list[str] | None = None) -> int:
         help="submit the grid as one job instead of one job per point",
     )
     parser.add_argument(
+        "--memo", default="",
+        help="content-addressed result cache: a JSONL path for a "
+             "persistent store, or 'mem' for in-memory",
+    )
+    parser.add_argument(
+        "--memo-bytes", type=int, default=None,
+        help="LRU byte budget for the memo store (requires --memo)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1,
+        help="serve the grid N times (repeats exercise memo hits)",
+    )
+    parser.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable single-flight coalescing of identical in-flight jobs",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="print the stats dict as JSON"
     )
     args = parser.parse_args(argv)
@@ -72,6 +89,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--shards must be >= 0, got {args.shards}")
     if args.shard_wal and args.shards == 0:
         parser.error("--shard-wal requires --shards >= 1")
+    if args.memo_bytes is not None and not args.memo:
+        parser.error("--memo-bytes requires --memo")
+    if args.repeat < 1:
+        parser.error(f"--repeat must be >= 1, got {args.repeat}")
 
     plan = None
     if args.chaos_seed is not None:
@@ -90,6 +111,11 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.chaos_seed or 0,
             shards=args.shards,
             wal=args.shard_wal or None,
+            memo=(
+                True if args.memo == "mem" else args.memo or None
+            ),
+            memo_limit_bytes=args.memo_bytes,
+            coalesce=not args.no_coalesce,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -97,7 +123,8 @@ def main(argv: list[str] | None = None) -> int:
     old_plan = set_fault_plan(plan) if plan is not None else None
     try:
         with service:
-            gr = serve_grid(points, service, batch=args.batch)
+            for _ in range(args.repeat):
+                gr = serve_grid(points, service, batch=args.batch)
     finally:
         if plan is not None:
             set_fault_plan(old_plan)
@@ -116,7 +143,7 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"  jobs: submitted={counts['submitted']} ok={counts['ok']} "
         f"shed={counts['shed']} degraded={counts['degraded']} "
-        f"failed={counts['failed']}"
+        f"failed={counts['failed']} coalesced={counts['coalesced']}"
     )
     print(f"  grid: {completed}/{len(points)} points completed")
     if stats["shed_reasons"]:
@@ -141,6 +168,20 @@ def main(argv: list[str] | None = None) -> int:
         )
     w = stats["workers"]
     print(f"  workers: active={w['active']} replaced={w['replaced']}")
+    if stats.get("memo"):
+        m = stats["memo"]
+        print(
+            f"  memo: entries={m['entries']} bytes={m['bytes']} "
+            f"hits={m['hits']} misses={m['misses']} "
+            f"evictions={m['evictions']}"
+        )
+    co = stats.get("coalesce") or {}
+    if co.get("coalesced") or co.get("promotions"):
+        print(
+            f"  coalesce: coalesced={co['coalesced']} "
+            f"promotions={co['promotions']} "
+            f"max_live_per_key={co['max_live_per_key']}"
+        )
     if stats.get("shards"):
         sh = stats["shards"]
         print(

@@ -15,6 +15,10 @@ Probes:
 * ``"rss"`` — current process resident set (``/proc/self/statm`` on
   Linux, ``ru_maxrss`` fallback elsewhere);
 * ``"arena+rss"`` — the sum;
+* ``"memo"`` — bytes pinned by every live
+  :class:`~repro.serve.memo.MemoStore` (cache growth competes with
+  admissions for the same ceiling);
+* ``"arena+memo"`` — arena plus memo bytes;
 * any callable returning bytes — tests and the chaos soak inject a
   controllable probe to produce deterministic budget pressure.
 
@@ -58,10 +62,20 @@ def _arena_bytes() -> int:
     return int(arena_stats()["bytes_pinned"])
 
 
+def _memo_bytes() -> int:
+    # Late import: memo imports nothing from budget, but keeping the
+    # probe lazy means `repro.serve.budget` stays importable alone.
+    from .memo import memo_bytes
+
+    return memo_bytes()
+
+
 _SOURCES: dict[str, Callable[[], int]] = {
     "arena": _arena_bytes,
     "rss": process_rss_bytes,
     "arena+rss": lambda: _arena_bytes() + process_rss_bytes(),
+    "memo": _memo_bytes,
+    "arena+memo": lambda: _arena_bytes() + _memo_bytes(),
 }
 
 

@@ -11,9 +11,9 @@ then asserts the four serving invariants:
    exited (abandoned workers included: they wake from their stall,
    discard their result, and leave);
 2. **the queue bound held** — ``high_water <= limit``, always;
-3. **exact accounting** — ``ok + shed + degraded + failed ==
-   submitted``: every job settled exactly once, nothing lost, nothing
-   double-counted;
+3. **exact accounting** — ``ok + shed + degraded + failed +
+   coalesced == submitted``: every job settled exactly once, nothing
+   lost, nothing double-counted;
 4. **breakers re-close** — once the fault budget is spent, probe
    traffic walks every tripped breaker open -> half-open -> closed.
 
@@ -30,6 +30,23 @@ asserts two more invariants over the write-ahead log:
    .replay_wal_state`) yields, for every settled ticket, the identical
    ``(status, reason, degraded_to)`` the in-memory ticket reported —
    the log alone is sufficient to survive a supervisor crash.
+
+**Coalescing chaos** (``--duplicate-rate R [--memo]``) rewrites the
+seeded stream so a fraction R of jobs repeat an earlier job's exact
+config (fresh label, fresh priority) — the millions-of-identical-users
+story — and asserts three more invariants:
+
+7. **single flight** — at most one live execution per canonical job
+   key, ever (``max_live_per_key <= 1``), even across leader failures
+   and promotions;
+8. **results bitwise equal** — every ``ok`` or ``coalesced`` outcome
+   for one canonical key encodes to the identical result payload:
+   cache hits and coalesced fan-outs are indistinguishable from cold
+   execution;
+9. **duplicates deduped** — with a duplicate-heavy mix (R >= 0.5) the
+   machinery actually bites: at least one job settled ``coalesced`` or
+   from a memo hit (exact accounting, invariant 3, already includes
+   the ``coalesced`` bucket).
 
 Everything is a pure function of ``--seed``: the job stream, the fault
 schedule, the kill schedule, the pressure window, and therefore the
@@ -56,6 +73,7 @@ from ..resilience.faults import FaultPlan, FaultSpec, inject_faults
 from ..schedules.base import Variant
 from .breaker import CLOSED
 from .budget import ByteBudget
+from .memo import canonical_job_key, encode_result
 from .service import JobService, JobSpec
 from .shards import replay_wal_state
 
@@ -137,6 +155,26 @@ def _job_stream(rng: random.Random, cases: int) -> list[JobSpec]:
     return specs
 
 
+def _duplicate_stream(
+    rng: random.Random, specs: list[JobSpec], duplicate_rate: float
+) -> list[JobSpec]:
+    """Rewrite ~``duplicate_rate`` of the stream as exact repeats.
+
+    A duplicate copies an earlier job's (kind, payload) — the canonical
+    key is therefore identical — under a fresh label and priority, so
+    fault plans and queue ordering still treat it as its own arrival.
+    """
+    out = list(specs)
+    for i in range(1, len(out)):
+        if rng.random() < duplicate_rate:
+            src = out[rng.randrange(i)]
+            out[i] = JobSpec(
+                src.kind, src.payload, priority=rng.randrange(3),
+                label=f"{src.label}~dup{i}",
+            )
+    return out
+
+
 def _fault_schedule(
     rng: random.Random,
     specs: list[JobSpec],
@@ -187,6 +225,8 @@ def run_soak(
     shards: int = 0,
     kill_rate: float = 0.0,
     wal_path: str = "",
+    duplicate_rate: float = 0.0,
+    memo: bool = False,
 ) -> SoakReport:
     """Run one seeded soak and evaluate the serving invariants.
 
@@ -197,9 +237,17 @@ def run_soak(
     shard-side job attempt is SIGKILLed with that probability, decided
     by a pure function of ``(seed, job, attempt)`` so the trajectory
     replays exactly.
+
+    ``duplicate_rate > 0`` rewrites that fraction of the stream as
+    exact config repeats and evaluates invariants 7-9 (single flight,
+    bitwise-equal results, duplicates deduped); ``memo=True`` fronts
+    the service with an in-memory :class:`~repro.serve.memo.MemoStore`
+    so repeats arriving after the original settled hit the cache.
     """
     rng = random.Random(seed)
     specs = _job_stream(rng, duration_cases)
+    if duplicate_rate > 0:
+        specs = _duplicate_stream(rng, specs, duplicate_rate)
     plan = _fault_schedule(rng, specs, fault_rate, hang_timeout_s)
     # Budget pressure: an injected probe the soak can squeeze — a
     # deterministic mid-stream window where every submission is over
@@ -233,6 +281,7 @@ def run_soak(
         shards=shards,
         wal=wal_file if shards > 0 else None,
         shard_faults=shard_faults,
+        memo=memo,
     )
     tickets = []
     with inject_faults(plan), service:
@@ -263,8 +312,17 @@ def run_soak(
             for key in sorted(service.breakers()):
                 machine_name, eng = key.rsplit(":", 1)
                 machine = next(m for m in _MACHINES if m.name == machine_name)
+                # Probes must reach the breaker, so each round uses a
+                # config no earlier job (and no earlier round) can have
+                # cached — a memo hit would settle without recording
+                # the success the re-close walk needs.  The stream only
+                # ever uses ncomp=5, so odd ncomp values are unique.
                 t = service.submit(JobSpec(
-                    eng, GridPoint(_VARIANTS[0], machine, 1, 16, engine=eng),
+                    eng,
+                    GridPoint(
+                        _VARIANTS[0], machine, 1, 16,
+                        ncomp=7 + probe_rounds, engine=eng,
+                    ),
                     label=f"probe{probe_rounds}.{key}",
                 ))
                 tickets.append(t)
@@ -302,6 +360,56 @@ def run_soak(
     report.invariants["breakers_reclosed"] = not open_breakers
     if open_breakers:
         report.violations.append(f"breakers still tripped: {open_breakers}")
+
+    if duplicate_rate > 0 or memo:
+        co = stats["coalesce"]
+        report.invariants["single_flight"] = co["max_live_per_key"] <= 1
+        if co["max_live_per_key"] > 1:
+            report.violations.append(
+                f"single-flight violated: {co['max_live_per_key']} live "
+                f"executions observed for one canonical key"
+            )
+
+        # Bitwise equality: every successful outcome for one canonical
+        # key — cold execution, memo hit, coalesced fan-out — must
+        # encode to the identical result payload.  Coalesced outcomes
+        # mirroring a *degraded* leader (degraded_to set) are excluded
+        # exactly as degraded outcomes are: a ladder fallback value is
+        # not the canonical result for the key.
+        groups: dict[str, set] = {}
+        for t in tickets:
+            if not t.done():
+                continue
+            out = t.result(timeout=0.0)
+            if out.status not in ("ok", "coalesced") or out.degraded_to:
+                continue
+            try:
+                key = canonical_job_key(t.spec)
+            except TypeError:
+                continue
+            enc = encode_result(t.spec.kind, out.value)
+            if enc is None:
+                continue  # no JSON codec (cluster steps)
+            groups.setdefault(key, set()).add(
+                json.dumps(enc, sort_keys=True)
+            )
+        diverged = sorted(k for k, vals in groups.items() if len(vals) > 1)
+        report.invariants["results_bitwise_equal"] = not diverged
+        if diverged:
+            report.violations.append(
+                f"{len(diverged)} canonical key(s) produced non-identical "
+                f"results: {diverged[:3]}"
+            )
+
+        if duplicate_rate >= 0.5:
+            memo_hits = (stats["memo"] or {}).get("hits", 0)
+            deduped = stats["counts"]["coalesced"] + memo_hits
+            report.invariants["duplicates_deduped"] = deduped >= 1
+            if deduped < 1:
+                report.violations.append(
+                    f"duplicate-heavy mix (rate={duplicate_rate}) never "
+                    "coalesced or hit the cache: the chaos did not bite"
+                )
 
     if shards > 0:
         # Fold the WAL exactly as a restarted supervisor would: the
@@ -377,10 +485,23 @@ def main(argv: list[str] | None = None) -> int:
         help="write-ahead log path (default: a temp file when --shards)",
     )
     parser.add_argument(
+        "--duplicate-rate", type=float, default=0.0,
+        help="fraction of the stream rewritten as exact config repeats "
+             "(arms invariants 7-9)",
+    )
+    parser.add_argument(
+        "--memo", action="store_true",
+        help="front the service with an in-memory memo store",
+    )
+    parser.add_argument(
         "--metrics-out", default="",
         help="write the obs metrics snapshot + soak report JSON here",
     )
     args = parser.parse_args(argv)
+    if not 0.0 <= args.duplicate_rate <= 1.0:
+        parser.error(
+            f"--duplicate-rate must be in [0, 1], got {args.duplicate_rate}"
+        )
     if args.shards < 0:
         parser.error(f"--shards must be >= 0, got {args.shards}")
     if args.shards == 0 and (args.kill_rate > 0 or args.wal):
@@ -395,6 +516,8 @@ def main(argv: list[str] | None = None) -> int:
         shards=args.shards,
         kill_rate=args.kill_rate,
         wal_path=args.wal,
+        duplicate_rate=args.duplicate_rate,
+        memo=args.memo,
     )
     payload = {
         "report": report.to_dict(),
@@ -408,9 +531,20 @@ def main(argv: list[str] | None = None) -> int:
         f"chaos soak seed={report.seed} cases={report.cases}: "
         f"submitted={counts['submitted']} ok={counts['ok']} "
         f"shed={counts['shed']} degraded={counts['degraded']} "
-        f"failed={counts['failed']} "
+        f"failed={counts['failed']} coalesced={counts['coalesced']} "
         f"replaced_workers={report.stats['workers']['replaced']}"
     )
+    co = report.stats.get("coalesce") or {}
+    ms = report.stats.get("memo")
+    if co.get("coalesced") or co.get("promotions") or ms:
+        hits = (ms or {}).get("hits", 0)
+        misses = (ms or {}).get("misses", 0)
+        print(
+            f"  coalesce: coalesced={co.get('coalesced', 0)} "
+            f"promotions={co.get('promotions', 0)} "
+            f"max_live_per_key={co.get('max_live_per_key', 0)} "
+            f"memo_hits={hits} memo_misses={misses}"
+        )
     sh = report.stats.get("shards")
     if sh:
         wal = report.stats.get("wal", {})

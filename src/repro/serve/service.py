@@ -34,9 +34,22 @@ that *fails closed* under load (see ``docs/resilience.md``):
   and every settle is durable — ticket state is reconstructible from
   the log alone after a supervisor crash.
 
+* **Memoization + coalescing** (``memo=...``, ``coalesce=True``) —
+  every job kind has a canonical content hash
+  (:func:`~repro.serve.memo.canonical_job_key`); a
+  :class:`~repro.serve.memo.MemoStore` settles repeat configs from
+  cache bitwise-identically to cold execution, and a single-flight
+  table guarantees at most one live execution per key: duplicate jobs
+  arriving while a leader executes park as waiters and settle
+  ``coalesced`` from the leader's result.  Waiters keep their own
+  deadlines (an expired waiter sheds without touching the leader), and
+  a failed or shed leader *promotes* the next waiter instead of
+  failing the fan-out.
+
 Accounting is exact and is the chaos soak's core invariant: every
-submitted job settles exactly once as accepted, shed, degraded, or
-failed — ``accepted + shed + degraded + failed == submitted``.
+submitted job settles exactly once as accepted, shed, degraded,
+failed, or coalesced —
+``accepted + shed + degraded + failed + coalesced == submitted``.
 """
 
 from __future__ import annotations
@@ -76,6 +89,7 @@ from ..resilience.retry import (
 from ..resilience.watchdog import HeartbeatMonitor, is_finite_result
 from .breaker import STATE_CODES, CircuitBreaker
 from .budget import ByteBudget
+from .memo import MemoStore, canonical_job_key
 from .queue import BoundedPriorityQueue
 from .shards import ShardOverBudget, ShardPool
 
@@ -92,8 +106,8 @@ __all__ = [
 #: Work the service knows how to execute.
 JOB_KINDS = ("estimate", "simulate", "grid", "verify", "cluster")
 
-#: Outcome statuses (the four accounting buckets).
-STATUSES = ("ok", "shed", "degraded", "failed")
+#: Outcome statuses (the five accounting buckets).
+STATUSES = ("ok", "shed", "degraded", "failed", "coalesced")
 
 #: Default engine retry policy: one fast retry, bounded backoff.
 DEFAULT_SERVE_POLICY = RetryPolicy(
@@ -129,12 +143,15 @@ class Rejected:
 class JobOutcome:
     """How one job settled — exactly one per submitted job."""
 
-    status: str  # "ok" | "shed" | "degraded" | "failed"
+    status: str  # "ok" | "shed" | "degraded" | "failed" | "coalesced"
     value: object = None
     reason: str = ""
     degraded_to: str | None = None  # "estimate" | "journal" | None
     failures: list[TaskFailure] = field(default_factory=list)
     elapsed_s: float = 0.0
+    #: True when the value was replayed from the memo store (an ``ok``
+    #: outcome bitwise-identical to the cold execution it replaced).
+    cached: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -143,6 +160,7 @@ class JobOutcome:
             "degraded_to": self.degraded_to,
             "failures": [f.to_dict() for f in self.failures],
             "elapsed_s": self.elapsed_s,
+            "cached": self.cached,
         }
 
 
@@ -154,6 +172,9 @@ class JobTicket:
         self.spec = spec
         self.deadline_at = deadline_at
         self.label = spec.label or f"{spec.kind}[{seq}]"
+        #: Canonical content hash, stamped at dequeue (None until then,
+        #: and stays None for payloads with no canonical encoding).
+        self.memo_key: str | None = None
         self._settled = threading.Event()
         self._lock = threading.Lock()
         self._outcome: JobOutcome | None = None
@@ -195,6 +216,25 @@ class _ShedJob(BaseException):
         self.detail = detail
 
 
+class _Flight:
+    """One in-flight canonical key: the executing leader + its waiters.
+
+    ``executing`` is True only while the leader's worker is actually
+    running the job — the window between a failed leader's settle and
+    its promoted successor's re-dequeue has no live execution, which is
+    exactly what the single-flight invariant (``max_live_per_key <=
+    1``) measures.
+    """
+
+    __slots__ = ("key", "leader", "waiters", "executing")
+
+    def __init__(self, key: str, leader: "JobTicket"):
+        self.key = key
+        self.leader = leader
+        self.waiters: list[JobTicket] = []
+        self.executing = False
+
+
 class _Worker:
     """One dedicated worker thread's bookkeeping."""
 
@@ -230,6 +270,10 @@ class JobService:
         shard_faults: dict | None = None,
         shard_heartbeat_timeout_s: float = 5.0,
         shard_byte_budget: int | None = None,
+        memo: MemoStore | str | bool | None = None,
+        memo_limit_bytes: int | None = None,
+        coalesce: bool = True,
+        clock=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -253,6 +297,25 @@ class JobService:
         self.shard_heartbeat_timeout_s = float(shard_heartbeat_timeout_s)
         self.shard_byte_budget = shard_byte_budget
         self._shards: ShardPool | None = None
+        # Content-addressed memoization + single-flight coalescing.
+        # ``memo`` accepts a live store, a path (owned persistent
+        # store), or True (owned in-memory store).  ``clock`` is the
+        # monotonic time source for every deadline decision — tests
+        # inject a fake to drive waiter expiry deterministically.
+        self._owns_memo = isinstance(memo, (str, bool))
+        if isinstance(memo, str):
+            memo = MemoStore(path=memo, limit_bytes=memo_limit_bytes)
+        elif memo is True:
+            memo = MemoStore(limit_bytes=memo_limit_bytes)
+        elif memo is False:
+            memo = None
+        self._memo: MemoStore | None = memo
+        self._coalesce = bool(coalesce)
+        self._clock = clock if clock is not None else time.monotonic
+        self._flights: dict[str, _Flight] = {}
+        self._live_keys: dict[str, int] = {}
+        self.max_live_per_key = 0
+        self.promotions = 0
         self._breaker_kw = dict(
             failure_threshold=breaker_threshold,
             recovery_after=breaker_recovery_after,
@@ -276,7 +339,7 @@ class JobService:
         self._stopping = False
         # Exact accounting (the chaos invariants read these).
         self.counts = {"submitted": 0, "ok": 0, "shed": 0, "degraded": 0,
-                       "failed": 0}
+                       "failed": 0, "coalesced": 0}
         self.shed_reasons: dict[str, int] = {}
         self.degraded_to: dict[str, int] = {}
         self.workers_replaced = 0
@@ -329,6 +392,7 @@ class JobService:
             if t is self._supervisor:
                 continue
             t.join(max(0.0, deadline - time.monotonic()))
+        self._flush_flights()
         self._stop_event.set()
         if self._supervisor is not None:
             self._supervisor.join(max(0.0, deadline - time.monotonic()))
@@ -337,6 +401,8 @@ class JobService:
         self._publish_gauges()
         if self._owns_wal and self.wal is not None:
             self.wal.close()
+        if self._owns_memo and self._memo is not None:
+            self._memo.close()
 
     def __enter__(self) -> "JobService":
         return self.start()
@@ -352,7 +418,7 @@ class JobService:
         the work — callers always get a structured outcome.
         """
         seq = next(self._seq)
-        now = time.monotonic()
+        now = self._clock()
         deadline_s = (
             spec.deadline_s if spec.deadline_s is not None
             else self.default_deadline_s
@@ -415,6 +481,11 @@ class JobService:
                 "serve.shed", seq=ticket.seq, label=ticket.label,
                 reason=outcome.reason,
             )
+        # Single choke point for flight transitions: *every* settle —
+        # worker, admission shed, supervisor abandonment, shutdown —
+        # flows through here, so a settled leader always releases (or
+        # promotes) its flight and a settled waiter always leaves it.
+        self._after_settle(ticket, outcome)
         return True
 
     # ---------------------------------------------------------------- workers
@@ -456,8 +527,28 @@ class JobService:
 
     def _run_job(self, job: JobTicket, worker: _Worker) -> None:
         start = time.perf_counter()
-        if job.deadline_at is not None and time.monotonic() >= job.deadline_at:
+        if job.deadline_at is not None and self._clock() >= job.deadline_at:
             self._shed(job, "deadline", "expired before execution")
+            return
+        key = self._memo_key(job)
+        if key is not None and self._memo is not None:
+            cached = self._memo.get(key)
+            if cached is not None:
+                _trace.add_event(
+                    "serve.memo_hit", seq=job.seq, label=job.label, key=key
+                )
+                outcome = JobOutcome("ok", value=cached, cached=True)
+                outcome.elapsed_s = time.perf_counter() - start
+                self._settle(job, outcome)
+                return
+        if key is not None and self._coalesce and not self._lead_flight(job, key):
+            # Parked behind the executing leader: the worker moves on,
+            # and the leader's settle (or a promotion) settles this
+            # ticket.  The supervisor sheds it if its deadline expires
+            # first.
+            _trace.add_event(
+                "serve.coalesced_wait", seq=job.seq, label=job.label, key=key
+            )
             return
         try:
             with _trace.span(
@@ -479,6 +570,134 @@ class JobService:
         outcome.elapsed_s = time.perf_counter() - start
         self._settle(job, outcome)
 
+    # ------------------------------------------------------ memo + coalescing
+    def _memo_key(self, job: JobTicket) -> str | None:
+        """The job's canonical content hash, or None if not memoizable."""
+        if self._memo is None and not self._coalesce:
+            return None
+        if job.memo_key is None:
+            try:
+                job.memo_key = canonical_job_key(job.spec)
+            except (TypeError, ValueError):
+                return None
+        return job.memo_key
+
+    def _lead_flight(self, job: JobTicket, key: str) -> bool:
+        """Join the key's flight; True means this job executes (leads)."""
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight(key, job)
+                self._flights[key] = flight
+            elif flight.leader is not job:
+                flight.waiters.append(job)
+                return False
+            flight.executing = True
+            live = self._live_keys.get(key, 0) + 1
+            self._live_keys[key] = live
+            if live > self.max_live_per_key:
+                self.max_live_per_key = live
+            return True
+
+    def _after_settle(self, ticket: JobTicket, outcome: JobOutcome) -> None:
+        """Flight + memo transitions after one ticket settled.
+
+        A settled waiter leaves its flight.  A settled leader releases
+        the flight: success fans the value out to every waiter (settled
+        ``coalesced``, each exactly once); failure or shed *promotes*
+        the next live waiter to leader and re-enqueues it.  Fresh
+        ``ok`` values are written through to the memo store.
+        """
+        key = ticket.memo_key
+        if key is None:
+            return
+        if (
+            outcome.status == "ok"
+            and not outcome.cached
+            and self._memo is not None
+        ):
+            self._memo.put(key, ticket.spec.kind, outcome.value)
+        settle_waiters: list[JobTicket] = []
+        promoted: JobTicket | None = None
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                return
+            if ticket is not flight.leader:
+                try:
+                    flight.waiters.remove(ticket)
+                except ValueError:
+                    pass
+                return
+            if flight.executing:
+                flight.executing = False
+                live = self._live_keys.get(key, 1) - 1
+                if live <= 0:
+                    self._live_keys.pop(key, None)
+                else:
+                    self._live_keys[key] = live
+            if outcome.status in ("ok", "degraded"):
+                del self._flights[key]
+                settle_waiters = [w for w in flight.waiters if not w.done()]
+                flight.waiters = []
+            else:
+                while flight.waiters:
+                    w = flight.waiters.pop(0)
+                    if w.done():
+                        continue
+                    flight.leader = w
+                    promoted = w
+                    self.promotions += 1
+                    break
+                else:
+                    del self._flights[key]
+        for w in settle_waiters:
+            self._settle(w, JobOutcome(
+                "coalesced", value=outcome.value, reason="coalesced",
+                degraded_to=outcome.degraded_to,
+            ))
+        if promoted is not None:
+            _trace.add_event(
+                "serve.flight_promoted", seq=promoted.seq,
+                label=promoted.label, key=key,
+            )
+            self._registry.counter_inc("serve.flight.promotions")
+            if not self._queue.offer(promoted, priority=promoted.spec.priority):
+                # Re-enqueue refused (full or closed): shed the promoted
+                # leader — its settle recurses here and promotes the
+                # next waiter, so the cascade drains the whole flight.
+                self._shed(promoted, "queue_full", "promotion re-enqueue refused")
+
+    def _expire_waiters(self) -> None:
+        """Shed parked waiters whose deadlines lapsed (supervisor tick).
+
+        The leader and the other waiters are untouched; the settle-once
+        ticket guard makes a lost race with the leader's fan-out
+        harmless.
+        """
+        now = self._clock()
+        with self._lock:
+            expired = [
+                w
+                for flight in self._flights.values()
+                for w in flight.waiters
+                if w.deadline_at is not None and now >= w.deadline_at
+                and not w.done()
+            ]
+        for w in expired:
+            self._shed(w, "deadline", "expired while coalesced behind a leader")
+
+    def _flush_flights(self) -> None:
+        """Settle anything still parked in a flight at shutdown."""
+        with self._lock:
+            flights = list(self._flights.values())
+            self._flights.clear()
+            self._live_keys.clear()
+        for flight in flights:
+            for w in (flight.leader, *flight.waiters):
+                if not w.done():
+                    self._shed(w, "shutdown", "flight abandoned at shutdown")
+
     # -------------------------------------------------------------- execution
     def _execute(self, job: JobTicket) -> JobOutcome:
         kind = job.spec.kind
@@ -493,7 +712,7 @@ class JobService:
     def _remaining_s(self, job: JobTicket) -> float | None:
         if job.deadline_at is None:
             return None
-        return job.deadline_at - time.monotonic()
+        return job.deadline_at - self._clock()
 
     def _check_deadline(self, job: JobTicket) -> None:
         remaining = self._remaining_s(job)
@@ -547,7 +766,7 @@ class JobService:
         except WorkerLost as exc:  # LeaseUnavailable subclasses WorkerLost
             if (
                 job.deadline_at is not None
-                and time.monotonic() >= job.deadline_at
+                and self._clock() >= job.deadline_at
             ):
                 # The deadline expired *while the shard was being
                 # replaced* — the job never got to run to completion,
@@ -823,6 +1042,7 @@ class JobService:
     def _supervise_loop(self) -> None:
         while not self._stop_event.wait(self.supervise_interval_s):
             self._check_hung()
+            self._expire_waiters()
             self._publish_gauges()
 
     def _check_hung(self) -> None:
@@ -873,6 +1093,10 @@ class JobService:
         for br in breakers:
             reg.gauge_set(f"serve.breaker.{br.key}.state", br.state_code)
         reg.gauge_set("serve.workers.active", float(active))
+        if self._memo is not None:
+            ms = self._memo.stats()
+            reg.gauge_set("serve.memo.bytes", float(ms["bytes"]))
+            reg.gauge_set("serve.memo.entries", float(ms["entries"]))
         reg.gauge_set(
             "serve.pool.threads_alive",
             float(shared_pool_stats()["threads_alive"]),
@@ -896,7 +1120,10 @@ class JobService:
         """The core invariant: every submitted job settled exactly once."""
         with self._lock:
             c = dict(self.counts)
-        return c["ok"] + c["shed"] + c["degraded"] + c["failed"] == c["submitted"]
+        settled = (
+            c["ok"] + c["shed"] + c["degraded"] + c["failed"] + c["coalesced"]
+        )
+        return settled == c["submitted"]
 
     def stats(self) -> dict:
         with self._lock:
@@ -906,6 +1133,10 @@ class JobService:
             replaced = self.workers_replaced
             active = len(self._active)
             breakers = {k: b.to_dict() for k, b in self._breakers.items()}
+            flights = len(self._flights)
+            parked = sum(len(f.waiters) for f in self._flights.values())
+            promotions = self.promotions
+            max_live = self.max_live_per_key
         return {
             "counts": counts,
             "shed_reasons": shed_reasons,
@@ -922,9 +1153,19 @@ class JobService:
             "shards": (
                 None if self._shards is None else self._shards.stats()
             ),
+            "memo": None if self._memo is None else self._memo.stats(),
+            "coalesce": {
+                "enabled": self._coalesce,
+                "flights": flights,
+                "parked": parked,
+                "coalesced": counts["coalesced"],
+                "promotions": promotions,
+                "max_live_per_key": max_live,
+            },
             "accounted": (
                 counts["ok"] + counts["shed"] + counts["degraded"]
-                + counts["failed"] == counts["submitted"]
+                + counts["failed"] + counts["coalesced"]
+                == counts["submitted"]
             ),
         }
 
@@ -999,7 +1240,9 @@ def serve_grid(
     for ticket in tickets:
         out = ticket.result(timeout=timeout)
         failures.extend(out.failures)
-        if out.status in ("ok", "degraded") and isinstance(out.value, SimResult):
+        if out.status in ("ok", "degraded", "coalesced") and isinstance(
+            out.value, SimResult
+        ):
             results.append(out.value)
             degraded = degraded or out.status == "degraded"
         else:

@@ -1,4 +1,4 @@
-"""The six differential check families.
+"""The seven differential check families.
 
 Every check takes a :class:`~repro.verify.config.VerifyConfig` and
 returns a list of failure messages — empty means the config passed.
@@ -36,6 +36,17 @@ Families
     stack-distance cache model matches the fully-associative LRU
     simulator exactly (misses *and* writebacks) with set-associative
     conflict misses bounded by tolerance.
+``memo``
+    The content-addressed serving cache (:mod:`repro.serve.memo`) is
+    sound on config-shaped problems: canonical job keys are stable
+    across reconstruction and distinct across config changes; a cache
+    hit — in-memory, resumed from disk, or served through a
+    :class:`~repro.serve.service.JobService` — is bitwise-equal to the
+    cold execution under the config's substrate-toggle combination;
+    and a coalesced duplicate fan-out under a seeded fault plan keeps
+    exact accounting (``ok + shed + degraded + failed + coalesced ==
+    submitted``), at most one live execution per key, and
+    bitwise-identical fan-out values.
 ``cluster``
     The distributed-memory scaling model (:mod:`repro.cluster`) obeys
     its structural invariants on config-shaped geometries: every rank
@@ -98,6 +109,7 @@ __all__ = [
     "check_metamorphic",
     "check_fast_path",
     "check_cluster",
+    "check_memo",
 ]
 
 #: Relative time tolerance for uniform phases, where the closed form is
@@ -865,6 +877,188 @@ def _cluster_latency_monotone(config: VerifyConfig) -> list[str]:
     return failures
 
 
+# ------------------------------------------------------------------ family 7
+def check_memo(config: VerifyConfig) -> list[str]:
+    """The serving cache + coalescing layer is sound on this config."""
+    failures: list[str] = []
+    failures += _memo_key_stability(config)
+    failures += _memo_bitwise_hits(config)
+    failures += _memo_coalesced_accounting(config)
+    return failures
+
+
+def _memo_points(config: VerifyConfig):
+    """Config-shaped GridPoints (at most two variants keep cases fast)."""
+    from ..bench.runner import GridPoint
+
+    machine = machine_by_name(config.machine)
+    return [
+        GridPoint(
+            v, machine, config.threads, config.box_size,
+            config.domain_cells, ncomp=config.ncomp,
+        )
+        for v in _applicable_variants(config)[:2]
+    ]
+
+
+def _memo_key_stability(config: VerifyConfig) -> list[str]:
+    """Keys are stable across reconstruction, distinct across content."""
+    import dataclasses
+
+    from ..serve.memo import canonical_job_key
+
+    failures: list[str] = []
+    for p in _memo_points(config):
+        k1 = canonical_job_key("estimate", p)
+        k2 = canonical_job_key("estimate", dataclasses.replace(p))
+        if k1 != k2:
+            failures.append(
+                f"memo: key unstable across reconstruction for "
+                f"{p.variant.short_name}: {k1} != {k2}"
+            )
+        bumped = canonical_job_key(
+            "estimate", dataclasses.replace(p, ncomp=p.ncomp + 1)
+        )
+        if bumped == k1:
+            failures.append(
+                f"memo: ncomp change did not change the key for "
+                f"{p.variant.short_name}"
+            )
+        if canonical_job_key("simulate", p) == k1:
+            failures.append(
+                f"memo: engine kind not part of the key for "
+                f"{p.variant.short_name}"
+            )
+    return failures
+
+
+def _memo_bitwise_hits(config: VerifyConfig) -> list[str]:
+    """In-memory, disk-resumed, and served hits equal cold execution."""
+    import os
+    import tempfile
+
+    from ..resilience.journal import sim_result_to_dict
+    from ..serve.memo import MemoStore, canonical_job_key
+
+    failures: list[str] = []
+    points = _memo_points(config)
+    if not points:
+        return failures
+    with ExitStack() as stack:
+        _toggles(stack, config)
+        cold = {
+            canonical_job_key("estimate", p): (p, p.evaluate())
+            for p in points
+        }
+    with tempfile.TemporaryDirectory(prefix="repro-verify-memo-") as tmp:
+        path = os.path.join(tmp, "memo.jsonl")
+        store = MemoStore(path=path)
+        for key, (p, r) in cold.items():
+            store.put(key, "estimate", r)
+        for key, (p, r) in cold.items():
+            hit = store.get(key)
+            if hit is None or sim_result_to_dict(hit) != sim_result_to_dict(r):
+                failures.append(
+                    f"memo: in-memory hit not bitwise-equal to cold "
+                    f"execution for {p.variant.short_name} "
+                    f"({config.label()})"
+                )
+        store.close()
+        resumed = MemoStore(path=path)
+        for key, (p, r) in cold.items():
+            hit = resumed.get(key)
+            if hit is None or sim_result_to_dict(hit) != sim_result_to_dict(r):
+                failures.append(
+                    f"memo: disk-resumed hit not bitwise-equal to cold "
+                    f"execution for {p.variant.short_name} "
+                    f"({config.label()})"
+                )
+        resumed.close()
+    return failures
+
+
+def _memo_coalesced_accounting(config: VerifyConfig) -> list[str]:
+    """A duplicate fan-out under seeded faults settles exactly once each.
+
+    The first attempt of the leader stalls (so duplicates genuinely
+    pile up behind it) and one seeded raise forces a retry; whatever
+    the interleaving, accounting stays exact, at most one execution per
+    key is ever live, and every successful settle carries the identical
+    result.
+    """
+    from ..resilience.faults import FaultPlan, FaultSpec, inject_faults
+    from ..resilience.journal import sim_result_to_dict
+    from ..serve.service import JobService, JobSpec
+
+    failures: list[str] = []
+    points = _memo_points(config)
+    if not points:
+        return failures
+    point = points[0]
+    fanout = 6
+    label = f"memo.{config.data_seed % 1000}"
+    plan = FaultPlan([
+        FaultSpec(
+            scope="serve", mode="stall", label=f"{label}|", stall_s=0.05,
+            count=1,
+        ),
+        FaultSpec(
+            scope="serve", mode="raise", label=f"{label}|", count=1,
+        ),
+    ])
+    with ExitStack() as stack:
+        _toggles(stack, config)
+        with inject_faults(plan), JobService(workers=2, memo=True) as svc:
+            tickets = [
+                svc.submit(JobSpec("estimate", point, label=label))
+                for _ in range(fanout)
+            ]
+            outs = [t.result(timeout=60.0) for t in tickets]
+            stats = svc.stats()
+    counts = stats["counts"]
+    if not stats["accounted"]:
+        failures.append(
+            f"memo: coalesced fan-out accounting inexact: {counts} "
+            f"({config.label()})"
+        )
+    if counts["submitted"] != fanout:
+        failures.append(
+            f"memo: expected {fanout} submissions, counted "
+            f"{counts['submitted']}"
+        )
+    if stats["coalesce"]["max_live_per_key"] > 1:
+        failures.append(
+            f"memo: single-flight violated "
+            f"({stats['coalesce']['max_live_per_key']} live executions "
+            f"for one key, {config.label()})"
+        )
+    encodings = {
+        json_dumps_sorted(sim_result_to_dict(o.value))
+        for o in outs
+        if o.status in ("ok", "coalesced") and not o.degraded_to
+    }
+    if len(encodings) > 1:
+        failures.append(
+            f"memo: fan-out produced {len(encodings)} distinct results "
+            f"for one canonical key ({config.label()})"
+        )
+    settled = sum(
+        counts[s] for s in ("ok", "shed", "degraded", "failed", "coalesced")
+    )
+    if settled != counts["submitted"]:
+        failures.append(
+            f"memo: settle count {settled} != submitted "
+            f"{counts['submitted']} ({config.label()})"
+        )
+    return failures
+
+
+def json_dumps_sorted(d: dict) -> str:
+    import json
+
+    return json.dumps(d, sort_keys=True)
+
+
 _FAMILY_CHECKS = {
     "bitwise": check_bitwise,
     "engines": check_engines,
@@ -872,4 +1066,5 @@ _FAMILY_CHECKS = {
     "metamorphic": check_metamorphic,
     "fast_path": check_fast_path,
     "cluster": check_cluster,
+    "memo": check_memo,
 }

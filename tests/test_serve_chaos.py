@@ -26,6 +26,7 @@ def test_soak_invariants_hold(seed):
     counts = report.stats["counts"]
     total = (
         counts["ok"] + counts["shed"] + counts["degraded"] + counts["failed"]
+        + counts["coalesced"]
     )
     assert total == counts["submitted"]
 

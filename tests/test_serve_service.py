@@ -97,6 +97,7 @@ class TestHappyPath:
         assert svc.accounted()
         assert svc.stats()["counts"] == {
             "submitted": 6, "ok": 6, "shed": 0, "degraded": 0, "failed": 0,
+            "coalesced": 0,
         }
 
     def test_unknown_kind_rejected_at_spec(self):
