@@ -221,10 +221,18 @@ def _serve_overhead() -> dict:
     a pickle round-trip over the pipe, and a ticket settle.  Process
     isolation is allowed a wider bar (10% + 20 ms): it buys kill -9
     survival, and the children fork warm so the tax is pure transport.
+
+    The adaptive measurement re-serves the same batch with the full
+    overload-control loop armed — AIMD limiter, latency tracking, retry
+    budgets, hedging — but *idle* (an unreachable SLO, no faults, no
+    stragglers).  An idle limiter is pure bookkeeping per job: it must
+    fit the same thin-front envelope as the plain served path (5% +
+    10 ms), so turning adaptive control on costs nothing until it has
+    overload to control.
     """
     from repro.bench.experiments import scaling_grid_points
     from repro.bench.runner import run_grid
-    from repro.serve import JobService, serve_grid
+    from repro.serve import AdaptiveConfig, JobService, serve_grid
 
     points = scaling_grid_points("fig2")
     run_grid(points)  # prime the caches both paths share
@@ -241,6 +249,16 @@ def _serve_overhead() -> dict:
     direct_s = best_of(lambda: run_grid(points))
     with JobService(workers=2, queue_limit=64) as svc:
         served_s = best_of(lambda: serve_grid(points, svc, batch=True))
+    adaptive = AdaptiveConfig(
+        slo_ms=3_600_000.0, retry_budget_ratio=0.5, hedge=True,
+    )
+    with JobService(
+        workers=2, queue_limit=64, adaptive=adaptive,
+    ) as svc:
+        served_adaptive_s = best_of(
+            lambda: serve_grid(points, svc, batch=True)
+        )
+        adaptive_stats = svc.stats()["adaptive"]
     with JobService(workers=2, queue_limit=64, shards=2) as svc:
         served_shards_s = best_of(
             lambda: serve_grid(points, svc, batch=False)
@@ -250,6 +268,18 @@ def _serve_overhead() -> dict:
         "direct_run_grid_s": round(direct_s, 6),
         "served_batch_s": round(served_s, 6),
         "overhead_ratio": round(served_s / direct_s, 4),
+        "served_adaptive_s": round(served_adaptive_s, 6),
+        "adaptive_overhead_ratio": round(served_adaptive_s / direct_s, 4),
+        # The loop must have been armed yet idle: no backoffs, no
+        # hedges, no budget spends — the measured tax is bookkeeping.
+        "adaptive_idle": (
+            adaptive_stats["limiter"]["backoffs"] == 0
+            and adaptive_stats["hedges"]["launched"] == 0
+            and all(
+                b["spent"] == 0
+                for b in adaptive_stats["retry_budgets"].values()
+            )
+        ),
         "served_shards_s": round(served_shards_s, 6),
         "shards_overhead_ratio": round(served_shards_s / direct_s, 4),
     }
@@ -461,6 +491,12 @@ def test_harness_overhead():
     assert serve["served_batch_s"] <= (
         serve["direct_run_grid_s"] * 1.05 + 0.010
     ), serve
+    # An armed-but-idle adaptive loop (limiter + budgets + hedging with
+    # nothing to do) pays the same thin-front bar as the plain path.
+    assert serve["served_adaptive_s"] <= (
+        serve["direct_run_grid_s"] * 1.05 + 0.010
+    ), serve
+    assert serve["adaptive_idle"], serve
     # Process isolation gets a wider bar — 10% + 20 ms — covering the
     # per-point pickle/pipe round-trips through two shards.
     assert serve["served_shards_s"] <= (

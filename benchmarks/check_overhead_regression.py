@@ -91,6 +91,23 @@ def check_serve(
             f"{limit * 1e3:.2f} ms (direct {direct * 1e3:.2f} ms, "
             f"tolerance {tolerance:.0%} + {grace_s * 1e3:.0f} ms grace)"
         )
+    # Armed-but-idle adaptive overload control (limiter + latency
+    # tracking + retry budgets + hedging with nothing to do) pays the
+    # same thin-front envelope: its per-job cost is pure bookkeeping.
+    adaptive = serve.get("served_adaptive_s")
+    if adaptive is not None:
+        if adaptive > limit:
+            problems.append(
+                f"adaptive-idle overhead: served {adaptive * 1e3:.2f} ms "
+                f"> limit {limit * 1e3:.2f} ms (direct "
+                f"{direct * 1e3:.2f} ms, tolerance {tolerance:.0%} + "
+                f"{grace_s * 1e3:.0f} ms grace)"
+            )
+        if serve.get("adaptive_idle") is False:
+            problems.append(
+                "adaptive-idle leg was not idle: the loop backed off, "
+                "hedged, or spent budget during the overhead measurement"
+            )
     # Process shards: per-point pipe round-trips through two child
     # processes, gated at 10% + 20 ms — wider than the thread bar
     # because each point pays a pickle/pipe hop, but still thin.
@@ -240,6 +257,13 @@ def main(argv: list[str] | None = None) -> int:
             f"-> served {serve.get('served_batch_s', 0) * 1e3:.2f} ms "
             f"(ratio {serve.get('overhead_ratio', 0):.3f})"
         )
+        if serve.get("served_adaptive_s") is not None:
+            print(
+                f"serve --adaptive (idle): "
+                f"{serve['served_adaptive_s'] * 1e3:.2f} ms "
+                f"(ratio {serve.get('adaptive_overhead_ratio', 0):.3f}, "
+                f"idle={serve.get('adaptive_idle')})"
+            )
         if serve.get("served_shards_s") is not None:
             print(
                 f"serve --shards 2: "

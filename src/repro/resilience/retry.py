@@ -30,6 +30,7 @@ __all__ = [
     "WorkerLost",
     "RemoteTaskError",
     "PROCESS_FAILURE_KINDS",
+    "RETRY_BUDGET_KIND",
     "classify_failure",
     "call_with_retry",
 ]
@@ -175,6 +176,11 @@ class RemoteTaskError(RuntimeError):
 #: bad" — the serve layer re-queues these instead of tripping breakers.
 PROCESS_FAILURE_KINDS = ("worker_lost", "signal_exit")
 
+#: The distinct kind recorded when a retry is *denied* by an exhausted
+#: :class:`~repro.serve.adaptive.RetryBudget`.  A load signal, not an
+#: engine fault: exempt from circuit-breaker counting.
+RETRY_BUDGET_KIND = "retry_budget"
+
 
 def classify_failure(exc: BaseException) -> str:
     """Map an exception to a stable :class:`TaskFailure` ``kind``.
@@ -221,15 +227,33 @@ def call_with_retry(
     index: int | None = None,
     label: str = "",
     sleep: Callable[[float], None] = time.sleep,
+    deadline_at: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
+    budget=None,
 ) -> tuple[object, list[TaskFailure]]:
     """Call ``fn`` under the policy's attempt budget.
 
     Returns ``(result, failures)`` where ``failures`` records the
     attempts that had to be retried (marked ``recovered=True``).
     Raises :class:`RetryExhausted` when the budget runs out.
+
+    ``deadline_at`` (on ``clock``'s timeline) caps every backoff sleep
+    at the remaining deadline budget: when the backoff would consume
+    what is left — so the next attempt could not possibly fit — the
+    call fails *fast* with a final ``"deadline"``-kind failure instead
+    of sleeping through a deadline that has already lost.
+
+    ``budget`` is an optional retry budget (anything with ``deposit()``
+    and ``try_spend() -> bool``, e.g. :class:`~repro.serve.adaptive
+    .RetryBudget`): one deposit is banked for the call, and every retry
+    must afford a token — a denied retry fails with the distinct kind
+    :data:`RETRY_BUDGET_KIND`, which bounds global attempt
+    amplification under synchronized failure storms.
     """
     from ..obs import trace as _trace
 
+    if budget is not None:
+        budget.deposit()
     failures: list[TaskFailure] = []
     salt = index if index is not None else zlib.crc32(label.encode())
     for attempt in range(policy.max_attempts):
@@ -253,6 +277,40 @@ def call_with_retry(
                 )
                 raise RetryExhausted(failures) from exc
             delay = policy.delay_s(attempt, salt=salt)
+            if deadline_at is not None:
+                remaining = deadline_at - clock()
+                if remaining <= delay:
+                    # Sleeping the backoff would eat the whole budget:
+                    # no further attempt can fit, so fail fast instead
+                    # of burning wall time on a lost cause.
+                    failures.append(TaskFailure(
+                        scope=scope, index=index, label=label,
+                        kind="deadline",
+                        error=(
+                            f"backoff of {delay:.4f}s cannot fit the "
+                            f"remaining deadline budget of "
+                            f"{max(0.0, remaining):.4f}s"
+                        ),
+                        attempts=attempt + 1,
+                    ))
+                    _trace.add_event(
+                        "retry.deadline_fast_fail", scope=scope,
+                        index=index, label=label, attempt=attempt + 1,
+                        delay_s=delay, remaining_s=remaining,
+                    )
+                    raise RetryExhausted(failures) from exc
+            if budget is not None and not budget.try_spend():
+                failures.append(TaskFailure(
+                    scope=scope, index=index, label=label,
+                    kind=RETRY_BUDGET_KIND,
+                    error="retry denied: scope retry budget exhausted",
+                    attempts=attempt + 1,
+                ))
+                _trace.add_event(
+                    "retry.budget_denied", scope=scope, index=index,
+                    label=label, attempt=attempt + 1,
+                )
+                raise RetryExhausted(failures) from exc
             _trace.add_event(
                 "retry.backoff", scope=scope, index=index, label=label,
                 attempt=attempt + 1, kind=_classify(exc), delay_s=delay,

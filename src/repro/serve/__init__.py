@@ -20,16 +20,22 @@ closed* under load instead of degrading unpredictably:
   plus the persistent content-addressed :class:`MemoStore` (cache hits
   bitwise-equal to cold execution, LRU byte-budget eviction), feeding
   the service's single-flight request coalescing;
+* :mod:`repro.serve.adaptive` — adaptive overload control
+  (``adaptive=...``): the AIMD concurrency limiter driven by per-kind
+  latency SLOs, retry budgets bounding attempt amplification, hedged
+  requests for stragglers, and deadline-aware brownout shedding;
 * :mod:`repro.serve.chaos` — the seeded invariant-checked soak
   (``python -m repro.serve.chaos``; ``--shards --kill-rate`` arms
-  process chaos, ``--duplicate-rate --memo`` arms the coalescing mix).
+  process chaos, ``--duplicate-rate --memo`` arms the coalescing mix,
+  ``--overload`` runs the 2x-load goodput/amplification soak).
 
 See ``docs/resilience.md`` for the breaker state diagram, the
-degradation ladder, the shard lifecycle, and the WAL record format;
-``docs/serving.md`` for key derivation, eviction, and the coalescing
-state machine.
+degradation ladder, the shard lifecycle, the WAL record format, and
+the adaptive overload-control loop; ``docs/serving.md`` for key
+derivation, eviction, and the coalescing state machine.
 """
 
+from .adaptive import AdaptiveConfig, AdaptiveLimiter, LatencyTracker, RetryBudget
 from .breaker import CLOSED, HALF_OPEN, OPEN, STATE_CODES, CircuitBreaker
 from .budget import ByteBudget, process_rss_bytes
 from .memo import MemoStore, canonical_job_key, memo_bytes
@@ -52,6 +58,10 @@ from .shards import (
 )
 
 __all__ = [
+    "AdaptiveConfig",
+    "AdaptiveLimiter",
+    "LatencyTracker",
+    "RetryBudget",
     "BoundedPriorityQueue",
     "ByteBudget",
     "process_rss_bytes",

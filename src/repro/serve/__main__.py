@@ -20,6 +20,7 @@ import sys
 
 from ..bench.experiments import FIG2_TO_4, scaling_grid_points
 from ..resilience.faults import RandomFaultPlan, inject_faults, set_fault_plan
+from .adaptive import AdaptiveConfig
 from .service import JobService, serve_grid
 
 __all__ = ["main"]
@@ -82,6 +83,26 @@ def main(argv: list[str] | None = None) -> int:
         help="disable single-flight coalescing of identical in-flight jobs",
     )
     parser.add_argument(
+        "--adaptive", action="store_true",
+        help="enable adaptive overload control (AIMD limiter, latency "
+             "tracking, brownout shedding)",
+    )
+    parser.add_argument(
+        "--slo-ms", type=float, default=None,
+        help="latency SLO in milliseconds driving the adaptive limiter "
+             "(implies --adaptive)",
+    )
+    parser.add_argument(
+        "--retry-budget", type=float, default=None,
+        help="retry-budget token ratio per (machine, engine) scope "
+             "(implies --adaptive; bounds attempts at 1 + ratio)",
+    )
+    parser.add_argument(
+        "--hedge", action="store_true",
+        help="hedge stragglers past the observed p95 service time "
+             "(implies --adaptive)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="print the stats dict as JSON"
     )
     args = parser.parse_args(argv)
@@ -93,6 +114,18 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--memo-bytes requires --memo")
     if args.repeat < 1:
         parser.error(f"--repeat must be >= 1, got {args.repeat}")
+    if args.retry_budget is not None and args.retry_budget < 0:
+        parser.error(f"--retry-budget must be >= 0, got {args.retry_budget}")
+
+    adaptive = None
+    if (
+        args.adaptive or args.hedge or args.slo_ms is not None
+        or args.retry_budget is not None
+    ):
+        kw = {"hedge": args.hedge, "retry_budget_ratio": args.retry_budget}
+        if args.slo_ms is not None:
+            kw["slo_ms"] = args.slo_ms
+        adaptive = AdaptiveConfig(**kw)
 
     plan = None
     if args.chaos_seed is not None:
@@ -116,6 +149,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
             memo_limit_bytes=args.memo_bytes,
             coalesce=not args.no_coalesce,
+            adaptive=adaptive,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -181,6 +215,32 @@ def main(argv: list[str] | None = None) -> int:
             f"  coalesce: coalesced={co['coalesced']} "
             f"promotions={co['promotions']} "
             f"max_live_per_key={co['max_live_per_key']}"
+        )
+    if stats.get("adaptive"):
+        ad = stats["adaptive"]
+        lim = ad.get("limiter")
+        if lim:
+            print(
+                f"  adaptive: limit={lim['limit']}/{lim['max_limit']} "
+                f"probes={lim['probes']} backoffs={lim['backoffs']} "
+                f"last_rtt_ms={lim['last_rtt_ms']}"
+            )
+        hg = ad.get("hedges") or {}
+        if hg.get("launched") or hg.get("denied"):
+            print(
+                f"  hedges: launched={hg['launched']} won={hg['won']} "
+                f"lost={hg['lost']} denied={hg['denied']}"
+            )
+        for scope, rb in sorted((ad.get("retry_budgets") or {}).items()):
+            print(
+                f"  retry budget {scope}: tokens={rb['tokens']:.1f} "
+                f"units={rb['units']} spent={rb['spent']} "
+                f"denied={rb['denied']}"
+            )
+        print(
+            f"  attempts: total={ad['attempts']} "
+            f"first={ad['attempt_units']} hedge={ad['hedge_attempts']} "
+            f"amplification_ok={ad['amplification_ok']}"
         )
     if stats.get("shards"):
         sh = stats["shards"]

@@ -48,10 +48,33 @@ story — and asserts three more invariants:
    from a memo hit (exact accounting, invariant 3, already includes
    the ``coalesced`` bucket).
 
+**Overload chaos** (``--overload``) runs a different story through the
+adaptive control loop (:mod:`repro.serve.adaptive`): measure the
+service's clean capacity, then offer 2x that rate while a mid-stream
+storm injects latency (stalls past the SLO), synchronized retry
+streaks (every victim retries at once, draining the retry budget), and
+— with ``--shards`` — slow-shard stalls inside child processes.  Four
+more invariants:
+
+10. **goodput floor** — jobs settled ``ok``/``degraded``/``coalesced``
+    per second of the overloaded phase stay >= 70% of the measured
+    clean capacity: the limiter converges on what the hardware
+    sustains instead of collapsing;
+11. **amplification bound** — total execution attempts <= first
+    attempts x (1 + retry budget ratio): the token bucket provably
+    caps retry/hedge amplification even mid-storm;
+12. **limiter recovery** — after the storm passes, probe traffic
+    re-opens the AIMD limit to >= 90% of its pre-storm value;
+13. **hedge ledger closed** — every launched hedge is accounted won
+    or lost (never double-settled), and ``max_live_per_key <= 2``
+    (leader + at most one hedge).
+
 Everything is a pure function of ``--seed``: the job stream, the fault
 schedule, the kill schedule, the pressure window, and therefore the
-entire trajectory.  CI runs two seeds; a failure dumps the obs metrics
-snapshot and the soak report as a JSON artifact (``--metrics-out``).
+entire trajectory.  (The overload soak's *timing* — capacity, goodput
+— is measured, not seeded; its invariants carry deliberate slack.)
+CI runs two seeds; a failure dumps the obs metrics snapshot and the
+soak report as a JSON artifact (``--metrics-out``).
 """
 
 from __future__ import annotations
@@ -62,6 +85,7 @@ import os
 import random
 import sys
 import tempfile
+import time
 from dataclasses import dataclass, field
 
 from ..bench.runner import GridPoint
@@ -70,14 +94,16 @@ from ..cluster.topology import GEMINI
 from ..machine.spec import IVY_BRIDGE, MAGNY_COURS, SANDY_BRIDGE
 from ..obs.metrics import default_registry
 from ..resilience.faults import FaultPlan, FaultSpec, inject_faults
+from ..resilience.retry import RetryPolicy
 from ..schedules.base import Variant
+from .adaptive import AdaptiveConfig
 from .breaker import CLOSED
 from .budget import ByteBudget
 from .memo import canonical_job_key, encode_result
 from .service import JobService, JobSpec
 from .shards import replay_wal_state
 
-__all__ = ["SoakReport", "run_soak", "main"]
+__all__ = ["SoakReport", "run_soak", "run_overload_soak", "main"]
 
 _MACHINES = (MAGNY_COURS, IVY_BRIDGE, SANDY_BRIDGE)
 _VARIANTS = (
@@ -462,6 +488,272 @@ def run_soak(
     return report
 
 
+def _overload_point(i: int, engine: str = "simulate") -> GridPoint:
+    """One unique point job (distinct ncomp => distinct canonical key).
+
+    Simulate over a 192^3 domain costs milliseconds, not microseconds,
+    so the storm's injected stalls are a *tail* (10x typical), not a
+    wall-clock singularity — the goodput floor measures convergence,
+    not one stall's arithmetic.
+    """
+    return GridPoint(
+        _VARIANTS[0], MAGNY_COURS, 1, 16, (192, 192, 192),
+        ncomp=10_000 + i, engine=engine,
+    )
+
+
+def run_overload_soak(
+    seed: int,
+    duration_cases: int = 160,
+    workers: int = 4,
+    queue_limit: int = 32,
+    slo_ms: float = 60.0,
+    retry_budget_ratio: float = 0.5,
+    offered_factor: float = 2.0,
+    goodput_floor: float = 0.7,
+    recovery_floor: float = 0.9,
+    calibration_cases: int = 24,
+    storm_stall_s: float = 0.08,
+    shards: int = 0,
+) -> SoakReport:
+    """Overload soak: 2x offered load, a seeded storm, four invariants.
+
+    Three phases against one adaptive service:
+
+    1. **Calibrate** — settle ``calibration_cases`` clean unique point
+       jobs and measure the service's sustainable rate (capacity);
+    2. **Overload** — offer ``duration_cases`` jobs at
+       ``offered_factor`` x capacity.  A seeded storm window in the
+       middle third injects *latency* (stalls of ``storm_stall_s``,
+       well past the SLO) on even victims and *synchronized retry
+       streaks* (two raises, so every victim retries at once and
+       drains the retry budget) on odd victims; with ``shards > 0``
+       the stalls land inside shard child processes instead — the
+       slow-shard story.  The excess load must shed at admission, the
+       limiter must back off, hedges race the stalled stragglers;
+    3. **Recover** — clean probe traffic until the AIMD limit climbs
+       back to ``recovery_floor`` of its pre-storm value (bounded
+       rounds, so a wedged limiter fails the invariant rather than
+       hanging the soak).
+
+    Evaluates invariants 10-13 (goodput floor, amplification bound,
+    limiter recovery, hedge ledger) on top of the core four.
+    """
+    # The capacity measurement must be hermetic: an earlier run in this
+    # process may have memoized these exact phase costs, which would
+    # inflate measured capacity ~100x and poison every rate invariant.
+    from ..machine.simulator import clear_phase_cost_cache
+
+    clear_phase_cost_cache()
+    rng = random.Random(seed)
+    storm_lo = duration_cases // 3
+    storm_hi = min(duration_cases, storm_lo + max(12, duration_cases // 5))
+    labels = [f"ov{i:05d}" for i in range(duration_cases)]
+
+    # The storm: every 4th job in the window stalls (latency injection
+    # — a 10x-typical tail, landing in shard children when sharded:
+    # the slow-shard story), and every 4th (offset 2) raises twice in
+    # a row — a synchronized retry streak that drains the retry budget.
+    faults: list[FaultSpec] = []
+    stall_scope = "shard" if shards > 0 else "serve"
+    for i in range(storm_lo, storm_hi):
+        if i % 4 == 0:
+            faults.append(FaultSpec(
+                scope=stall_scope, mode="stall", label=f"{labels[i]}|",
+                stall_s=storm_stall_s, count=1,
+            ))
+        elif i % 4 == 2:
+            faults.append(FaultSpec(
+                scope="serve", mode="raise", label=f"{labels[i]}|", count=2,
+            ))
+    plan = FaultPlan(faults)
+
+    cfg = AdaptiveConfig(
+        slo_ms=slo_ms,
+        retry_budget_ratio=retry_budget_ratio,
+        hedge=True,
+        hedge_factor=2.0,
+        hedge_min_samples=8,
+        min_samples=5,
+        cooldown_s=0.05,
+        # Floor of 2: one slot can always race a stalled straggler, so
+        # a storm cannot wedge the hedging path shut.
+        min_limit=2,
+    )
+    service = JobService(
+        workers=workers,
+        queue_limit=queue_limit,
+        default_deadline_s=10.0,
+        retry_policy=RetryPolicy(
+            max_attempts=3, base_delay_s=0.001, max_delay_s=0.004,
+        ),
+        seed=seed,
+        hang_timeout_s=max(5.0, storm_stall_s * 8),
+        supervise_interval_s=0.01,
+        adaptive=cfg,
+        shards=shards,
+        memo=False,
+    )
+    good_statuses = ("ok", "degraded", "coalesced")
+    with inject_faults(plan), service:
+        # Phase 1: measured clean capacity (same path, same overheads).
+        cal_start = time.perf_counter()
+        cal = [
+            service.submit(JobSpec(
+                "simulate", _overload_point(-(i + 1)), label=f"cal{i:05d}",
+            ))
+            for i in range(calibration_cases)
+        ]
+        for t in cal:
+            t.result(timeout=60.0)
+        cal_wall = max(1e-6, time.perf_counter() - cal_start)
+        capacity = calibration_cases / cal_wall
+
+        # Phase 2: offered load at offered_factor x capacity.
+        inter_arrival = 1.0 / (offered_factor * capacity)
+        pre_storm_limit = None
+        limiter = service._limiter
+        main_tickets = []
+        main_start = time.perf_counter()
+        next_at = main_start
+        for i in range(duration_cases):
+            if i == storm_lo and limiter is not None:
+                pre_storm_limit = limiter.limit
+            main_tickets.append(service.submit(JobSpec(
+                "simulate", _overload_point(i),
+                priority=rng.randrange(3), label=labels[i],
+            )))
+            next_at += inter_arrival
+            delay = next_at - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+        for t in main_tickets:
+            try:
+                t.result(timeout=60.0)
+            except TimeoutError:
+                pass
+        main_wall = max(1e-6, time.perf_counter() - main_start)
+        if pre_storm_limit is None and limiter is not None:
+            pre_storm_limit = limiter.max_limit
+
+        # Phase 3: clean recovery traffic until the limit re-opens
+        # (bounded, so a wedged limiter fails fast instead of looping).
+        recovery_rounds = 0
+        recovered_limit = None if limiter is None else limiter.limit
+        while (
+            limiter is not None
+            and recovery_rounds < 120
+            and limiter.limit < recovery_floor * (pre_storm_limit or 1)
+        ):
+            batch = [
+                service.submit(JobSpec(
+                    "simulate",
+                    _overload_point(
+                        100_000 + recovery_rounds * workers * 2 + j
+                    ),
+                    label=f"rec{recovery_rounds:04d}.{j}",
+                ))
+                for j in range(workers * 2)
+            ]
+            for t in batch:
+                try:
+                    t.result(timeout=60.0)
+                except TimeoutError:
+                    pass
+            recovered_limit = limiter.limit
+            recovery_rounds += 1
+
+    stats = service.stats()
+    good = sum(1 for t in main_tickets if t.done() and t.result(0).status in good_statuses)
+    goodput = good / main_wall
+    report = SoakReport(
+        seed=seed, cases=duration_cases, stats=stats,
+    )
+    ad = stats["adaptive"] or {}
+    report.stats["overload"] = {
+        "capacity_per_s": round(capacity, 2),
+        "offered_per_s": round(offered_factor * capacity, 2),
+        "goodput_per_s": round(goodput, 2),
+        "goodput_ratio": round(goodput / capacity, 4),
+        "good_settles": good,
+        "main_wall_s": round(main_wall, 4),
+        "pre_storm_limit": pre_storm_limit,
+        "recovered_limit": recovered_limit,
+        "recovery_rounds": recovery_rounds,
+        "storm_window": [storm_lo, storm_hi],
+        "stall_scope": stall_scope,
+    }
+
+    hung = service.census()
+    report.invariants["no_hung_threads"] = not hung
+    if hung:
+        report.violations.append(f"threads still alive after stop: {hung}")
+
+    q = stats["queue"]
+    report.invariants["queue_bound_held"] = q["high_water"] <= q["limit"]
+    if q["high_water"] > q["limit"]:
+        report.violations.append(
+            f"queue exceeded bound: high_water={q['high_water']} "
+            f"> limit={q['limit']}"
+        )
+
+    report.invariants["accounting_exact"] = stats["accounted"]
+    if not stats["accounted"]:
+        report.violations.append(f"accounting mismatch: {stats['counts']}")
+
+    # 10. Goodput floor under 2x offered load.
+    report.invariants["goodput_floor"] = goodput >= goodput_floor * capacity
+    if goodput < goodput_floor * capacity:
+        report.violations.append(
+            f"goodput collapsed under overload: {goodput:.1f}/s < "
+            f"{goodput_floor:.0%} of measured capacity {capacity:.1f}/s"
+        )
+
+    # 11. Amplification bound: attempts <= units * (1 + ratio).
+    amp_ok = service.amplification_ok() and all(
+        b["units"] + b["spent"]
+        <= b["units"] * (1.0 + b["ratio"]) + 1e-9
+        for b in ad.get("retry_budgets", {}).values()
+    )
+    report.invariants["amplification_bounded"] = amp_ok
+    if not amp_ok:
+        report.violations.append(
+            f"retry amplification exceeded the budget bound: "
+            f"attempts={ad.get('attempts')} units={ad.get('attempt_units')} "
+            f"ratio={retry_budget_ratio} budgets={ad.get('retry_budgets')}"
+        )
+
+    # 12. Limiter re-opens after the storm.
+    recovered = (
+        pre_storm_limit is None
+        or (recovered_limit or 0) >= recovery_floor * pre_storm_limit
+    )
+    report.invariants["limiter_recovered"] = recovered
+    if not recovered:
+        report.violations.append(
+            f"limiter stuck after storm: limit={recovered_limit} < "
+            f"{recovery_floor:.0%} of pre-storm {pre_storm_limit} "
+            f"after {recovery_rounds} recovery rounds"
+        )
+
+    # 13. Hedge ledger closed + bounded single-flight under hedging.
+    hedges = ad.get("hedges", {})
+    ledger_ok = (
+        hedges.get("launched", 0)
+        == hedges.get("won", 0) + hedges.get("lost", 0)
+    )
+    max_live = stats["coalesce"]["max_live_per_key"]
+    report.invariants["hedge_ledger_closed"] = ledger_ok and max_live <= 2
+    if not ledger_ok:
+        report.violations.append(f"hedge ledger does not close: {hedges}")
+    if max_live > 2:
+        report.violations.append(
+            f"hedging broke the single-flight bound: "
+            f"max_live_per_key={max_live} > 2"
+        )
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve.chaos",
@@ -494,6 +786,20 @@ def main(argv: list[str] | None = None) -> int:
         help="front the service with an in-memory memo store",
     )
     parser.add_argument(
+        "--overload", action="store_true",
+        help="run the adaptive overload soak instead of the fault soak "
+             "(arms invariants 10-13: goodput floor, amplification "
+             "bound, limiter recovery, hedge ledger)",
+    )
+    parser.add_argument(
+        "--slo-ms", type=float, default=60.0,
+        help="per-kind latency SLO for the overload soak's limiter",
+    )
+    parser.add_argument(
+        "--retry-budget-ratio", type=float, default=0.5,
+        help="retry-budget token ratio for the overload soak",
+    )
+    parser.add_argument(
         "--metrics-out", default="",
         help="write the obs metrics snapshot + soak report JSON here",
     )
@@ -506,6 +812,51 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--shards must be >= 0, got {args.shards}")
     if args.shards == 0 and (args.kill_rate > 0 or args.wal):
         parser.error("--kill-rate/--wal require --shards >= 1")
+
+    if args.overload:
+        report = run_overload_soak(
+            args.seed,
+            duration_cases=args.duration_cases,
+            workers=args.workers,
+            slo_ms=args.slo_ms,
+            retry_budget_ratio=args.retry_budget_ratio,
+            shards=args.shards,
+        )
+        payload = {
+            "report": report.to_dict(),
+            "metrics": default_registry().snapshot(),
+        }
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, default=str)
+        counts = report.stats["counts"]
+        ov = report.stats["overload"]
+        ad = report.stats.get("adaptive") or {}
+        print(
+            f"overload soak seed={report.seed} cases={report.cases}: "
+            f"submitted={counts['submitted']} ok={counts['ok']} "
+            f"shed={counts['shed']} degraded={counts['degraded']} "
+            f"failed={counts['failed']} coalesced={counts['coalesced']}"
+        )
+        print(
+            f"  capacity={ov['capacity_per_s']}/s "
+            f"offered={ov['offered_per_s']}/s "
+            f"goodput={ov['goodput_per_s']}/s "
+            f"({ov['goodput_ratio']:.0%} of capacity)"
+        )
+        print(
+            f"  limiter: pre_storm={ov['pre_storm_limit']} "
+            f"recovered={ov['recovered_limit']} "
+            f"rounds={ov['recovery_rounds']}  hedges={ad.get('hedges')}  "
+            f"attempts={ad.get('attempts')}/{ad.get('attempt_units')} units"
+        )
+        for name, held in report.invariants.items():
+            print(f"  invariant {name}: {'PASS' if held else 'FAIL'}")
+        if not report.ok:
+            for v in report.violations:
+                print(f"  violation: {v}", file=sys.stderr)
+            return 1
+        return 0
 
     report = run_soak(
         args.seed,

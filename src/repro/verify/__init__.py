@@ -3,7 +3,7 @@
 A seeded generator draws randomized configurations — domain shape
 (including anisotropic), box size, ghost width, per-axis periodicity,
 component count, schedule variants, simulated machine, thread count,
-and execution-substrate toggles — and drives five check families:
+and execution-substrate toggles — and drives eight check families:
 
 * **bitwise** — every variant equals the reference kernel bitwise,
   under arena/pool/tracing toggle combinations;
@@ -15,7 +15,13 @@ and execution-substrate toggles — and drives five check families:
   periodic-shift invariance;
 * **fast_path** — the vectorized fast-path engine tracks the exact
   engines within stated tolerances, deterministically, and the
-  stack-distance cache model matches the LRU simulator.
+  stack-distance cache model matches the LRU simulator;
+* **cluster** — decomposition conservation, the ``nodes=1``
+  reduction, scaling-efficiency and latency monotonicity;
+* **memo** — canonical-key stability and sensitivity, bitwise hit
+  replay, exact coalesced accounting;
+* **overload** — AIMD limiter trajectories, the retry amplification
+  bound, deadline-capped backoff, hedged-request accounting.
 
 Failures shrink to a minimal counterexample and serialize as replayable
 JSON repro files.  See :mod:`repro.verify.__main__` for the CLI.
@@ -27,7 +33,9 @@ from .checks import (
     check_engines,
     check_fast_path,
     check_invariants,
+    check_memo,
     check_metamorphic,
+    check_overload,
     run_check,
 )
 from .config import (
@@ -60,7 +68,9 @@ __all__ = [
     "check_engines",
     "check_fast_path",
     "check_invariants",
+    "check_memo",
     "check_metamorphic",
+    "check_overload",
     "run_verification",
     "load_repro",
     "replay_repro",

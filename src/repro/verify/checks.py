@@ -1,4 +1,4 @@
-"""The seven differential check families.
+"""The eight differential check families.
 
 Every check takes a :class:`~repro.verify.config.VerifyConfig` and
 returns a list of failure messages — empty means the config passed.
@@ -47,6 +47,20 @@ Families
     exact accounting (``ok + shed + degraded + failed + coalesced ==
     submitted``), at most one live execution per key, and
     bitwise-identical fan-out values.
+``overload``
+    The adaptive overload-control loop (:mod:`repro.serve.adaptive`)
+    obeys its contracts on config-seeded event streams: the AIMD
+    limiter's limit never leaves ``[min_limit, max_limit]``, breaches
+    drive it to the floor, and sustained under-SLO successes at
+    saturation recover it to the ceiling; a retry budget's lifetime
+    counters always satisfy the amplification bound
+    ``units + spent <= units * (1 + ratio)`` and its balance never goes
+    negative; a config-shaped :class:`~repro.serve.service.JobService`
+    with hedging armed keeps exact accounting, a closed hedge ledger
+    (``launched == won + lost``) and at most two live executions per
+    canonical key under a seeded stall; and a deadline-capped retry
+    fails fast with a ``"deadline"`` failure instead of sleeping a
+    backoff the deadline cannot cover.
 ``cluster``
     The distributed-memory scaling model (:mod:`repro.cluster`) obeys
     its structural invariants on config-shaped geometries: every rank
@@ -110,6 +124,7 @@ __all__ = [
     "check_fast_path",
     "check_cluster",
     "check_memo",
+    "check_overload",
 ]
 
 #: Relative time tolerance for uniform phases, where the closed form is
@@ -1059,6 +1074,256 @@ def json_dumps_sorted(d: dict) -> str:
     return json.dumps(d, sort_keys=True)
 
 
+# ------------------------------------------------------------------ family 8
+def check_overload(config: VerifyConfig) -> list[str]:
+    """The adaptive overload-control loop is sound on this config."""
+    failures: list[str] = []
+    failures += _overload_limiter_trajectory(config)
+    failures += _overload_budget_bound(config)
+    failures += _overload_retry_deadline(config)
+    failures += _overload_hedged_service(config)
+    return failures
+
+
+def _overload_limiter_trajectory(config: VerifyConfig) -> list[str]:
+    """AIMD limit stays in its band; breaches floor it, successes recover.
+
+    Runs on a fake clock (each event advances one cooldown period, so
+    every breach is eligible to back off) and a seeded event stream, so
+    the trajectory is a deterministic function of the config.
+    """
+    import random
+
+    from ..serve.adaptive import AdaptiveLimiter
+
+    failures: list[str] = []
+    rng = random.Random(config.data_seed ^ 0x0A1D)
+    min_limit = 1 + config.data_seed % 2
+    max_limit = min_limit + 3 + config.data_seed % 5
+    now = [0.0]
+    changes: list[float] = []
+    lim = AdaptiveLimiter(
+        max_limit=max_limit, min_limit=min_limit, cooldown_s=0.5,
+        clock=lambda: now[0], on_change=changes.append,
+    )
+
+    def step(ok: bool, breach: bool) -> None:
+        now[0] += 1.0
+        # Saturate so under-SLO successes are eligible to probe up.
+        held = 0
+        while lim.inflight < lim.limit and lim.acquire(timeout=0):
+            held += 1
+        lim.on_result(0.001, ok=ok, breach=breach)
+        for _ in range(held):
+            lim.release()
+        eff = lim.limit
+        if not min_limit <= eff <= max_limit:
+            failures.append(
+                f"overload: limit {eff} left [{min_limit}, {max_limit}] "
+                f"({config.label()})"
+            )
+
+    # Seeded mixed phase: the band invariant must hold throughout.
+    for _ in range(40):
+        step(ok=rng.random() < 0.7, breach=rng.random() < 0.3)
+    # Breach storm drives the limit to the floor...
+    for _ in range(2 * max_limit + 4):
+        step(ok=False, breach=True)
+    if lim.limit != min_limit:
+        failures.append(
+            f"overload: breach storm left limit at {lim.limit}, "
+            f"expected floor {min_limit} ({config.label()})"
+        )
+    # ...and sustained under-SLO successes at saturation recover it.
+    for _ in range(4 * max_limit * max_limit + 8):
+        step(ok=True, breach=False)
+    if lim.limit != max_limit:
+        failures.append(
+            f"overload: recovery left limit at {lim.limit}, "
+            f"expected ceiling {max_limit} ({config.label()})"
+        )
+    if lim.backoffs == 0 or lim.probes == 0:
+        failures.append(
+            f"overload: trajectory never exercised both directions "
+            f"(backoffs={lim.backoffs}, probes={lim.probes})"
+        )
+    for raw in changes:
+        if not min_limit <= max(min_limit, int(raw)) <= max_limit:
+            failures.append(
+                f"overload: on_change mirrored out-of-band limit {raw}"
+            )
+    return failures
+
+
+def _overload_budget_bound(config: VerifyConfig) -> list[str]:
+    """The amplification bound holds at every point of a seeded stream."""
+    import random
+
+    from ..serve.adaptive import RetryBudget
+
+    failures: list[str] = []
+    rng = random.Random(config.data_seed ^ 0xB0D6)
+    ratio = (1 + config.data_seed % 7) / 10.0
+    budget = RetryBudget(ratio=ratio, cap=5.0)
+    granted = 0
+    for i in range(300):
+        if rng.random() < 0.6:
+            budget.deposit()
+        else:
+            granted += 1 if budget.try_spend() else 0
+        if budget.tokens() < 0:
+            failures.append(
+                f"overload: budget balance went negative at op {i}"
+            )
+            break
+        if budget.tokens() > budget.cap + 1e-9:
+            failures.append(f"overload: budget balance exceeded its cap")
+            break
+        if not budget.amplification_bound_ok():
+            failures.append(
+                f"overload: amplification bound violated at op {i}: "
+                f"units={budget.units} spent={budget.spent} ratio={ratio} "
+                f"({config.label()})"
+            )
+            break
+    if budget.spent != granted:
+        failures.append(
+            f"overload: spend ledger drifted ({budget.spent} != {granted})"
+        )
+    # Exhaustion is denied, not granted: an empty bucket must refuse.
+    drained = RetryBudget(ratio=0.0, cap=1.0)
+    drained.deposit()
+    if drained.try_spend():
+        failures.append("overload: zero-ratio budget granted a spend")
+    if drained.denied != 1:
+        failures.append(
+            f"overload: denied counter is {drained.denied}, expected 1"
+        )
+    return failures
+
+
+def _overload_retry_deadline(config: VerifyConfig) -> list[str]:
+    """A backoff that cannot fit the deadline fails fast, without sleeping."""
+    from ..resilience.retry import (
+        RetryExhausted,
+        RetryPolicy,
+        call_with_retry,
+    )
+
+    failures: list[str] = []
+    slept: list[float] = []
+    now = [100.0]
+
+    def boom():
+        raise ValueError("always fails")
+
+    policy = RetryPolicy(
+        max_attempts=4, base_delay_s=10.0, max_delay_s=10.0, jitter=0.0
+    )
+    try:
+        call_with_retry(
+            boom, policy, scope="verify", label="overload.deadline",
+            sleep=slept.append, deadline_at=now[0] + 1.0,
+            clock=lambda: now[0],
+        )
+        failures.append("overload: deadline-capped retry returned a result")
+    except RetryExhausted as exc:
+        if exc.failures[-1].kind != "deadline":
+            failures.append(
+                f"overload: fail-fast kind is {exc.failures[-1].kind!r}, "
+                f"expected 'deadline'"
+            )
+        if slept:
+            failures.append(
+                f"overload: retry slept {slept} past a deadline it could "
+                f"not cover"
+            )
+    return failures
+
+
+def _overload_hedged_service(config: VerifyConfig) -> list[str]:
+    """A seeded stall under hedging keeps every serving ledger exact.
+
+    Warms the latency tracker with distinct config-shaped jobs, then
+    stalls one leader long enough for the supervisor to hedge it: the
+    ticket must settle with the hedge's result, accounting must stay
+    exact, the hedge ledger must close (``launched == won + lost``),
+    and the single-flight table must never run more than two
+    executions (leader + hedge) for one canonical key.
+    """
+    from ..resilience.faults import FaultPlan, FaultSpec, inject_faults
+    from ..serve.adaptive import AdaptiveConfig
+    from ..serve.service import JobService, JobSpec
+
+    failures: list[str] = []
+    points = _memo_points(config)
+    if not points:
+        return failures
+    point = points[0]
+    warm = 6
+    label = f"overload.{config.data_seed % 1000}"
+    plan = FaultPlan([
+        FaultSpec(
+            scope="serve", mode="stall", label=f"{label}|", stall_s=0.4,
+            count=1,
+        ),
+    ])
+    cfg = AdaptiveConfig(
+        slo_ms=5_000.0, min_samples=3, hedge=True, hedge_factor=1.0,
+        hedge_min_samples=3, retry_budget_ratio=1.0, brownout=False,
+    )
+    with ExitStack() as stack:
+        _toggles(stack, config)
+        with inject_faults(plan), JobService(
+            workers=2, adaptive=cfg, supervise_interval_s=0.01,
+            hang_timeout_s=30.0,
+        ) as svc:
+            import dataclasses
+
+            for i in range(warm):
+                t = svc.submit(JobSpec(
+                    "estimate",
+                    dataclasses.replace(point, ncomp=point.ncomp + 1 + i),
+                    label=f"{label}.warm{i}",
+                ))
+                t.result(timeout=60.0)
+            stalled = svc.submit(JobSpec("estimate", point, label=label))
+            out = stalled.result(timeout=60.0)
+            stats = svc.stats()
+    if out.status not in ("ok", "degraded"):
+        failures.append(
+            f"overload: stalled leader settled {out.status!r}, expected a "
+            f"successful hedge or completion ({config.label()})"
+        )
+    if not stats["accounted"]:
+        failures.append(
+            f"overload: accounting inexact under hedging: "
+            f"{stats['counts']} ({config.label()})"
+        )
+    ad = stats["adaptive"]
+    hg = ad["hedges"]
+    if hg["launched"] != hg["won"] + hg["lost"]:
+        failures.append(
+            f"overload: hedge ledger open: launched={hg['launched']} "
+            f"won={hg['won']} lost={hg['lost']} ({config.label()})"
+        )
+    if hg["launched"] < 1:
+        failures.append(
+            f"overload: stall of 0.4s never hedged ({config.label()})"
+        )
+    if stats["coalesce"]["max_live_per_key"] > 2:
+        failures.append(
+            f"overload: {stats['coalesce']['max_live_per_key']} live "
+            f"executions for one key; hedging allows at most 2"
+        )
+    if not ad["amplification_ok"]:
+        failures.append(
+            f"overload: attempt amplification bound violated "
+            f"(attempts={ad['attempts']}, units={ad['attempt_units']})"
+        )
+    return failures
+
+
 _FAMILY_CHECKS = {
     "bitwise": check_bitwise,
     "engines": check_engines,
@@ -1067,4 +1332,5 @@ _FAMILY_CHECKS = {
     "fast_path": check_fast_path,
     "cluster": check_cluster,
     "memo": check_memo,
+    "overload": check_overload,
 }

@@ -37,10 +37,10 @@ __all__ = [
     "variant_registry",
 ]
 
-#: The seven check families (see :mod:`repro.verify.checks`).
+#: The eight check families (see :mod:`repro.verify.checks`).
 FAMILIES = (
     "bitwise", "engines", "invariants", "metamorphic", "fast_path", "cluster",
-    "memo",
+    "memo", "overload",
 )
 
 #: Box edges the generator draws from — small enough that a single case

@@ -164,6 +164,93 @@ class TestRetry:
         assert len(e.value.failures) == 2
         assert not e.value.failures[-1].recovered
 
+    def test_backoff_never_sleeps_past_the_deadline(self):
+        """Regression: a backoff the deadline cannot cover fails fast.
+
+        Before the fix, a 10s backoff was slept in full even with 1s of
+        deadline budget left — the retry then died to the deadline
+        *after* burning the wall time.  Now the call fails immediately
+        with a final ``"deadline"`` failure and never sleeps.
+        """
+        slept = []
+        now = [100.0]
+
+        def broken():
+            raise ValueError("permanent")
+
+        policy = RetryPolicy(
+            max_attempts=4, base_delay_s=10.0, max_delay_s=10.0, jitter=0.0
+        )
+        with pytest.raises(RetryExhausted) as e:
+            call_with_retry(
+                broken, policy, sleep=slept.append,
+                deadline_at=now[0] + 1.0, clock=lambda: now[0],
+            )
+        assert slept == []  # the losing backoff was never slept
+        trail = e.value.failures
+        assert trail[-1].kind == "deadline"
+        assert "cannot fit" in trail[-1].error
+        assert trail[-2].kind == "exception"  # the real attempt is kept
+
+    def test_backoff_that_fits_the_deadline_still_sleeps(self):
+        slept = []
+        now = [0.0]
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise ValueError("transient")
+            return "ok"
+
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_s=0.01, max_delay_s=0.01, jitter=0.0
+        )
+        result, failures = call_with_retry(
+            flaky, policy, sleep=slept.append,
+            deadline_at=now[0] + 60.0, clock=lambda: now[0],
+        )
+        assert result == "ok"
+        assert slept == [0.01]
+
+    def test_retry_budget_denial_has_distinct_kind(self):
+        from repro.resilience.retry import RETRY_BUDGET_KIND
+        from repro.serve import RetryBudget
+
+        budget = RetryBudget(ratio=0.0)
+
+        def broken():
+            raise ValueError("permanent")
+
+        with pytest.raises(RetryExhausted) as e:
+            call_with_retry(
+                broken, RetryPolicy(max_attempts=3), sleep=lambda d: None,
+                budget=budget,
+            )
+        trail = e.value.failures
+        assert trail[-1].kind == RETRY_BUDGET_KIND
+        assert budget.units == 1 and budget.denied == 1 and budget.spent == 0
+
+    def test_retry_budget_funds_retries_when_banked(self):
+        from repro.serve import RetryBudget
+
+        budget = RetryBudget(ratio=1.0)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise ValueError("transient")
+            return "ok"
+
+        result, failures = call_with_retry(
+            flaky, RetryPolicy(max_attempts=3), sleep=lambda d: None,
+            budget=budget,
+        )
+        assert result == "ok"
+        assert budget.spent == 1
+        assert budget.amplification_bound_ok()
+
 
 # ---------------------------------------------------- grid fault matrix
 class TestGridFaults:

@@ -7,7 +7,7 @@ import sys
 
 import pytest
 
-from repro.serve.chaos import run_soak
+from repro.serve.chaos import run_overload_soak, run_soak
 
 INVARIANTS = (
     "no_hung_threads",
@@ -88,6 +88,72 @@ def test_process_chaos_cli(tmp_path):
     assert "invariant no_orphaned_leases: PASS" in proc.stdout
     assert "invariant wal_replay_consistent: PASS" in proc.stdout
     assert os.path.exists(wal)
+    with open(out) as fh:
+        payload = json.load(fh)
+    assert payload["report"]["ok"] is True
+
+
+OVERLOAD_INVARIANTS = (
+    "no_hung_threads",
+    "queue_bound_held",
+    "accounting_exact",
+    "goodput_floor",
+    "amplification_bounded",
+    "limiter_recovered",
+    "hedge_ledger_closed",
+)
+
+
+@pytest.mark.parametrize("seed", [2014, 7])
+def test_overload_soak_invariants_hold(seed):
+    report = run_overload_soak(seed, duration_cases=60)
+    assert report.ok, report.violations
+    for name in OVERLOAD_INVARIANTS:
+        assert report.invariants[name], name
+    ov = report.stats["overload"]
+    # The soak genuinely overloads: offered rate ~2x measured capacity,
+    # and the service still clears the goodput floor.
+    assert ov["offered_per_s"] > ov["capacity_per_s"] * 1.5
+    assert ov["goodput_ratio"] >= 0.7
+    assert ov["pre_storm_limit"] >= 2
+    assert ov["recovered_limit"] >= 0.9 * ov["pre_storm_limit"]
+
+
+def test_overload_soak_storm_actually_bites():
+    report = run_overload_soak(2014, duration_cases=60)
+    stats = report.stats
+    # The retry storm spent or denied budget tokens, and the limiter
+    # reacted to the latency injection.
+    budgets = stats["adaptive"]["retry_budgets"]
+    assert any(b["spent"] or b["denied"] for b in budgets.values())
+    assert stats["adaptive"]["limiter"]["backoffs"] >= 1
+
+
+def test_overload_soak_report_round_trips():
+    report = run_overload_soak(3, duration_cases=60)
+    d = report.to_dict()
+    assert d["seed"] == 3 and d["ok"] is report.ok
+    assert set(OVERLOAD_INVARIANTS) <= set(d["invariants"])
+    json.dumps(d, default=str)  # artifact-serializable
+
+
+def test_overload_cli_writes_metrics_artifact(tmp_path):
+    out = str(tmp_path / "overload_metrics.json")
+    env = {**os.environ, "PYTHONPATH": "src"}
+    env.pop("REPRO_FAULT_SEED", None)
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.serve.chaos",
+            "--overload", "--seed", "2014", "--duration-cases", "60",
+            "--metrics-out", out,
+        ],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "invariant goodput_floor: PASS" in proc.stdout
+    assert "invariant amplification_bounded: PASS" in proc.stdout
+    assert "invariant limiter_recovered: PASS" in proc.stdout
+    assert "invariant hedge_ledger_closed: PASS" in proc.stdout
     with open(out) as fh:
         payload = json.load(fh)
     assert payload["report"]["ok"] is True
